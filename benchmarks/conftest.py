@@ -1,0 +1,29 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one of the paper's tables/figures: it runs
+the corresponding experiment once under pytest-benchmark (wall time =
+how long the reproduction takes, not a microbenchmark), prints the
+figure's rows/series to stdout, and asserts the qualitative shape.
+
+Run with:  pytest benchmarks/ --benchmark-only -s
+Set REPRO_FULL=1 for testbed-scale (64-client) runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def regenerate(benchmark, capsys):
+    """Run an experiment once, print its formatted figure, return it."""
+
+    def runner(experiment_fn, *args, **kwargs):
+        result = benchmark.pedantic(experiment_fn, args=args,
+                                    kwargs=kwargs, rounds=1, iterations=1)
+        text = result.format() if hasattr(result, "format") else str(result)
+        with capsys.disabled():
+            print(f"\n{text}\n")
+        return result
+
+    return runner

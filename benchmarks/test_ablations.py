@@ -1,0 +1,41 @@
+"""Regenerates the design-choice ablations from DESIGN.md."""
+
+from repro.experiments import ablations
+
+
+def test_log_queue_sizing(regenerate):
+    result = regenerate(ablations.log_queue_sizing, quick=True)
+    # Smaller queues force more line-rate bypasses.
+    bypass_rates = [row[3] for row in result.rows]
+    assert bypass_rates[0] >= bypass_rates[-1]
+    # The paper's 4 KB point keeps bypasses rare.
+    four_kb = next(row for row in result.rows if row[0] == 4096)
+    assert four_kb[3] < 10.0
+
+
+def test_pm_latency_sensitivity(regenerate):
+    result = regenerate(ablations.pm_latency_sensitivity, quick=True)
+    latencies = [row[1] for row in result.rows]
+    # RTT grows monotonically with PM write latency, but slowly: going
+    # 100 ns -> 5 us adds only ~5 us of RTT.
+    assert latencies == sorted(latencies)
+    assert latencies[-1] - latencies[0] < 7.0
+
+
+def test_log_capacity(regenerate):
+    result = regenerate(ablations.log_capacity, quick=True)
+    by_capacity = {row[0]: row for row in result.rows}
+    # A tiny log bypasses a lot and pushes completions to the server...
+    assert by_capacity[8][1] > 0
+    assert by_capacity[8][3] > 0
+    # ...while the BDP-sized log acknowledges everything in-network.
+    assert by_capacity[65536][1] == 0
+    # Latency degrades toward the baseline as the log shrinks.
+    assert by_capacity[8][4] > by_capacity[65536][4]
+
+
+def test_tcp_conversion_overhead(regenerate):
+    result = regenerate(ablations.tcp_conversion, quick=True)
+    slowdown = result.rows[2][1]
+    # Paper: ~9% (which is why TCP stays the baseline).
+    assert 0.0 < slowdown < 25.0

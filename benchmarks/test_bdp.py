@@ -1,0 +1,28 @@
+"""Regenerates Eq 1/2 and the Sec VII scaling table."""
+
+import pytest
+
+from repro.analysis.bdp import network_bdp, pm_queue_bdp, scaling_table
+from repro.analysis.report import dict_rows, format_table
+
+
+def test_bdp_equations(regenerate):
+    class _Result:
+        def format(self):
+            rows = scaling_table()
+            keys = ["bandwidth_gbps", "pm_capacity_mbit",
+                    "pm_capacity_mbytes", "log_queue_kbit",
+                    "log_queue_bytes"]
+            return format_table(
+                ["BW Gbps", "PM Mbit", "PM MB", "queue kbit", "queue B"],
+                dict_rows(rows, keys),
+                title="Eq 1/2 — BDP sizing (Sec V-A / Sec VII)")
+
+    regenerate(lambda: _Result())
+    # Eq 1: 5 Mbit of PM suffices at 10 Gbps with a 500 us RTT ceiling.
+    assert network_bdp().bits == pytest.approx(5e6)
+    # Eq 2: a 1 kbit log queue hides the 100 ns PM latency at 10 Gbps.
+    assert pm_queue_bdp().bits == pytest.approx(1e3)
+    # Sec VII: 100 Gbps needs only a 1.25 kB queue and 62.5 Mbit of PM.
+    rows = {r["bandwidth_gbps"]: r for r in scaling_table()}
+    assert rows[100.0]["log_queue_bytes"] == pytest.approx(1250)

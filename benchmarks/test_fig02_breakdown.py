@@ -1,0 +1,9 @@
+"""Regenerates Fig 2: latency breakdown of an update request."""
+
+from repro.experiments import fig02_breakdown
+
+
+def test_fig02_breakdown(regenerate):
+    result = regenerate(fig02_breakdown.run)
+    # The paper's headline: server side is ~70% of the round trip.
+    assert 0.60 < result.average_server_side_fraction < 0.85

@@ -1,0 +1,14 @@
+"""Regenerates Fig 15: ideal-handler update latency vs payload size."""
+
+from repro.experiments import fig15_payload_latency
+
+
+def test_fig15_payload_sweep(regenerate):
+    result = regenerate(fig15_payload_latency.run, quick=True)
+    # ~2.8x at small payloads decaying toward ~2.2x at 1000 B.
+    assert 2.0 < result.speedup("pmnet-switch", 50) < 3.3
+    assert (result.speedup("pmnet-switch", 1000)
+            < result.speedup("pmnet-switch", 50))
+    # Switch vs NIC placement: negligible difference (< 1 us).
+    for payload in (50, 1000):
+        assert result.switch_nic_gap_us(payload) < 1.0

@@ -1,0 +1,22 @@
+"""Regenerates Fig 16: bandwidth vs latency stress test."""
+
+import os
+
+from repro.experiments import fig16_stress
+
+_COUNTS = (1, 4, 16, 48) if not os.environ.get("REPRO_FULL") \
+    else fig16_stress.CLIENT_COUNTS
+
+
+def test_fig16_stress(regenerate):
+    result = regenerate(fig16_stress.run, quick=True,
+                        client_counts=_COUNTS)
+    # PMNet reaches higher offered bandwidth than the baseline and its
+    # latency stays below the baseline's at every point.
+    assert (result.saturation_bandwidth("pmnet-switch")
+            > result.saturation_bandwidth("client-server"))
+    for (_bw_b, lat_base), (_bw_p, lat_pmnet) in zip(
+            result.curves["client-server"], result.curves["pmnet-switch"]):
+        assert lat_pmnet < lat_base
+    # Approaching the 10 Gbps port limit, latency spikes.
+    assert result.latency_spike_ratio("pmnet-switch") > 1.2

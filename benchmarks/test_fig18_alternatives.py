@@ -1,0 +1,16 @@
+"""Regenerates Fig 18: PMNet vs client-/server-side logging."""
+
+from repro.experiments import fig18_alternatives
+from repro.experiments.fig18_alternatives import PAPER_US
+
+
+def test_fig18_alternatives(regenerate):
+    result = regenerate(fig18_alternatives.run, quick=True)
+    lat = result.latencies
+    # Unreplicated ordering: client-log < PMNet < server-log.
+    assert lat[("client-log", 1)] < lat[("pmnet", 1)] < lat[("server-log", 1)]
+    # 3-way replicated: PMNet wins outright.
+    assert lat[("pmnet", 3)] < lat[("client-log", 3)] < lat[("server-log", 3)]
+    # Absolute microseconds within 30% of the paper's Fig 18.
+    for key, paper in PAPER_US.items():
+        assert abs(lat[key] - paper) / paper < 0.30, (key, lat[key], paper)

@@ -1,0 +1,21 @@
+"""Regenerates Fig 19: application throughput vs update ratio."""
+
+import os
+
+from repro.experiments import fig19_app_throughput
+
+_WORKLOADS = None if os.environ.get("REPRO_FULL") else \
+    ["btree", "rbtree", "hashmap", "redis", "tpcc"]
+
+
+def test_fig19_app_throughput(regenerate):
+    result = regenerate(fig19_app_throughput.run, quick=True,
+                        workloads=_WORKLOADS, ratios=(1.0, 0.5))
+    # Every workload speeds up substantially at 100% updates...
+    for workload, ratios in result.normalized.items():
+        assert ratios[1.0] > 2.0, workload
+        # ...and the benefit shrinks as reads grow (PMNet only helps
+        # updates).
+        assert ratios[0.5] < ratios[1.0], workload
+    # The average sits in the paper's band (paper: 4.31x).
+    assert 2.5 < result.average_speedup(1.0) < 6.0

@@ -1,0 +1,16 @@
+"""Regenerates Fig 20: latency CDFs with and without read caching."""
+
+from repro.experiments import fig20_cdf_caching
+
+
+def test_fig20_cdf_caching(regenerate):
+    result = regenerate(fig20_cdf_caching.run, quick=True)
+    # 100% updates: the whole CDF improves (paper: 3.23x p99).
+    assert result.p99_ratio(1.0) > 2.0
+    assert result.mean_ratio(1.0) > 2.5
+    # 50% updates: the no-cache curve has its knee near p50.
+    assert 0.35 < result.knee_fraction(0.5, "pmnet") < 0.65
+    # Caching extends the sub-RTT region past the knee.
+    assert (result.knee_fraction(0.5, "pmnet+cache")
+            >= result.knee_fraction(0.5, "pmnet"))
+    assert result.cache_hit_rate[0.5] > 0.2

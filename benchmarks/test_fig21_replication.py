@@ -1,0 +1,16 @@
+"""Regenerates Fig 21: 3-way replication latency."""
+
+import os
+
+from repro.experiments import fig21_replication
+
+_WORKLOADS = None if os.environ.get("REPRO_FULL") else ["ideal", "hashmap"]
+
+
+def test_fig21_replication(regenerate):
+    result = regenerate(fig21_replication.run, quick=True,
+                        workloads=_WORKLOADS)
+    # In-network replication crushes server-side (paper: 5.88x).
+    assert result.average_speedup() > 3.0
+    # And 3-way costs little over single-log PMNet (paper: 16%).
+    assert 0.05 < result.pmnet_replication_overhead("ideal") < 0.35

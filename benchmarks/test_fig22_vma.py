@@ -1,0 +1,12 @@
+"""Regenerates Fig 22: update throughput with libVMA stacks."""
+
+from repro.experiments import fig22_vma
+
+
+def test_fig22_vma(regenerate):
+    result = regenerate(fig22_vma.run, quick=True)
+    # PMNet helps on the kernel stack (paper: 3.08x)...
+    assert result.speedup(False) > 2.0
+    # ...and keeps helping once the stack is optimized (paper: 3.56x).
+    assert result.speedup(True) > 2.0
+    assert result.speedup(True) > result.speedup(False) * 0.9

@@ -1,0 +1,18 @@
+"""Regenerates the Sec II-A motivation comparison."""
+
+from repro.experiments import motivation
+
+
+def test_motivation_sync_async(regenerate):
+    result = regenerate(motivation.run, quick=True)
+    # Async hides the RTT: far more throughput than sync on the same
+    # baseline...
+    assert (result.throughput("async/baseline")
+            > 3 * result.throughput("sync/baseline"))
+    # ...but its completion latency is worse than even sync's.
+    assert (result.latency("async/baseline")
+            > result.latency("sync/baseline"))
+    # PMNet improves BOTH for synchronous code.
+    assert (result.throughput("sync/pmnet")
+            > 2.5 * result.throughput("sync/baseline"))
+    assert result.latency("sync/pmnet") < result.latency("sync/baseline") / 2

@@ -1,0 +1,14 @@
+"""Regenerates Sec VI-B6: recovering from server failures."""
+
+from repro.experiments import sec6b6_recovery
+
+
+def test_sec6b6_recovery(regenerate):
+    result = regenerate(sec6b6_recovery.run, quick=True)
+    assert result.durable
+    # Paper: ~67 us to resend one request.
+    assert 40 < result.per_request_resend_us < 110
+    # Paper: ~4.4 s to drain a full (65536-entry) log.
+    assert 2.5 < result.full_log_drain_seconds() < 8.0
+    # Recovery is seconds, not the 2-3 minutes of a reboot.
+    assert result.total_recovery_ns < 30e9

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Tutorial: bring your own workload to PMNet.
+
+Shows the two extension points a downstream user needs:
+
+1. a **request handler** — the server-side application (here: a tiny
+   persistent event-sourcing ledger with metered PM costs);
+2. a **session generator** — the client-side access pattern (here:
+   append events, occasionally fold a snapshot, rarely audit-read).
+
+Everything else (protocol, logging, recovery) comes from the library;
+the example finishes by crash-testing the custom workload to show that
+recovery guarantees hold for user code too.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import SystemConfig, build_pmnet_switch
+from repro.experiments.driver import run_sessions
+from repro.failure.injector import FailureInjector
+from repro.host.handler import HandlerOutcome, RequestHandler
+from repro.sim.clock import microseconds, milliseconds
+from repro.workloads.kv import OpKind, Operation, Result
+
+
+class LedgerHandler(RequestHandler):
+    """An append-only, PM-backed event ledger with periodic snapshots."""
+
+    name = "ledger"
+
+    def __init__(self) -> None:
+        self.events: list = []          # the PM-resident event log
+        self.snapshot_balance = 0.0     # folded snapshot, also in PM
+        self.snapshot_upto = 0
+
+    def process(self, op: Operation) -> HandlerOutcome:
+        if op.kind is OpKind.PROC_UPDATE and op.proc == "append":
+            self.events.append((op.args["account"], op.args["amount"]))
+            # One PM append + flush, like an AOF record.
+            return HandlerOutcome(Result(ok=True, value=len(self.events)),
+                                  microseconds(6), 16)
+        if op.kind is OpKind.PROC_UPDATE and op.proc == "fold":
+            unfolded = self.events[self.snapshot_upto:]
+            for _account, amount in unfolded:
+                self.snapshot_balance += amount
+            self.snapshot_upto = len(self.events)
+            cost = microseconds(4) + microseconds(0.5) * len(unfolded)
+            return HandlerOutcome(Result(ok=True), round(cost), 16)
+        if op.kind is OpKind.PROC_READ and op.proc == "audit":
+            balance = self.snapshot_balance + sum(
+                amount for _a, amount in self.events[self.snapshot_upto:])
+            cost = microseconds(3) + microseconds(0.2) * (
+                len(self.events) - self.snapshot_upto)
+            return HandlerOutcome(Result(ok=True, value=balance),
+                                  round(cost))
+        return HandlerOutcome(Result(ok=False, error="unknown_proc"),
+                              microseconds(1), 16)
+
+    def recovery_cost_ns(self) -> int:
+        # Reopen the pool and re-validate the snapshot horizon.
+        return milliseconds(50) + microseconds(1) * len(self.events)
+
+
+def ledger_session(index, api, rng, requests=120):
+    """The client's access pattern: mostly appends, periodic folds."""
+    for i in range(requests):
+        roll = rng.random()
+        if roll < 0.85:
+            op = Operation(OpKind.PROC_UPDATE, proc="append",
+                           args={"account": index,
+                                 "amount": round(rng.uniform(-50, 100), 2)})
+        elif roll < 0.95:
+            op = Operation(OpKind.PROC_UPDATE, proc="fold")
+        else:
+            op = Operation(OpKind.PROC_READ, proc="audit")
+        yield from api.request(op, 100)
+
+
+def main() -> None:
+    config = SystemConfig(seed=17).with_clients(6)
+    handler = LedgerHandler()
+    deployment = build_pmnet_switch(config, handler=handler)
+    injector = FailureInjector(deployment.sim)
+    # Crash the server mid-run: the ledger must survive via log replay.
+    injector.crash_server_at(deployment.server, microseconds(600))
+    injector.recover_server_at(deployment.server, milliseconds(3),
+                               deployment.pmnet_names)
+    stats = run_sessions(deployment, lambda i, api, rng:
+                         ledger_session(i, api, rng))
+    print(f"custom ledger on PMNet: update mean "
+          f"{stats.update_latencies.mean() / 1000:.2f} us, p99 "
+          f"{stats.p99_latency_us():.2f} us, "
+          f"{stats.ops_per_second():,.0f} req/s")
+    print(f"completed via: {dict(stats.completions_by_via)}")
+    print("(reads issued during the outage stalled until recovery — "
+          "updates kept completing\n through the switch log the whole "
+          "time; that asymmetry is the paper's point.)")
+    appended = sum(1 for _k in handler.events)
+    print(f"\nserver crashed at 600 us and recovered; ledger holds "
+          f"{appended} events")
+    device = deployment.devices[0]
+    print(f"log replay resent {int(device.resend_engine.resends)} requests; "
+          f"{int(deployment.server.makeup_acks)} duplicates were "
+          "make-up-ACKed (exactly-once)")
+    balance = handler.snapshot_balance + sum(
+        amount for _a, amount in handler.events[handler.snapshot_upto:])
+    print(f"final audited balance: {balance:.2f}")
+
+
+if __name__ == "__main__":
+    main()

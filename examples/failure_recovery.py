@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Crash the server mid-run and watch PMNet's redo log recover it.
+
+Clients keep writing; at t=0.4 ms the server power-fails.  Clients
+*keep completing* (their updates are persistent in the switch's PM) and
+the device log absorbs everything the dead server misses.  When the
+server comes back, it polls PMNet, replays the log in order, and ends
+up with every acknowledged update — the Sec IV-E/VI-B6 story.
+
+Run:  python examples/failure_recovery.py
+"""
+
+from repro import SystemConfig, build_pmnet_switch
+from repro.failure.injector import FailureInjector
+from repro.sim.clock import format_time, microseconds, milliseconds
+from repro.workloads.handlers import StructureHandler
+from repro.workloads.kv import OpKind, Operation
+from repro.workloads.pmdk.btree import PMBTree
+
+
+def main() -> None:
+    config = SystemConfig(seed=3).with_clients(4)
+    handler = StructureHandler(PMBTree())
+    deployment = build_pmnet_switch(config, handler=handler)
+    sim = deployment.sim
+    injector = FailureInjector(sim)
+    acknowledged = {}
+
+    def client_proc(index, client):
+        for i in range(60):
+            key = (index, i)
+            completion = yield client.send_update(
+                Operation(OpKind.SET, key=key, value=f"v{index}.{i}"))
+            if completion.result.ok:
+                acknowledged[key] = f"v{index}.{i}"
+            yield config.client.think_time_ns
+
+    deployment.open_all_sessions()
+    for index, client in enumerate(deployment.clients):
+        sim.spawn(client_proc(index, client), f"client{index}")
+
+    crash_at = microseconds(400)
+    recover_at = crash_at + milliseconds(2)
+    record = injector.crash_server_at(deployment.server, crash_at)
+    recovery = injector.recover_server_at(deployment.server, recover_at,
+                                          deployment.pmnet_names, record)
+    device = deployment.devices[0]
+    sim.schedule_at(recover_at - 1, lambda: print(
+        f"[{format_time(sim.now)}] server still down; device log holds "
+        f"{device.log.durable_count} durable entries"))
+    sim.run()
+
+    print(f"[{format_time(crash_at)}] server power-cut "
+          f"({record.volatile_lost} queued requests lost from DRAM)")
+    print(f"[{format_time(recover_at)}] server restarted; polled "
+          f"{deployment.pmnet_names}")
+    print(f"log replay: {int(device.resend_engine.resends)} requests "
+          f"resent, {int(device.resend_engine.skipped_committed)} already "
+          f"committed, {int(deployment.server.makeup_acks)} make-up ACKs")
+    print(f"recovery completed in "
+          f"{format_time(recovery.value)} after restart")
+
+    state = dict(handler.structure.items())
+    lost = {k: v for k, v in acknowledged.items() if state.get(k) != v}
+    print(f"\nclients completed {len(acknowledged)}/240 updates; "
+          f"store holds {len(state)} keys")
+    print("acknowledged updates lost:", len(lost))
+    assert not lost, "durability violated!"
+    handler.structure.check_invariants()
+    print("B-tree invariants hold after replay — recovery is exact.")
+
+
+if __name__ == "__main__":
+    main()

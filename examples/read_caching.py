@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The in-network read cache (Fig 10/11) on a mixed GET/SET load.
+
+Runs the same zipfian 50%-update workload against three systems and
+renders their latency CDFs as an ASCII plot: the baseline, PMNet
+(updates sub-RTT, reads full-RTT — the Fig 20b knee), and PMNet with
+the persistent read cache (hits are served by the switch).
+
+Run:  python examples/read_caching.py
+"""
+
+from repro import SystemConfig, build_client_server, build_pmnet_switch
+from repro.analysis.plot import ascii_cdf
+from repro.experiments.driver import run_closed_loop
+from repro.workloads.handlers import StructureHandler
+from repro.workloads.pmdk.hashmap import PMHashmap
+from repro.workloads.traces import WorkloadTrace
+from repro.workloads.ycsb import YCSBConfig, make_op_maker
+
+
+def main() -> None:
+    config = SystemConfig(seed=13).with_clients(8)
+    # One trace drives all three systems: identical request streams.
+    trace = WorkloadTrace.capture(
+        make_op_maker(YCSBConfig(update_ratio=0.5, population=512,
+                                 zipf_theta=0.9)),
+        clients=8, requests_per_client=160, seed=13,
+        description="zipfian 50% updates")
+
+    systems = {
+        "baseline": build_client_server(
+            config, handler=StructureHandler(PMHashmap())),
+        "pmnet": build_pmnet_switch(
+            config, handler=StructureHandler(PMHashmap())),
+        "pmnet+cache": build_pmnet_switch(
+            config, handler=StructureHandler(PMHashmap()),
+            enable_cache=True),
+    }
+    curves = {}
+    for name, deployment in systems.items():
+        stats = run_closed_loop(deployment, trace.op_maker(), 160, 16)
+        curves[name] = [(value / 1000.0, fraction)
+                        for value, fraction in stats.all_latencies.cdf(60)]
+        cache_note = ""
+        if name == "pmnet+cache":
+            cache = deployment.devices[0].cache
+            cache_note = (f"   cache: {100 * cache.hit_rate():.0f}% hit "
+                          f"rate, {int(cache.hits)} switch-served reads")
+        print(f"{name:12s} mean {stats.mean_latency_us():6.2f} us   "
+              f"p99 {stats.p99_latency_us():7.2f} us"
+              f"{cache_note}")
+
+    print()
+    print(ascii_cdf(curves, width=66, height=18,
+                    title="request latency CDF (50% updates, zipfian)"))
+    print("\nThe PMNet curve bends at ~p50 (reads pay the server RTT); "
+          "the cached\ncurve keeps more of its mass at sub-RTT latency — "
+          "Fig 20b's shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``wheel`` for PEP 660;
+offline boxes without it can use ``python setup.py develop`` instead.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Analysis: statistics, the Fig 2 breakdown, BDP sizing, reporting."""
+
+from repro.analysis.bdp import BDPResult, network_bdp, pm_queue_bdp, scaling_table
+from repro.analysis.breakdown import Breakdown, update_request_breakdown
+from repro.analysis.persistcheck import PersistenceChecker, Violation
+from repro.analysis.report import (
+    dict_rows,
+    format_cdf,
+    format_series,
+    format_table,
+)
+from repro.analysis.stats import (
+    cdf_points,
+    crossover_fraction,
+    geometric_mean,
+    mean,
+    percentile,
+    speedup,
+    stddev,
+)
+
+__all__ = [
+    "network_bdp", "pm_queue_bdp", "scaling_table", "BDPResult",
+    "Breakdown", "update_request_breakdown",
+    "PersistenceChecker", "Violation",
+    "format_table", "format_series", "format_cdf", "dict_rows",
+    "mean", "percentile", "stddev", "geometric_mean", "speedup",
+    "cdf_points", "crossover_fraction",
+]

@@ -1,0 +1,66 @@
+"""Bandwidth-delay-product sizing (Sec V-A, Equations 1 and 2).
+
+Reproduces the paper's two sizing arguments:
+
+* Eq 1 — the in-network PM only needs to hold the requests in flight
+  during one (conservative) RTT: ``BDP_Net = RTT x BW ~= 5 Mbit`` at
+  10 Gbps with a 500 us ceiling.
+* Eq 2 — the SRAM log queue decouples the slower PM from line rate and
+  needs only ``PMLatency x BW ~= 1 kbit`` (4 KB is comfortably enough).
+
+Sec VII extends both to 100 Gbps; :func:`scaling_table` regenerates that
+discussion's numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class BDPResult:
+    """One sizing computation."""
+
+    bandwidth_bps: float
+    delay_s: float
+    bits: float
+
+    @property
+    def bytes(self) -> float:
+        return self.bits / 8
+
+
+def network_bdp(rtt_s: float = 500e-6, bandwidth_bps: float = 10e9
+                ) -> BDPResult:
+    """Eq 1: PM capacity needed for all in-flight update requests."""
+    if rtt_s <= 0 or bandwidth_bps <= 0:
+        raise ValueError("RTT and bandwidth must be positive")
+    return BDPResult(bandwidth_bps, rtt_s, rtt_s * bandwidth_bps)
+
+
+def pm_queue_bdp(pm_latency_s: float = 100e-9, bandwidth_bps: float = 10e9
+                 ) -> BDPResult:
+    """Eq 2: SRAM log-queue size that hides the PM access latency."""
+    if pm_latency_s <= 0 or bandwidth_bps <= 0:
+        raise ValueError("latency and bandwidth must be positive")
+    return BDPResult(bandwidth_bps, pm_latency_s, pm_latency_s * bandwidth_bps)
+
+
+def scaling_table(bandwidths_gbps: List[float] = None) -> List[dict]:
+    """The Sec VII scaling discussion as rows of sizing numbers."""
+    if bandwidths_gbps is None:
+        bandwidths_gbps = [10.0, 25.0, 40.0, 100.0]
+    rows = []
+    for gbps in bandwidths_gbps:
+        bw = gbps * 1e9
+        net = network_bdp(bandwidth_bps=bw)
+        queue = pm_queue_bdp(bandwidth_bps=bw)
+        rows.append({
+            "bandwidth_gbps": gbps,
+            "pm_capacity_mbit": net.bits / 1e6,
+            "pm_capacity_mbytes": net.bytes / 1e6,
+            "log_queue_kbit": queue.bits / 1e3,
+            "log_queue_bytes": queue.bytes,
+        })
+    return rows

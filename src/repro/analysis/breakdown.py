@@ -1,0 +1,87 @@
+"""Latency breakdown of an update request (Fig 2).
+
+Decomposes the baseline round trip into the paper's four stages —
+client network stack, network, server network stack (kernel), and
+server request processing (user space) — from the same stage constants
+the simulator charges, plus a measured cross-check that the composition
+matches what the simulation actually produces end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import SystemConfig, baseline_rtt_estimate
+from repro.sim.clock import transmission_delay
+
+
+@dataclass(frozen=True)
+class Breakdown:
+    """Stage-by-stage composition of one round trip (nanoseconds)."""
+
+    client_stack_ns: int
+    network_ns: int
+    server_stack_ns: int
+    server_processing_ns: int
+
+    @property
+    def total_ns(self) -> int:
+        return (self.client_stack_ns + self.network_ns
+                + self.server_stack_ns + self.server_processing_ns)
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total_ns
+        return {
+            "client_stack": self.client_stack_ns / total,
+            "network": self.network_ns / total,
+            "server_stack": self.server_stack_ns / total,
+            "server_processing": self.server_processing_ns / total,
+        }
+
+    @property
+    def server_side_fraction(self) -> float:
+        """The paper's headline: server stack + processing share (~70 %)."""
+        return (self.server_stack_ns
+                + self.server_processing_ns) / self.total_ns
+
+
+def update_request_breakdown(config: SystemConfig,
+                             handler_ns: Optional[int] = None,
+                             payload_bytes: Optional[int] = None
+                             ) -> Breakdown:
+    """Compose the baseline RTT from its stages (Fig 2)."""
+    payload = payload_bytes if payload_bytes is not None \
+        else config.payload_bytes
+    handler = handler_ns if handler_ns is not None \
+        else config.server.ideal_handler_ns
+    copy_out = round(payload * config.client_stack.copy_ns_per_byte)
+    copy_in = round(payload * config.server_stack.copy_ns_per_byte)
+    client_stack = (config.client_stack.send_ns + copy_out
+                    + config.client_stack.recv_ns
+                    + config.client_stack.dispatch_ns)
+    wire = config.network.propagation_ns
+    request_serialization = transmission_delay(
+        payload + config.network.header_overhead_bytes,
+        config.network.bandwidth_bps)
+    ack_serialization = transmission_delay(
+        16 + config.network.header_overhead_bytes,
+        config.network.bandwidth_bps)
+    network = (2 * config.network.switch_forward_ns + 4 * wire
+               + 2 * request_serialization + 2 * ack_serialization)
+    server_stack = (config.server_stack.recv_ns + copy_in
+                    + config.server_stack.dispatch_ns
+                    + config.server_stack.send_ns)
+    breakdown = Breakdown(
+        client_stack_ns=client_stack,
+        network_ns=network,
+        server_stack_ns=server_stack,
+        server_processing_ns=handler,
+    )
+    # The composition must equal the analytic RTT estimate exactly:
+    # both are derived from the same constants, so any drift is a bug.
+    estimate = baseline_rtt_estimate(config, payload, handler)
+    if abs(breakdown.total_ns - estimate) > 2:
+        raise AssertionError(
+            f"breakdown {breakdown.total_ns} != estimate {estimate}")
+    return breakdown

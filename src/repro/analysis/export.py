@@ -1,0 +1,92 @@
+"""Export experiment results to JSON/CSV for external plotting.
+
+The experiment result objects each know how to ``format()`` themselves
+for a terminal; this module gives them a data path out — stable JSON
+documents (with provenance) and flat CSV series — so figures can be
+re-plotted in a notebook without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, is_dataclass
+from typing import Any, Dict, List, Sequence
+
+from repro import __version__
+
+
+def result_to_dict(result: Any) -> Dict[str, Any]:
+    """A JSON-compatible dict of any experiment result object."""
+    if is_dataclass(result) and not isinstance(result, type):
+        body = asdict(result)
+    elif hasattr(result, "__dict__"):
+        body = dict(result.__dict__)
+    else:
+        raise TypeError(f"cannot export {type(result).__name__}")
+    return _jsonable(body)
+
+
+def export_json(result: Any, experiment_id: str = "",
+                indent: int = 2) -> str:
+    """Serialize a result with provenance metadata."""
+    document = {
+        "experiment": experiment_id,
+        "repro_version": __version__,
+        "result": result_to_dict(result),
+    }
+    return json.dumps(document, indent=indent, sort_keys=True)
+
+
+def export_csv(rows: Sequence[Sequence[Any]],
+               headers: Sequence[str]) -> str:
+    """Flat CSV for one table of an experiment."""
+    if rows and any(len(row) != len(headers) for row in rows):
+        raise ValueError("every row must match the header width")
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()
+
+
+def series_to_csv(series: Dict[str, Sequence[tuple]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Long-format CSV of named (x, y) series (one row per point)."""
+    rows: List[List[Any]] = []
+    for name, curve in series.items():
+        for x, y in curve:
+            rows.append([name, x, y])
+    return export_csv(rows, ["series", x_label, y_label])
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively coerce to JSON-compatible types.
+
+    Non-string dict keys become strings (tuples render as
+    ``"a|b"``); objects with a ``summary()`` (latency recorders) export
+    their summaries; anything else falls back to ``repr``.
+    """
+    if isinstance(value, dict):
+        return {_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "summary"):
+        try:
+            return _jsonable(value.summary())
+        except ValueError:
+            return None  # empty recorder
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    return repr(value)
+
+
+def _key(key: Any) -> str:
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return "|".join(str(part) for part in key)
+    return str(key)

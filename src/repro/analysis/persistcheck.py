@@ -1,0 +1,185 @@
+"""A PMTest-style persistence-ordering checker for PMNet traces.
+
+The paper's related-work section points at PM testing frameworks
+(PMTest, Agamotto, Jaaru) and suggests adapting them "to validate not
+only the ordering in one application but also the persist ordering
+among clients and servers" — and leaves it as future work.  This module
+is that adaptation: it consumes a :class:`~repro.sim.trace.Tracer` from
+an instrumented run and checks the end-to-end persistence rules that
+make in-network data persistence sound:
+
+* **R1 ack-after-persist** — a device may emit a PMNet-ACK only after
+  it logged the same request durably.
+* **R2 no-lost-ack** — every client-completed update is eventually
+  processed by the server (requires the run to have quiesced).
+* **R3 invalidate-after-commit** — a device invalidates a log entry
+  only after the server committed (server-ACKed) that request.
+* **R4 exactly-once** — the server processes each update (session,
+  seq) at most once, replay or not.
+* **R5 session-order** — the server processes each session's updates
+  in strictly increasing SeqNum order.
+* **R6 completion-honesty** — a client completion "via pmnet" implies
+  at least one device logged the request.
+
+Usage::
+
+    tracer = Tracer(enabled=True)
+    deployment = build_pmnet_switch(config, tracer=tracer)
+    ...run...
+    violations = PersistenceChecker(tracer).check()
+    assert not violations
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.sim.trace import TraceRecord, Tracer
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken persistence rule."""
+
+    rule: str
+    description: str
+    record: Optional[TraceRecord] = None
+
+    def __str__(self) -> str:
+        where = f" at {self.record}" if self.record else ""
+        return f"[{self.rule}] {self.description}{where}"
+
+
+class PersistenceChecker:
+    """Validates the R1-R6 rules over one run's trace."""
+
+    def __init__(self, tracer: Tracer,
+                 expect_quiesced: bool = True) -> None:
+        self.tracer = tracer
+        #: When False, R2 is skipped (the run was cut short, so
+        #: unprocessed-but-logged updates are legitimate).
+        self.expect_quiesced = expect_quiesced
+
+    # ------------------------------------------------------------------
+    def check(self) -> List[Violation]:
+        """Run every rule; returns all violations (empty = clean)."""
+        violations: List[Violation] = []
+        violations.extend(self._check_ack_after_persist())
+        if self.expect_quiesced:
+            violations.extend(self._check_no_lost_ack())
+        violations.extend(self._check_invalidate_after_commit())
+        violations.extend(self._check_exactly_once())
+        violations.extend(self._check_session_order())
+        violations.extend(self._check_completion_honesty())
+        return violations
+
+    # -- R1 ---------------------------------------------------------------
+    def _check_ack_after_persist(self) -> List[Violation]:
+        violations = []
+        logged_by_device: Dict[Tuple[str, int], int] = {}
+        for record in self.tracer.records:
+            key = (record.component, record.details.get("req"))
+            if record.event == "update_logged":
+                logged_by_device.setdefault(key, record.time_ns)
+            elif record.event == "pmnet_ack":
+                logged_at = logged_by_device.get(key)
+                if logged_at is None or logged_at > record.time_ns:
+                    violations.append(Violation(
+                        "R1", f"device {record.component} ACKed request "
+                        f"{key[1]} it never durably logged", record))
+        return violations
+
+    # -- R2 ---------------------------------------------------------------
+    def _check_no_lost_ack(self) -> List[Violation]:
+        violations = []
+        processed: Set[int] = {
+            record.details.get("req")
+            for record in self.tracer.filter(event="processed")}
+        for record in self.tracer.filter(event="completed"):
+            if not record.details.get("update"):
+                continue
+            if not record.details.get("ok", True):
+                continue
+            req = record.details.get("req")
+            if req not in processed:
+                violations.append(Violation(
+                    "R2", f"client-completed update {req} was never "
+                    "processed by the server", record))
+        return violations
+
+    # -- R3 ---------------------------------------------------------------
+    def _check_invalidate_after_commit(self) -> List[Violation]:
+        violations = []
+        committed_at: Dict[int, int] = {}
+        for record in self.tracer.records:
+            req = record.details.get("req")
+            if record.event == "server_ack":
+                committed_at.setdefault(req, record.time_ns)
+            elif record.event == "log_invalidated":
+                commit_time = committed_at.get(req)
+                if commit_time is None or commit_time > record.time_ns:
+                    violations.append(Violation(
+                        "R3", f"device {record.component} invalidated "
+                        f"request {req} before any server commit", record))
+        return violations
+
+    # -- R4 ---------------------------------------------------------------
+    def _check_exactly_once(self) -> List[Violation]:
+        violations = []
+        seen: Set[Tuple[int, int]] = set()
+        for record in self.tracer.filter(event="processed"):
+            if not record.details.get("update"):
+                continue
+            key = (record.details.get("session"), record.details.get("seq"))
+            if key in seen:
+                violations.append(Violation(
+                    "R4", f"update (session={key[0]}, seq={key[1]}) "
+                    "processed twice", record))
+            seen.add(key)
+        return violations
+
+    # -- R5 ---------------------------------------------------------------
+    def _check_session_order(self) -> List[Violation]:
+        violations = []
+        last_seq: Dict[int, int] = {}
+        for record in self.tracer.filter(event="processed"):
+            if not record.details.get("update"):
+                continue
+            session = record.details.get("session")
+            seq = record.details.get("seq")
+            previous = last_seq.get(session, -1)
+            if seq <= previous:
+                violations.append(Violation(
+                    "R5", f"session {session} processed seq {seq} after "
+                    f"seq {previous}", record))
+            last_seq[session] = max(previous, seq)
+        return violations
+
+    # -- R6 ---------------------------------------------------------------
+    def _check_completion_honesty(self) -> List[Violation]:
+        violations = []
+        logged_reqs: Set[int] = {
+            record.details.get("req")
+            for record in self.tracer.filter(event="update_logged")}
+        for record in self.tracer.filter(event="completed"):
+            if record.details.get("via") != "pmnet":
+                continue
+            req = record.details.get("req")
+            if req not in logged_reqs:
+                violations.append(Violation(
+                    "R6", f"client completed request {req} via PMNet but "
+                    "no device ever logged it", record))
+        return violations
+
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Human-readable verdict."""
+        violations = self.check()
+        if not violations:
+            events = len(self.tracer.records)
+            return (f"persistence check clean: {events} trace events, "
+                    "rules R1-R6 hold")
+        lines = [f"persistence check FAILED: {len(violations)} violation(s)"]
+        lines.extend(str(violation) for violation in violations)
+        return "\n".join(lines)

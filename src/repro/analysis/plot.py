@@ -1,0 +1,88 @@
+"""ASCII plotting: render figure data in a terminal.
+
+The benchmark harness prints numeric rows; for eyeballing shapes (the
+Fig 16 latency spike, the Fig 20 CDF knee) a quick terminal plot beats
+a table.  No plotting dependency needed offline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+#: Glyphs assigned to series in order.
+_MARKS = "ox+*#@%&"
+
+
+def ascii_plot(series: Dict[str, Sequence[Tuple[float, float]]],
+               width: int = 64, height: int = 16,
+               x_label: str = "x", y_label: str = "y",
+               title: str = "") -> str:
+    """Scatter-plot named (x, y) series on a character grid.
+
+    >>> print(ascii_plot({"a": [(0, 0), (1, 1)]}, width=8, height=4))
+    ... # doctest: +SKIP
+    """
+    points = [(x, y) for curve in series.values() for x, y in curve]
+    if not points:
+        raise ValueError("nothing to plot")
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, curve) in enumerate(series.items()):
+        mark = _MARKS[index % len(_MARKS)]
+        for x, y in curve:
+            column = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            grid[row][column] = mark
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:g}"
+    bottom_label = f"{y_min:g}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    lines.append(" " * (margin + 1)
+                 + f"{x_min:g}".ljust(width - 8)
+                 + f"{x_max:g}".rjust(8))
+    lines.append(" " * (margin + 1) + f"{x_label} vs {y_label}")
+    legend = "  ".join(f"{_MARKS[i % len(_MARKS)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def ascii_cdf(curves: Dict[str, Sequence[Tuple[float, float]]],
+              width: int = 64, height: int = 16,
+              unit: str = "us", title: str = "") -> str:
+    """Plot latency CDFs: x = latency, y = cumulative fraction."""
+    return ascii_plot(curves, width=width, height=height,
+                      x_label=f"latency ({unit})", y_label="fraction",
+                      title=title)
+
+
+def ascii_bars(values: Dict[str, float], width: int = 48,
+               title: str = "", unit: str = "") -> str:
+    """Horizontal bar chart (for speedup comparisons)."""
+    if not values:
+        raise ValueError("nothing to plot")
+    peak = max(values.values())
+    if peak <= 0:
+        raise ValueError("bar values must include a positive maximum")
+    label_width = max(len(name) for name in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(1, round(value / peak * width))
+        lines.append(f"{name.ljust(label_width)} |{bar} {value:g}{unit}")
+    return "\n".join(lines)

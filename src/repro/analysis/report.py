@@ -1,0 +1,69 @@
+"""Plain-text rendering of experiment results (tables and series).
+
+The benchmark harness prints its figures/tables through these helpers so
+every experiment's output has the same, diffable shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, points: Sequence[Tuple[Any, Any]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render an (x, y) series the way a figure's data appendix would."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in points:
+        lines.append(f"  {_fmt(x):>12}  {_fmt(y)}")
+    return "\n".join(lines)
+
+
+def format_cdf(name: str, curve: Sequence[Tuple[float, float]],
+               unit: str = "us", picks: Sequence[float] = (0.5, 0.9, 0.99)
+               ) -> str:
+    """Summarize a CDF curve at the interesting percentiles."""
+    lines = [f"{name} CDF"]
+    for pick in picks:
+        value = _value_at(curve, pick)
+        lines.append(f"  p{int(pick * 100):<3d} {value:10.2f} {unit}")
+    return "\n".join(lines)
+
+
+def _value_at(curve: Sequence[Tuple[float, float]], fraction: float) -> float:
+    for value, frac in curve:
+        if frac >= fraction:
+            return value
+    return curve[-1][0] if curve else float("nan")
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def dict_rows(dicts: List[Dict[str, Any]],
+              keys: Sequence[str]) -> List[List[Any]]:
+    """Project a list of dicts onto ordered rows (for format_table)."""
+    return [[d.get(key) for key in keys] for d in dicts]

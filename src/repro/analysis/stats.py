@@ -1,0 +1,80 @@
+"""Statistical helpers for experiment post-processing."""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def mean(samples: Sequence[float]) -> float:
+    if not samples:
+        raise ValueError("mean of empty sample set")
+    return sum(samples) / len(samples)
+
+
+def percentile(samples: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile (matches LatencyRecorder.percentile)."""
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(samples)
+    if pct == 0.0:
+        return ordered[0]
+    rank = math.ceil(pct / 100.0 * len(ordered))
+    return ordered[rank - 1]
+
+
+def stddev(samples: Sequence[float]) -> float:
+    if len(samples) < 2:
+        raise ValueError("stddev needs at least two samples")
+    mu = mean(samples)
+    return math.sqrt(sum((x - mu) ** 2 for x in samples) / (len(samples) - 1))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geomean — the right average for speedup ratios."""
+    if not values:
+        raise ValueError("geomean of empty sample set")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """How many times faster ``improved`` is (>1 means faster)."""
+    if improved <= 0:
+        raise ValueError("improved metric must be positive")
+    return baseline / improved
+
+
+def cdf_points(samples: Sequence[float],
+               points: int = 100) -> List[Tuple[float, float]]:
+    """Empirical CDF downsampled to ``points`` quantiles."""
+    if not samples:
+        return []
+    ordered = sorted(samples)
+    n = len(ordered)
+    out = []
+    for i in range(points):
+        frac = (i + 1) / points
+        idx = min(n - 1, math.ceil(frac * n) - 1)
+        out.append((ordered[idx], frac))
+    return out
+
+
+def crossover_fraction(curve_a: Sequence[Tuple[float, float]],
+                       curve_b: Sequence[Tuple[float, float]],
+                       tolerance: float = 0.05) -> float:
+    """The CDF fraction where two latency curves converge.
+
+    Used to locate Fig 20b's "knee": the percentile beyond which PMNet-
+    without-cache latency approaches the baseline.  Returns 1.0 if the
+    curves never converge within tolerance.
+    """
+    for (value_a, frac), (value_b, _frac_b) in zip(curve_a, curve_b):
+        if value_b <= 0:
+            continue
+        if abs(value_a - value_b) / value_b <= tolerance:
+            return frac
+    return 1.0

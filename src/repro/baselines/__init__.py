@@ -1,0 +1,18 @@
+"""Alternative designs the paper compares against (Figs 17, 18, 21)."""
+
+from repro.baselines.client_logging import ClientLoggingClient
+from repro.baselines.common import ReplicaLogger
+from repro.baselines.deploy import (
+    build_client_logging,
+    build_server_logging,
+    build_server_replication,
+)
+from repro.baselines.replication import ReplicatingServer
+from repro.baselines.server_logging import ServerLoggingServer
+
+__all__ = [
+    "ClientLoggingClient", "ServerLoggingServer", "ReplicatingServer",
+    "ReplicaLogger",
+    "build_client_logging", "build_server_logging",
+    "build_server_replication",
+]

@@ -1,0 +1,55 @@
+"""Shared pieces of the alternative-design baselines (Fig 17).
+
+Both client-side and server-side logging replicate their logs to peer
+machines; :class:`ReplicaLogger` is the endpoint running on such a peer:
+it charges a persistent log write and answers with an acknowledgement.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.host.node import HostNode
+from repro.net.packet import Frame, RawPayload
+from repro.sim.clock import microseconds
+from repro.sim.monitor import Counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+#: Message tags used by the replication side channels.
+REPLICATE_LOG = "replicate_log"
+REPLICATE_ACK = "replicate_ack"
+
+#: Applying a replicated record: PM write + bookkeeping.
+REPLICA_APPLY_NS = microseconds(1.2)
+
+
+class ReplicaLogger:
+    """A peer machine that persists replicated log records and ACKs."""
+
+    def __init__(self, sim: "Simulator", host: HostNode) -> None:
+        self.sim = sim
+        self.host = host
+        host.bind(self)
+        self.records_logged = Counter(f"{host.name}.replica_logged")
+
+    def on_frame(self, frame: Frame) -> None:
+        payload = frame.payload
+        if not isinstance(payload, RawPayload):
+            return
+        data = payload.data
+        if not (isinstance(data, tuple) and len(data) == 3
+                and data[0] == REPLICATE_LOG):
+            return
+        _tag, record_id, record_bytes = data
+        self.sim.schedule(REPLICA_APPLY_NS, self._acknowledge, frame.src,
+                          record_id, frame.udp_port)
+
+    def _acknowledge(self, origin: str, record_id: int,
+                     udp_port: int) -> None:
+        if self.host.failed:
+            return
+        self.records_logged.increment()
+        ack = RawPayload((REPLICATE_ACK, record_id, self.host.name), 16)
+        self.host.send_frame(origin, ack, 16, udp_port)

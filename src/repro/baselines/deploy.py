@@ -1,0 +1,161 @@
+"""Deployment builders for the alternative designs (Figs 17, 18, 21)."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.client_logging import ClientLoggingClient
+from repro.baselines.common import ReplicaLogger
+from repro.baselines.replication import ReplicatingServer
+from repro.baselines.server_logging import ServerLoggingServer
+from repro.config import SystemConfig
+from repro.experiments.deploy import Deployment
+from repro.host.client import PMNetClient
+from repro.host.handler import IdealHandler, RequestHandler
+from repro.host.node import HostNode
+from repro.host.stackmodel import UDP, HostStack
+from repro.core.replication import NO_PMNET
+from repro.net.switch import Switch
+from repro.net.topology import Topology
+from repro.protocol.session import SessionAllocator
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+
+def _make_replicas(sim: Simulator, topology: Topology, switch: Switch,
+                   config: SystemConfig, count: int,
+                   name_prefix: str) -> List[str]:
+    """Attach ``count`` replica machines to the switch; returns names."""
+    names = []
+    for index in range(count):
+        name = f"{name_prefix}{index + 1}"
+        stack = HostStack(sim, name, config.server_stack, UDP)
+        host = HostNode(sim, name, stack)
+        topology.add(host)
+        topology.connect(host, switch)
+        ReplicaLogger(sim, host)
+        names.append(name)
+    return names
+
+
+def build_client_logging(config: SystemConfig,
+                         handler: Optional[RequestHandler] = None,
+                         replication: int = 1,
+                         tracer: Optional[Tracer] = None) -> Deployment:
+    """Clients with co-located loggers (Fig 17a).
+
+    ``replication`` counts total log copies: N > 1 makes each client
+    wait for N-1 peer-client replica ACKs, as in the paper's replicated
+    client-side logging comparison.
+    """
+    if replication > config.num_clients:
+        raise ValueError("not enough clients to hold the log replicas")
+    from repro.host.server import PMNetServer
+
+    sim = Simulator(seed=config.seed)
+    topology = Topology(sim, config.network)
+    switch = Switch(sim, "tor", config.network)
+    topology.add(switch)
+    server_stack = HostStack(sim, "server", config.server_stack, UDP)
+    server_host = HostNode(sim, "server", server_stack)
+    topology.add(server_host)
+    topology.connect(switch, server_host)
+    server = PMNetServer(sim, server_host,
+                         handler or IdealHandler(
+                             config.server.ideal_handler_ns),
+                         config, tracer=tracer)
+    allocator = SessionAllocator()
+    hosts = []
+    for index in range(config.num_clients):
+        name = f"client{index}"
+        stack = HostStack(sim, name, config.client_stack, UDP)
+        host = HostNode(sim, name, stack)
+        topology.add(host)
+        topology.connect(host, switch)
+        hosts.append(host)
+    clients = []
+    for index, host in enumerate(hosts):
+        peers = []
+        if replication > 1:
+            peers = [hosts[(index + offset) % len(hosts)].name
+                     for offset in range(1, replication)]
+        clients.append(ClientLoggingClient(sim, host, config, "server",
+                                           allocator, peers=peers))
+    topology.compute_routes()
+    return Deployment(sim=sim, config=config, topology=topology,
+                      clients=clients, server=server, switches=[switch],
+                      tracer=tracer)
+
+
+def build_server_logging(config: SystemConfig,
+                         handler: Optional[RequestHandler] = None,
+                         replication: int = 1,
+                         tracer: Optional[Tracer] = None) -> Deployment:
+    """A server with the early-acknowledging write log (Fig 17b)."""
+    sim = Simulator(seed=config.seed)
+    topology = Topology(sim, config.network)
+    switch = Switch(sim, "tor", config.network)
+    topology.add(switch)
+    server_stack = HostStack(sim, "server", config.server_stack, UDP)
+    server_host = HostNode(sim, "server", server_stack)
+    topology.add(server_host)
+    topology.connect(switch, server_host)
+    replica_names = _make_replicas(sim, topology, switch, config,
+                                   replication - 1, "replica")
+    server = ServerLoggingServer(sim, server_host,
+                                 handler or IdealHandler(
+                                     config.server.ideal_handler_ns),
+                                 config, tracer=tracer,
+                                 replica_hosts=replica_names)
+    allocator = SessionAllocator()
+    clients = []
+    for index in range(config.num_clients):
+        name = f"client{index}"
+        stack = HostStack(sim, name, config.client_stack, UDP)
+        host = HostNode(sim, name, stack)
+        topology.add(host)
+        topology.connect(host, switch)
+        clients.append(PMNetClient(sim, host, config, "server", allocator,
+                                   policy=NO_PMNET, tracer=tracer))
+    topology.compute_routes()
+    return Deployment(sim=sim, config=config, topology=topology,
+                      clients=clients, server=server, switches=[switch],
+                      tracer=tracer)
+
+
+def build_server_replication(config: SystemConfig,
+                             handler: Optional[RequestHandler] = None,
+                             replicas: int = 3,
+                             tracer: Optional[Tracer] = None) -> Deployment:
+    """The Fig 21 baseline: primary commits to replicas before acking."""
+    if replicas < 1:
+        raise ValueError("need at least the primary itself")
+    sim = Simulator(seed=config.seed)
+    topology = Topology(sim, config.network)
+    switch = Switch(sim, "tor", config.network)
+    topology.add(switch)
+    server_stack = HostStack(sim, "server", config.server_stack, UDP)
+    server_host = HostNode(sim, "server", server_stack)
+    topology.add(server_host)
+    topology.connect(switch, server_host)
+    replica_names = _make_replicas(sim, topology, switch, config,
+                                   replicas - 1, "replica")
+    server = ReplicatingServer(sim, server_host,
+                               handler or IdealHandler(
+                                   config.server.ideal_handler_ns),
+                               config, tracer=tracer,
+                               replica_hosts=replica_names)
+    allocator = SessionAllocator()
+    clients = []
+    for index in range(config.num_clients):
+        name = f"client{index}"
+        stack = HostStack(sim, name, config.client_stack, UDP)
+        host = HostNode(sim, name, stack)
+        topology.add(host)
+        topology.connect(host, switch)
+        clients.append(PMNetClient(sim, host, config, "server", allocator,
+                                   policy=NO_PMNET, tracer=tracer))
+    topology.compute_routes()
+    return Deployment(sim=sim, config=config, topology=topology,
+                      clients=clients, server=server, switches=[switch],
+                      tracer=tracer)

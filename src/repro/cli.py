@@ -1,0 +1,67 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Usage::
+
+    pmnet-repro list                  # show every experiment id
+    pmnet-repro run fig18             # regenerate one figure (quick)
+    pmnet-repro run fig19 --full      # testbed-scale run (64 clients)
+    pmnet-repro run all               # everything, quick sizes
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, get
+
+
+def _cmd_list() -> int:
+    width = max(len(eid) for eid in EXPERIMENTS)
+    for eid in sorted(EXPERIMENTS):
+        print(f"{eid.ljust(width)}  {EXPERIMENTS[eid].description}")
+    return 0
+
+
+def _cmd_run(experiment_ids: List[str], quick: bool) -> int:
+    if experiment_ids == ["all"]:
+        experiment_ids = sorted(EXPERIMENTS)
+    status = 0
+    for eid in experiment_ids:
+        try:
+            experiment = get(eid)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            return 2
+        started = time.time()
+        print(f"=== {eid}: {experiment.description} ===")
+        try:
+            print(experiment.run(quick=quick))
+        except Exception as error:  # surface, keep going
+            print(f"experiment {eid} failed: {error!r}", file=sys.stderr)
+            status = 1
+        print(f"--- {eid} done in {time.time() - started:.1f}s\n")
+    return status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="pmnet-repro",
+        description="PMNet (ISCA 2021) reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run experiments by id")
+    run_parser.add_argument("experiments", nargs="+",
+                            help="experiment ids (or 'all')")
+    run_parser.add_argument("--full", action="store_true",
+                            help="testbed-scale sizes (64 clients; slow)")
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    return _cmd_run(args.experiments, quick=not args.full)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

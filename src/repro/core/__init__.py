@@ -1,0 +1,20 @@
+"""PMNet core: the device, its MAT pipeline, cache, replication, recovery."""
+
+from repro.core.cache import CacheLine, CacheState, ReadCache
+from repro.core.mat import MATAction, classify, pmnet_packet
+from repro.core.pmnet_device import PMNetDevice
+from repro.core.recovery import ResendEngine
+from repro.core.replication import (
+    NO_PMNET,
+    SINGLE_LOG,
+    ReplicationPolicy,
+    build_pmnet_chain,
+)
+
+__all__ = [
+    "PMNetDevice",
+    "MATAction", "classify", "pmnet_packet",
+    "ReadCache", "CacheState", "CacheLine",
+    "ResendEngine",
+    "ReplicationPolicy", "NO_PMNET", "SINGLE_LOG", "build_pmnet_chain",
+]

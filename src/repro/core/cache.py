@@ -1,0 +1,174 @@
+"""PMNet's persistent read cache (Sec IV-D, Figs 10-11).
+
+The cache sits on top of the request log: update requests refresh it,
+read requests may be served from it with sub-RTT latency, and the state
+machine of Fig 11 keeps it coherent with the in-flight log:
+
+* ``INVALID``   — empty slot; reads miss.
+* ``PENDING``   — holds the value of an update that PMNet has logged but
+  the server has not yet committed; servable (T1).
+* ``PERSISTED`` — the server has committed the update (T2); servable.
+* ``STALE``     — more than one update to the key is outstanding; not
+  servable until the ACKs drain (T4/T5/T6).
+
+The transition methods return nothing; coherence is observable through
+``lookup`` and the counters.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Hashable, Optional
+
+from repro.sim.monitor import Counter
+
+
+class CacheState(str, Enum):
+    INVALID = "invalid"
+    PENDING = "pending"
+    PERSISTED = "persisted"
+    STALE = "stale"
+
+
+#: States in which an entry may serve a read (Fig 11 caption).
+SERVABLE = frozenset({CacheState.PENDING, CacheState.PERSISTED})
+
+
+@dataclass
+class CacheLine:
+    """One key's cached value and coherence state."""
+
+    state: CacheState
+    value: Any = None
+
+    @property
+    def servable(self) -> bool:
+        return self.state in SERVABLE
+
+
+class ReadCache:
+    """An LRU key-value cache with the Fig 11 coherence state machine."""
+
+    def __init__(self, capacity_entries: int = 4096, name: str = "cache") -> None:
+        if capacity_entries <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity_entries = capacity_entries
+        self.name = name
+        self._lines: "OrderedDict[Hashable, CacheLine]" = OrderedDict()
+        self.hits = Counter(f"{name}.hits")
+        self.misses = Counter(f"{name}.misses")
+        self.evictions = Counter(f"{name}.evictions")
+
+    # ------------------------------------------------------------------
+    # Read path (Fig 10 steps 1-3)
+    # ------------------------------------------------------------------
+    def lookup(self, key: Hashable) -> Optional[Any]:
+        """Return the cached value if servable, else ``None`` (miss)."""
+        line = self._lines.get(key)
+        if line is None or not line.servable:
+            self.misses.increment()
+            return None
+        self._lines.move_to_end(key)
+        self.hits.increment()
+        return line.value
+
+    def state_of(self, key: Hashable) -> CacheState:
+        line = self._lines.get(key)
+        return line.state if line is not None else CacheState.INVALID
+
+    # ------------------------------------------------------------------
+    # Update path (Fig 11 transitions T1/T3/T4/T5)
+    # ------------------------------------------------------------------
+    def on_update_logged(self, key: Hashable, value: Any) -> None:
+        """An update-req for ``key`` was accepted into the log."""
+        line = self._lines.get(key)
+        if line is None or line.state is CacheState.INVALID:
+            # T1: fresh entry, not yet persisted on the server.
+            self._insert(key, CacheLine(CacheState.PENDING, value))
+        elif line.state is CacheState.PERSISTED:
+            # T3: replaces a committed value; back to pending.
+            line.state = CacheState.PENDING
+            line.value = value
+            self._lines.move_to_end(key)
+        elif line.state is CacheState.PENDING:
+            # T4: a second outstanding update; stop serving until the
+            # server catches up.
+            line.state = CacheState.STALE
+            line.value = None
+        else:
+            # T5: stale stays stale.
+            line.value = None
+
+    def on_update_bypassed(self, key: Hashable) -> None:
+        """An update-req for ``key`` passed through *without* being logged.
+
+        The server will change the value behind our back, so a servable
+        entry must stop serving.
+        """
+        line = self._lines.get(key)
+        if line is None:
+            return
+        if line.state in SERVABLE:
+            line.state = CacheState.STALE
+            line.value = None
+
+    # ------------------------------------------------------------------
+    # Server-ACK path (Fig 11 transitions T2/T6)
+    # ------------------------------------------------------------------
+    def on_server_ack(self, key: Hashable) -> None:
+        """The server committed the outstanding update for ``key``."""
+        line = self._lines.get(key)
+        if line is None:
+            return
+        if line.state is CacheState.PENDING:
+            line.state = CacheState.PERSISTED  # T2
+        elif line.state is CacheState.STALE:
+            # T6: the prior update persisted but newer ones may still be
+            # in flight; drop to invalid and let a read refill.
+            del self._lines[key]
+
+    # ------------------------------------------------------------------
+    # Fill path (Fig 10 step 5)
+    # ------------------------------------------------------------------
+    def on_server_response(self, key: Hashable, value: Any) -> None:
+        """A read response from the server passes through the device.
+
+        Only fills empty slots: if an update is in flight (PENDING/STALE)
+        the response is older than the logged update and must not
+        overwrite it.
+        """
+        line = self._lines.get(key)
+        if line is None or line.state is CacheState.INVALID:
+            self._insert(key, CacheLine(CacheState.PERSISTED, value))
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: Hashable, line: CacheLine) -> None:
+        if key in self._lines:
+            del self._lines[key]
+        while len(self._lines) >= self.capacity_entries:
+            victim = self._find_victim()
+            if victim is None:
+                break  # everything is pinned by in-flight state
+            del self._lines[victim]
+            self.evictions.increment()
+        self._lines[key] = line
+
+    def _find_victim(self) -> Optional[Hashable]:
+        """Oldest entry not pinned by in-flight coherence state."""
+        for key, line in self._lines.items():
+            if line.state is CacheState.PERSISTED:
+                return key
+        return None
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def hit_rate(self) -> float:
+        total = int(self.hits) + int(self.misses)
+        return int(self.hits) / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ReadCache {self.name} {len(self)}/{self.capacity_entries}>"

@@ -1,0 +1,65 @@
+"""Match-action classification: the ingress stage of the MAT pipeline.
+
+Mirrors Fig 8: the ingress pipeline first matches on the UDP port to
+separate PMNet traffic from plain traffic, then on the PMNet ``Type``
+field to pick the action.  The classification result tells the device
+which stages (PM access, egress variants) the packet will traverse.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+from typing import Optional
+
+from repro.net.packet import Frame
+from repro.protocol.packet import PMNetPacket
+from repro.protocol.types import PacketType
+
+
+class MATAction(Enum):
+    """What the pipeline does with a classified packet."""
+
+    #: Plain traffic: forward at the regular switching path.
+    FORWARD_PLAIN = auto()
+    #: update-req: log in PM, forward to server, ACK client on persist.
+    LOG_AND_FORWARD = auto()
+    #: bypass-req: forward, possibly serving a read from the cache first.
+    BYPASS = auto()
+    #: Another PMNet's ACK: forward along its path.
+    FORWARD_ACK = auto()
+    #: server-ACK: invalidate the log entry, then forward.
+    INVALIDATE_AND_FORWARD = auto()
+    #: Retrans: serve from log if present, else forward to the client.
+    SERVE_RETRANS = auto()
+    #: Server response: forward; the read cache may capture it.
+    CAPTURE_RESPONSE = auto()
+    #: Recovery poll from a restarting server: start the resend engine.
+    RECOVERY = auto()
+
+
+_TYPE_ACTIONS = {
+    PacketType.UPDATE_REQ: MATAction.LOG_AND_FORWARD,
+    PacketType.BYPASS_REQ: MATAction.BYPASS,
+    PacketType.PMNET_ACK: MATAction.FORWARD_ACK,
+    PacketType.SERVER_ACK: MATAction.INVALIDATE_AND_FORWARD,
+    PacketType.RETRANS: MATAction.SERVE_RETRANS,
+    PacketType.SERVER_RESP: MATAction.CAPTURE_RESPONSE,
+    PacketType.CACHE_RESP: MATAction.FORWARD_ACK,
+    PacketType.RECOVERY_POLL: MATAction.RECOVERY,
+}
+
+
+def classify(frame: Frame) -> MATAction:
+    """The ingress match: UDP port range first, then the Type field."""
+    if not frame.is_pmnet:
+        return MATAction.FORWARD_PLAIN
+    packet = pmnet_packet(frame)
+    if packet is None:
+        return MATAction.FORWARD_PLAIN
+    return _TYPE_ACTIONS[packet.packet_type]
+
+
+def pmnet_packet(frame: Frame) -> Optional[PMNetPacket]:
+    """The PMNet packet carried by a frame, if any."""
+    payload = frame.payload
+    return payload if isinstance(payload, PMNetPacket) else None

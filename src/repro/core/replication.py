@@ -1,0 +1,78 @@
+"""In-network replication: chains of PMNet devices (Sec IV-C, Fig 9).
+
+Replication needs no new data-plane mechanism: placing N PMNet devices in
+series means each one logs the same update-req as it passes through and
+each sends its own PMNet-ACK; the client proceeds once it holds ACKs from
+all N distinct devices, and the single server-ACK invalidates every log
+on its way back.  The helpers here express that policy and build chains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import SystemConfig
+    from repro.core.pmnet_device import PMNetDevice
+    from repro.net.topology import Topology
+    from repro.sim.kernel import Simulator
+    from repro.sim.trace import Tracer
+
+
+@dataclass(frozen=True)
+class ReplicationPolicy:
+    """How many distinct in-network persistence points a client requires.
+
+    ``acks_required == 0`` is the baseline (wait for the server);
+    ``1`` is plain PMNet; ``N > 1`` is N-way in-network replication.
+    """
+
+    acks_required: int = 1
+
+    def __post_init__(self) -> None:
+        if self.acks_required < 0:
+            raise ValueError("acks_required must be >= 0")
+
+    @property
+    def uses_pmnet(self) -> bool:
+        return self.acks_required > 0
+
+    def satisfied_by(self, distinct_ack_origins: int) -> bool:
+        """Whether a fragment with this many device ACKs is persistent."""
+        return distinct_ack_origins >= self.acks_required
+
+
+#: The baseline Client-Server policy: only the server's word counts.
+NO_PMNET = ReplicationPolicy(acks_required=0)
+#: Single-log PMNet (the common case).
+SINGLE_LOG = ReplicationPolicy(acks_required=1)
+
+
+def build_pmnet_chain(sim: "Simulator", topology: "Topology",
+                      config: "SystemConfig", count: int,
+                      mode: str = "switch",
+                      enable_cache: bool = False,
+                      name_prefix: str = "pmnet",
+                      tracer: Optional["Tracer"] = None
+                      ) -> List["PMNetDevice"]:
+    """Create ``count`` PMNet devices wired in series.
+
+    Returns the chain ordered client-side first.  The caller connects
+    ``chain[0]`` toward the clients and ``chain[-1]`` toward the server
+    (Fig 9a places the replication switches in series on the path).
+    """
+    from repro.core.pmnet_device import PMNetDevice
+
+    if count <= 0:
+        raise ValueError("a chain needs at least one device")
+    devices = []
+    for index in range(count):
+        device = PMNetDevice(sim, f"{name_prefix}{index + 1}", config,
+                             mode=mode, enable_cache=enable_cache,
+                             tracer=tracer)
+        topology.add(device)
+        devices.append(device)
+    for upstream, downstream in zip(devices, devices[1:]):
+        topology.connect(upstream, downstream)
+    return devices

@@ -1,0 +1,96 @@
+"""Exception hierarchy for the PMNet reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Misuse of the discrete-event kernel (e.g. scheduling in the past)."""
+
+
+class ProcessError(SimulationError):
+    """A simulated process failed or was used after termination."""
+
+
+class NetworkError(ReproError):
+    """Base class for network-substrate errors."""
+
+
+class AddressError(NetworkError):
+    """Unknown or malformed network address."""
+
+    def __init__(self, address: object) -> None:
+        super().__init__(f"unknown or malformed address: {address!r}")
+        self.address = address
+
+
+class RoutingError(NetworkError):
+    """No route exists between two nodes of the topology."""
+
+
+class LinkDown(NetworkError):
+    """A packet was offered to a link whose endpoint device has failed."""
+
+
+class ProtocolError(ReproError):
+    """Malformed PMNet packet, header, or protocol state violation."""
+
+
+class HeaderError(ProtocolError):
+    """A PMNet header failed to parse or validate."""
+
+
+class FragmentationError(ProtocolError):
+    """Reassembly of an MTU-fragmented request failed."""
+
+
+class SessionError(ProtocolError):
+    """Invalid use of a PMNet session (e.g. send after close)."""
+
+
+class PMError(ReproError):
+    """Base class for persistent-memory substrate errors."""
+
+
+class LogFull(PMError):
+    """The in-network log region has no free entry for a new request."""
+
+
+class LogCollision(PMError):
+    """The HashVal of a new request collides with an occupied entry."""
+
+
+class CrashedDeviceError(PMError):
+    """An operation was attempted on a crashed (failed) device."""
+
+
+class WorkloadError(ReproError):
+    """A workload handler received a malformed or inapplicable request."""
+
+
+class KeyNotFound(WorkloadError):
+    """A read/delete addressed a key that is not in the store."""
+
+    def __init__(self, key: object) -> None:
+        super().__init__(f"key not found: {key!r}")
+        self.key = key
+
+
+class TransactionAborted(WorkloadError):
+    """A TPC-C transaction aborted (e.g. lock conflict)."""
+
+
+class ConfigurationError(ReproError):
+    """Inconsistent or out-of-range experiment configuration."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness failed to produce a result."""

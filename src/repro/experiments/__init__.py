@@ -1,0 +1,25 @@
+"""Experiment harness: deployments, drivers, one module per figure."""
+
+from repro.experiments.deploy import (
+    Deployment,
+    build_client_server,
+    build_pmnet_nic,
+    build_pmnet_switch,
+    build_sharded,
+)
+from repro.experiments.driver import (
+    ClientAPI,
+    RunStats,
+    run_closed_loop,
+    run_sessions,
+)
+from repro.experiments.multirack import build_two_rack
+from repro.experiments.summary import format_summary, health_check, summarize
+
+__all__ = [
+    "Deployment",
+    "build_client_server", "build_pmnet_switch", "build_pmnet_nic",
+    "build_two_rack", "build_sharded",
+    "summarize", "health_check", "format_summary",
+    "RunStats", "ClientAPI", "run_closed_loop", "run_sessions",
+]

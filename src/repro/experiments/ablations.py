@@ -1,0 +1,199 @@
+"""Ablations of PMNet's design choices (DESIGN.md section 4).
+
+* ``log_queue_sizing`` — Sec V-A/VII: the BDP-sized SRAM log queue is
+  what keeps the pipeline at line rate; shrinking it forces bypasses
+  (requests forwarded without logging) under load.
+* ``pm_latency_sensitivity`` — Sec VII: PMNet's client-visible latency
+  tracks the in-network PM's write latency almost 1:1.
+* ``log_capacity`` — Sec IV-B1: a full log silently degrades to
+  forward-without-ack; clients fall back to server completions instead
+  of failing.
+* ``tcp_conversion`` — Sec VI-A3: converting a TCP workload to the
+  UDP-based PMNet protocol costs ~9 %; the TCP baselines are therefore
+  the strongest baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import format_table
+from repro.config import TCP_TO_UDP_CONVERSION_OVERHEAD, SystemConfig
+from repro.experiments.common import Scale
+from repro.experiments.deploy import build_client_server, build_pmnet_switch
+from repro.experiments.driver import run_closed_loop
+from repro.host.stackmodel import TCP
+from repro.workloads.handlers import StructureHandler
+from repro.workloads.kv import OpKind, Operation
+from repro.workloads.pmdk.hashmap import PMHashmap
+from repro.workloads.redis import RedisHandler
+from repro.workloads.ycsb import YCSBConfig, make_op_maker
+
+
+def _set_op_maker(payload: int):
+    def op_maker(ci: int, ri: int, rng):
+        return Operation(OpKind.SET, key=(ci, ri), value=b"x"), payload
+    return op_maker
+
+
+@dataclass
+class AblationResult:
+    title: str
+    headers: List[str]
+    rows: List[List[object]]
+    notes: str = ""
+
+    def format(self) -> str:
+        body = format_table(self.headers, self.rows, title=self.title)
+        return f"{body}\n{self.notes}" if self.notes else body
+
+
+def log_queue_sizing(config: SystemConfig = None,  # type: ignore[assignment]
+                     quick: bool = True,
+                     queue_bytes: Tuple[int, ...] = (256, 1024, 4096, 16384)
+                     ) -> AblationResult:
+    """Shrinking the write log queue forces line-rate bypasses."""
+    cfg = config if config is not None else SystemConfig()
+    scale = Scale.pick(quick)
+    cfg = cfg.with_clients(max(scale.clients, 16)).with_payload(1000)
+    rows = []
+    for size in queue_bytes:
+        sized = replace(cfg, log=replace(cfg.log, write_queue_bytes=size))
+        deployment = build_pmnet_switch(sized)
+        stats = run_closed_loop(deployment, _set_op_maker(1000),
+                                scale.requests_per_client, scale.warmup)
+        device = deployment.devices[0]
+        bypassed = int(device.log.bypassed_queue_busy)
+        logged = int(device.log.logged)
+        total = bypassed + logged
+        rows.append([size, logged, bypassed,
+                     round(100.0 * bypassed / total, 1) if total else 0.0,
+                     round(stats.update_latencies.mean() / 1000.0, 2)])
+    return AblationResult(
+        title="Ablation — log queue sizing (1000 B updates, loaded)",
+        headers=["queue bytes", "logged", "bypassed(queue)", "bypass %",
+                 "mean latency us"],
+        rows=rows,
+        notes="Sec V-A sizes the queue at the PM-latency BDP (4 KB); "
+              "smaller queues push requests onto the slow server path.")
+
+
+def pm_latency_sensitivity(config: SystemConfig = None,  # type: ignore[assignment]
+                           quick: bool = True,
+                           latencies_ns: Tuple[int, ...] = (
+                               100, 273, 500, 1000, 5000)) -> AblationResult:
+    """Client-visible RTT vs the in-network PM write latency."""
+    cfg = (config if config is not None else SystemConfig()).with_clients(1)
+    requests = 80 if quick else 300
+    rows = []
+    for write_ns in latencies_ns:
+        sized = replace(cfg, network_pm=replace(cfg.network_pm,
+                                                write_latency_ns=write_ns))
+        deployment = build_pmnet_switch(sized)
+        stats = run_closed_loop(deployment, _set_op_maker(cfg.payload_bytes),
+                                requests, 8)
+        rows.append([write_ns,
+                     round(stats.update_latencies.mean() / 1000.0, 2)])
+    return AblationResult(
+        title="Ablation — in-network PM write latency sensitivity",
+        headers=["PM write ns", "PMNet RTT us"],
+        rows=rows,
+        notes="The FPGA's 273 ns DRAM write (Sec V-A) adds <2% of the "
+              "RTT; even 5 us media would keep PMNet well under the "
+              "baseline.")
+
+
+def log_capacity(config: SystemConfig = None,  # type: ignore[assignment]
+                 quick: bool = True,
+                 capacities: Tuple[int, ...] = (8, 64, 1024, 65536)
+                 ) -> AblationResult:
+    """A (nearly) full log bypasses silently; clients fall back."""
+    cfg = config if config is not None else SystemConfig()
+    scale = Scale.pick(quick)
+    cfg = cfg.with_clients(max(scale.clients, 8))
+    # A deliberately slow handler keeps entries alive in the log.
+    rows = []
+    for capacity in capacities:
+        sized = replace(cfg, log=replace(cfg.log, num_entries=capacity))
+        deployment = build_pmnet_switch(
+            sized, handler=StructureHandler(PMHashmap()))
+        stats = run_closed_loop(deployment, _set_op_maker(cfg.payload_bytes),
+                                scale.requests_per_client, scale.warmup)
+        device = deployment.devices[0]
+        via = stats.completions_by_via
+        rows.append([
+            capacity,
+            int(device.log.bypassed_full),
+            via.get("pmnet", 0),
+            via.get("server", 0),
+            round(stats.update_latencies.mean() / 1000.0, 2),
+        ])
+    return AblationResult(
+        title="Ablation — log capacity (full-log bypass policy)",
+        headers=["entries", "bypassed(full)", "via pmnet", "via server",
+                 "mean latency us"],
+        rows=rows,
+        notes="Sec IV-B1: when the log is full PMNet forwards without "
+              "acknowledging; correctness holds, latency degrades "
+              "toward the baseline.")
+
+
+def tcp_conversion(config: SystemConfig = None,  # type: ignore[assignment]
+                   quick: bool = True) -> AblationResult:
+    """TCP baseline vs UDP-converted baseline for a Redis workload.
+
+    The conversion library re-implements TCP's guarantees (ordering,
+    retransmission buffers, stream framing) in user space over UDP
+    (Sec IV-A2, similar to [96]) — so the converted app pays the same
+    reliability work *plus* the emulation layer's bookkeeping.  That is
+    why the paper measured the conversion as a net ~9% slowdown and
+    kept native TCP as the stronger baseline.
+    """
+    cfg = config if config is not None else SystemConfig()
+    scale = Scale.pick(quick)
+    op_maker = make_op_maker(YCSBConfig(update_ratio=1.0,
+                                        payload_bytes=cfg.payload_bytes))
+    sized = cfg.with_clients(scale.clients)
+    tcp_stats = run_closed_loop(
+        build_client_server(sized, handler=RedisHandler(), transport=TCP),
+        op_maker, scale.requests_per_client, scale.warmup)
+    # Converted stack: TCP-equivalent reliability work still happens (we
+    # keep the TCP per-side cost) and the shim inflates per-packet stack
+    # time by the measured conversion overhead on both hosts.
+    inflation = 1 + 1.5 * TCP_TO_UDP_CONVERSION_OVERHEAD
+    shim = replace(
+        sized,
+        client_stack=replace(
+            sized.client_stack,
+            send_ns=round(sized.client_stack.send_ns * inflation),
+            recv_ns=round(sized.client_stack.recv_ns * inflation)),
+        server_stack=replace(
+            sized.server_stack,
+            send_ns=round(sized.server_stack.send_ns * inflation),
+            recv_ns=round(sized.server_stack.recv_ns * inflation)))
+    udp_stats = run_closed_loop(
+        build_client_server(shim, handler=RedisHandler(), transport=TCP),
+        op_maker, scale.requests_per_client, scale.warmup)
+    tcp_ops = tcp_stats.ops_per_second()
+    udp_ops = udp_stats.ops_per_second()
+    rows = [
+        ["tcp (native)", round(tcp_ops)],
+        ["udp (converted)", round(udp_ops)],
+        ["conversion slowdown %", round(100 * (tcp_ops / udp_ops - 1), 1)],
+    ]
+    return AblationResult(
+        title="Ablation — TCP-to-UDP conversion overhead (Redis)",
+        headers=["variant", "ops/s"],
+        rows=rows,
+        notes="Sec VI-A3 measured ~9%; the paper therefore keeps TCP as "
+              "the best-performing baseline for Redis/Twitter/TPCC.")
+
+
+def run_all(quick: bool = True) -> Dict[str, AblationResult]:
+    return {
+        "log_queue_sizing": log_queue_sizing(quick=quick),
+        "pm_latency_sensitivity": pm_latency_sensitivity(quick=quick),
+        "log_capacity": log_capacity(quick=quick),
+        "tcp_conversion": tcp_conversion(quick=quick),
+    }

@@ -1,0 +1,62 @@
+"""Shared experiment plumbing: sizes, design points, result helpers."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.config import SystemConfig
+from repro.experiments.deploy import (
+    Deployment,
+    build_client_server,
+    build_pmnet_nic,
+    build_pmnet_switch,
+)
+from repro.experiments.driver import OpMaker, RunStats, run_closed_loop
+from repro.host.handler import RequestHandler
+
+
+@dataclass(frozen=True)
+class Scale:
+    """How big to run an experiment.
+
+    ``quick`` keeps unit/benchmark runs fast; ``full`` approaches the
+    paper's testbed scale (64 clients).  The REPRO_FULL environment
+    variable flips the default.
+    """
+
+    clients: int
+    requests_per_client: int
+    warmup: int
+
+    @staticmethod
+    def pick(quick: bool = True) -> "Scale":
+        if os.environ.get("REPRO_FULL"):
+            quick = False
+        if quick:
+            return Scale(clients=8, requests_per_client=80, warmup=8)
+        return Scale(clients=64, requests_per_client=250, warmup=25)
+
+
+#: The paper's three design points (Sec VI-A4) by name.
+DESIGN_POINTS: Dict[str, Callable[..., Deployment]] = {
+    "client-server": build_client_server,
+    "pmnet-switch": build_pmnet_switch,
+    "pmnet-nic": build_pmnet_nic,
+}
+
+
+def run_design_point(design: str, config: SystemConfig, op_maker: OpMaker,
+                     scale: Scale,
+                     handler: Optional[RequestHandler] = None,
+                     transport: str = "udp",
+                     **builder_kwargs) -> RunStats:
+    """Build one design point, drive it closed-loop, return its stats."""
+    builder = DESIGN_POINTS[design]
+    deployment = builder(config.with_clients(scale.clients),
+                         handler=handler, transport=transport,
+                         **builder_kwargs)
+    return run_closed_loop(deployment, op_maker,
+                           requests_per_client=scale.requests_per_client,
+                           warmup_requests=scale.warmup)

@@ -1,0 +1,231 @@
+"""Deployment builders: wire complete client-network-server systems.
+
+These reproduce the paper's three design points (Sec VI-A4) plus the
+replication and caching variants:
+
+* ``build_client_server``  — the baseline: clients - switch - server.
+* ``build_pmnet_switch``   — PMNet as the ToR switch (with the regular
+  merge switch of Sec VI-A1 between the clients and the FPGA).
+* ``build_pmnet_nic``      — PMNet as a bump-in-the-wire NIC at the
+  server (short wire to the host, like the SmartNIC setup).
+
+Every builder returns a :class:`Deployment` holding the simulator and
+every component, so experiments and tests can drive and inspect the
+system uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.config import SystemConfig
+from repro.core.pmnet_device import PMNetDevice
+from repro.core.replication import (
+    NO_PMNET,
+    ReplicationPolicy,
+    build_pmnet_chain,
+)
+from repro.host.client import PMNetClient
+from repro.host.handler import IdealHandler, RequestHandler
+from repro.host.node import HostNode
+from repro.host.server import PMNetServer
+from repro.host.stackmodel import UDP, HostStack
+from repro.net.switch import Switch
+from repro.net.topology import Topology
+from repro.protocol.session import SessionAllocator
+from repro.sim.kernel import Simulator
+from repro.sim.trace import Tracer
+
+
+@dataclass
+class Deployment:
+    """A fully wired simulated system."""
+
+    sim: Simulator
+    config: SystemConfig
+    topology: Topology
+    clients: List[PMNetClient]
+    server: PMNetServer
+    devices: List[PMNetDevice] = field(default_factory=list)
+    switches: List[Switch] = field(default_factory=list)
+    tracer: Optional[Tracer] = None
+    #: Additional shard servers in multi-server deployments (the
+    #: ``server`` field holds shard 0).
+    extra_servers: List[PMNetServer] = field(default_factory=list)
+
+    @property
+    def servers(self) -> List[PMNetServer]:
+        return [self.server] + self.extra_servers
+
+    @property
+    def pmnet_names(self) -> List[str]:
+        return [device.name for device in self.devices]
+
+    def open_all_sessions(self) -> None:
+        for client in self.clients:
+            client.start_session()
+
+
+def _make_server(sim: Simulator, topology: Topology, config: SystemConfig,
+                 handler: Optional[RequestHandler], transport: str,
+                 tracer: Optional[Tracer]) -> PMNetServer:
+    stack = HostStack(sim, "server", config.server_stack, transport)
+    host = HostNode(sim, "server", stack)
+    topology.add(host)
+    if handler is None:
+        handler = IdealHandler(config.server.ideal_handler_ns)
+    return PMNetServer(sim, host, handler, config, tracer=tracer)
+
+
+def _make_clients(sim: Simulator, topology: Topology, config: SystemConfig,
+                  attach_to: object, policy: ReplicationPolicy,
+                  transport: str, tracer: Optional[Tracer]
+                  ) -> List[PMNetClient]:
+    allocator = SessionAllocator()
+    clients = []
+    for index in range(config.num_clients):
+        name = f"client{index}"
+        stack = HostStack(sim, name, config.client_stack, transport)
+        host = HostNode(sim, name, stack)
+        topology.add(host)
+        topology.connect(host, attach_to)  # type: ignore[arg-type]
+        clients.append(PMNetClient(sim, host, config, "server", allocator,
+                                   policy=policy, tracer=tracer))
+    return clients
+
+
+def build_client_server(config: SystemConfig,
+                        handler: Optional[RequestHandler] = None,
+                        transport: str = UDP,
+                        tracer: Optional[Tracer] = None) -> Deployment:
+    """The baseline Client-Server system: clients - switch - server."""
+    sim = Simulator(seed=config.seed)
+    topology = Topology(sim, config.network)
+    switch = Switch(sim, "tor", config.network)
+    topology.add(switch)
+    server = _make_server(sim, topology, config, handler, transport, tracer)
+    topology.connect(switch, server.host)
+    clients = _make_clients(sim, topology, config, switch, NO_PMNET,
+                            transport, tracer)
+    topology.compute_routes()
+    return Deployment(sim=sim, config=config, topology=topology,
+                      clients=clients, server=server, switches=[switch],
+                      tracer=tracer)
+
+
+def build_pmnet_switch(config: SystemConfig,
+                       handler: Optional[RequestHandler] = None,
+                       replication: int = 1,
+                       enable_cache: bool = False,
+                       transport: str = UDP,
+                       tracer: Optional[Tracer] = None) -> Deployment:
+    """PMNet in the ToR switch position (Sec VI-A1).
+
+    ``replication > 1`` places that many PMNet switches in series
+    (Fig 9a) and makes every client wait for all of their ACKs.
+    """
+    sim = Simulator(seed=config.seed)
+    topology = Topology(sim, config.network)
+    merge = Switch(sim, "merge", config.network)
+    topology.add(merge)
+    chain = build_pmnet_chain(sim, topology, config, replication,
+                              mode="switch", enable_cache=enable_cache,
+                              tracer=tracer)
+    topology.connect(merge, chain[0])
+    server = _make_server(sim, topology, config, handler, transport, tracer)
+    topology.connect(chain[-1], server.host)
+    policy = ReplicationPolicy(acks_required=replication)
+    clients = _make_clients(sim, topology, config, merge, policy,
+                            transport, tracer)
+    topology.compute_routes()
+    return Deployment(sim=sim, config=config, topology=topology,
+                      clients=clients, server=server, devices=chain,
+                      switches=[merge], tracer=tracer)
+
+
+def build_pmnet_nic(config: SystemConfig,
+                    handler: Optional[RequestHandler] = None,
+                    enable_cache: bool = False,
+                    transport: str = UDP,
+                    tracer: Optional[Tracer] = None) -> Deployment:
+    """PMNet as the server's bump-in-the-wire NIC (Sec VI-A1).
+
+    The device sits right next to the host, so its link to the server
+    has near-zero propagation delay.
+    """
+    sim = Simulator(seed=config.seed)
+    # The NIC-to-host hop is a short board-level wire.
+    short_wire = replace(config.network, propagation_ns=20)
+    topology = Topology(sim, config.network)
+    tor = Switch(sim, "tor", config.network)
+    topology.add(tor)
+    nic = PMNetDevice(sim, "pmnet-nic", config, mode="nic",
+                      enable_cache=enable_cache, tracer=tracer)
+    topology.add(nic)
+    topology.connect(tor, nic)
+    server = _make_server(sim, topology, config, handler, transport, tracer)
+    # Swap in the short-wire profile for the NIC-host link only.
+    saved = topology.profile
+    topology.profile = short_wire
+    topology.connect(nic, server.host)
+    topology.profile = saved
+    clients = _make_clients(sim, topology, config, tor,
+                            ReplicationPolicy(acks_required=1),
+                            transport, tracer)
+    topology.compute_routes()
+    return Deployment(sim=sim, config=config, topology=topology,
+                      clients=clients, server=server, devices=[nic],
+                      switches=[tor], tracer=tracer)
+
+
+def build_sharded(config: SystemConfig, num_servers: int,
+                  handler_factory=None,
+                  transport: str = UDP,
+                  tracer: Optional[Tracer] = None) -> Deployment:
+    """A sharded store: N servers behind one PMNet ToR switch.
+
+    Each client is a :class:`~repro.host.sharded.ShardedClient` with one
+    session (and ordered update stream) per shard; the single PMNet
+    device logs traffic for every shard and replays each server's
+    entries only to that server on recovery.
+    """
+    from repro.host.sharded import ShardedClient
+
+    if num_servers <= 0:
+        raise ValueError("need at least one shard server")
+    sim = Simulator(seed=config.seed)
+    topology = Topology(sim, config.network)
+    merge = Switch(sim, "merge", config.network)
+    topology.add(merge)
+    device = PMNetDevice(sim, "pmnet1", config, mode="switch",
+                         tracer=tracer)
+    topology.add(device)
+    topology.connect(merge, device)
+    servers: List[PMNetServer] = []
+    for index in range(num_servers):
+        name = f"server{index}" if index else "server"
+        stack = HostStack(sim, name, config.server_stack, transport)
+        host = HostNode(sim, name, stack)
+        topology.add(host)
+        topology.connect(device, host)
+        handler = (handler_factory() if handler_factory is not None
+                   else IdealHandler(config.server.ideal_handler_ns))
+        servers.append(PMNetServer(sim, host, handler, config,
+                                   tracer=tracer))
+    allocator = SessionAllocator()
+    clients = []
+    server_names = [server.host.name for server in servers]
+    for index in range(config.num_clients):
+        name = f"client{index}"
+        stack = HostStack(sim, name, config.client_stack, transport)
+        host = HostNode(sim, name, stack)
+        topology.add(host)
+        topology.connect(host, merge)
+        clients.append(ShardedClient(sim, host, config, server_names,
+                                     allocator, tracer=tracer))
+    topology.compute_routes()
+    return Deployment(sim=sim, config=config, topology=topology,
+                      clients=clients, server=servers[0],
+                      devices=[device], switches=[merge], tracer=tracer,
+                      extra_servers=servers[1:])

@@ -1,0 +1,151 @@
+"""Closed-loop workload drivers (the YCSB-like client of Sec VI-A2).
+
+Two entry points:
+
+* :func:`run_closed_loop` — each client issues independent operations
+  produced by an ``op_maker`` callback (key-value mixes, payload sweeps).
+* :func:`run_sessions` — each client runs a workload-supplied generator
+  (Twitter/TPC-C procedures with data dependencies and lock retries).
+
+Both drive every client synchronously (one outstanding request, matching
+the paper's synchronous RPC model), skip a configurable warm-up, and
+return a :class:`RunStats` with latency distributions and client-
+perceived throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.deploy import Deployment
+from repro.host.client import Completion, PMNetClient
+from repro.sim.monitor import LatencyRecorder, ThroughputMeter
+from repro.workloads.kv import Operation
+
+#: op_maker(client_index, request_index, rng) -> (Operation, payload_bytes)
+OpMaker = Callable[[int, int, object], Tuple[Operation, int]]
+
+
+@dataclass
+class RunStats:
+    """Everything a benchmark reports about one run."""
+
+    all_latencies: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder("all"))
+    update_latencies: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder("updates"))
+    read_latencies: LatencyRecorder = field(
+        default_factory=lambda: LatencyRecorder("reads"))
+    throughput = None  # type: Optional[ThroughputMeter]
+    completions_by_via: Dict[str, int] = field(default_factory=dict)
+    errors: int = 0
+    requests: int = 0
+
+    def __post_init__(self) -> None:
+        self.throughput = ThroughputMeter("completions")
+
+    def record(self, now_ns: int, latency_ns: int, op: Operation,
+               completion: Completion) -> None:
+        self.requests += 1
+        self.all_latencies.record(latency_ns)
+        if op.is_update:
+            self.update_latencies.record(latency_ns)
+        else:
+            self.read_latencies.record(latency_ns)
+        self.throughput.record(now_ns)
+        via = completion.via
+        self.completions_by_via[via] = self.completions_by_via.get(via, 0) + 1
+        if not completion.result.ok:
+            self.errors += 1
+
+    def ops_per_second(self) -> float:
+        return self.throughput.ops_per_second()
+
+    def mean_latency_us(self) -> float:
+        return self.all_latencies.mean() / 1000.0
+
+    def p99_latency_us(self) -> float:
+        return self.all_latencies.p99() / 1000.0
+
+
+class ClientAPI:
+    """What a workload session generator gets to talk to.
+
+    Wraps one :class:`PMNetClient` so workload code can ``yield`` from
+    these helpers without touching simulator plumbing; the driver records
+    latencies for every call automatically.
+    """
+
+    def __init__(self, sim, client: PMNetClient, stats: RunStats,
+                 warmup_remaining: int) -> None:
+        self._sim = sim
+        self._client = client
+        self._stats = stats
+        self._warmup_remaining = warmup_remaining
+
+    def request(self, op: Operation, payload_bytes: Optional[int] = None):
+        """Issue one operation; yields its Completion (a sub-generator).
+
+        Usage inside a session generator::
+
+            completion = yield from api.request(op)
+        """
+        start = self._sim.now
+        if op.is_update:
+            event = self._client.send_update(op, payload_bytes)
+        else:
+            event = self._client.bypass(op, payload_bytes)
+        completion = yield event
+        if self._warmup_remaining > 0:
+            self._warmup_remaining -= 1
+        else:
+            self._stats.record(self._sim.now, self._sim.now - start, op,
+                               completion)
+        return completion
+
+    def think(self, delay_ns: int):
+        """Client-side pause (request generation cost, backoff)."""
+        if delay_ns > 0:
+            yield delay_ns
+
+
+#: session_factory(client_index, api, rng) -> generator
+SessionFactory = Callable[[int, ClientAPI, object], Iterator]
+
+
+def run_closed_loop(deployment: Deployment, op_maker: OpMaker,
+                    requests_per_client: int,
+                    warmup_requests: int = 0) -> RunStats:
+    """Drive every client with independent generated operations."""
+    def factory(index: int, api: ClientAPI, rng) -> Iterator:
+        for request_index in range(requests_per_client + warmup_requests):
+            op, size = op_maker(index, request_index, rng)
+            yield from api.request(op, size)
+            think = deployment.config.client.think_time_ns
+            if think:
+                yield think
+    return run_sessions(deployment, factory, warmup_requests)
+
+
+def run_sessions(deployment: Deployment, session_factory: SessionFactory,
+                 warmup_requests: int = 0) -> RunStats:
+    """Drive every client with a workload-defined session generator."""
+    sim = deployment.sim
+    stats = RunStats()
+    deployment.open_all_sessions()
+    processes = []
+    for index, client in enumerate(deployment.clients):
+        rng = sim.random.stream(f"driver:{index}")
+        api = ClientAPI(sim, client, stats, warmup_requests)
+        generator = session_factory(index, api, rng)
+        processes.append(sim.spawn(generator, f"driver{index}"))
+    sim.run()
+    unfinished = [p.name for p in processes if p.alive]
+    if unfinished:
+        raise ExperimentError(
+            f"driver processes never finished: {unfinished[:5]} "
+            f"(+{max(0, len(unfinished) - 5)} more) — requests were lost "
+            "without retransmission, or the simulation deadlocked")
+    return stats

@@ -1,0 +1,86 @@
+"""Figure 15: update latency of an ideal request handler vs payload size.
+
+Paper observations to reproduce:
+* PMNet-Switch / PMNet-NIC speed up a 50 B update by ~2.8-2.9x over the
+  baseline, decaying to ~2.2x at 1000 B (per-byte costs grow on the
+  device path);
+* the absolute latency difference between the switch and NIC placements
+  is negligible (< 1 us).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.report import format_table
+from repro.config import SystemConfig
+from repro.experiments.common import Scale
+from repro.experiments.deploy import (
+    build_client_server,
+    build_pmnet_nic,
+    build_pmnet_switch,
+)
+from repro.experiments.driver import run_closed_loop
+from repro.workloads.kv import OpKind, Operation
+
+PAYLOAD_SIZES = (50, 100, 250, 500, 1000)
+
+
+@dataclass
+class Fig15Result:
+    #: design -> payload -> mean latency (us).
+    latencies: Dict[str, Dict[int, float]]
+
+    def speedup(self, design: str, payload: int) -> float:
+        return (self.latencies["client-server"][payload]
+                / self.latencies[design][payload])
+
+    def switch_nic_gap_us(self, payload: int) -> float:
+        return abs(self.latencies["pmnet-switch"][payload]
+                   - self.latencies["pmnet-nic"][payload])
+
+    def format(self) -> str:
+        headers = ["payload B", "client-server us", "pmnet-switch us",
+                   "pmnet-nic us", "switch speedup", "nic speedup"]
+        rows: List[List[object]] = []
+        for payload in sorted(self.latencies["client-server"]):
+            rows.append([
+                payload,
+                round(self.latencies["client-server"][payload], 2),
+                round(self.latencies["pmnet-switch"][payload], 2),
+                round(self.latencies["pmnet-nic"][payload], 2),
+                round(self.speedup("pmnet-switch", payload), 2),
+                round(self.speedup("pmnet-nic", payload), 2),
+            ])
+        return format_table(
+            headers, rows,
+            title="Fig 15 — ideal-handler update latency vs payload size")
+
+
+def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+        payloads=PAYLOAD_SIZES) -> Fig15Result:
+    cfg = config if config is not None else SystemConfig()
+    scale = Scale.pick(quick)
+    # Latency microbenchmark: a single client, like the paper's Fig 15.
+    requests = scale.requests_per_client * 2
+    builders = {
+        "client-server": build_client_server,
+        "pmnet-switch": build_pmnet_switch,
+        "pmnet-nic": build_pmnet_nic,
+    }
+    latencies: Dict[str, Dict[int, float]] = {name: {} for name in builders}
+    for payload in payloads:
+        payload_cfg = cfg.with_payload(payload).with_clients(1)
+
+        def op_maker(ci: int, ri: int, rng, _size=payload):
+            return (Operation(OpKind.SET, key=ri, value=b"x"), _size)
+
+        for name, builder in builders.items():
+            deployment = builder(payload_cfg)
+            stats = run_closed_loop(deployment, op_maker,
+                                    requests_per_client=requests,
+                                    warmup_requests=scale.warmup)
+            latencies[name][payload] = \
+                stats.update_latencies.mean() / 1000.0
+    return Fig15Result(latencies)

@@ -1,0 +1,77 @@
+"""Figure 16: bandwidth vs latency under stress.
+
+Clients scale up while sending 1000 B updates to an ideal handler.
+Expected shape: latency stays flat while offered bandwidth is below the
+10 Gbps port limit, then spikes as the bottleneck link saturates; both
+PMNet placements sit below the baseline throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import format_table
+from repro.config import SystemConfig
+from repro.experiments.deploy import build_client_server, build_pmnet_switch
+from repro.experiments.driver import run_closed_loop
+from repro.workloads.kv import OpKind, Operation
+
+PAYLOAD = 1000
+CLIENT_COUNTS = (1, 2, 4, 8, 16, 32, 48, 64)
+
+
+@dataclass
+class Fig16Result:
+    #: design -> list of (bandwidth_gbps, mean latency us) per client count.
+    curves: Dict[str, List[Tuple[float, float]]]
+
+    def saturation_bandwidth(self, design: str) -> float:
+        """Highest observed bandwidth — should approach the 10 Gbps line."""
+        return max(b for b, _l in self.curves[design])
+
+    def latency_spike_ratio(self, design: str) -> float:
+        """Last-point latency over first-point latency (the spike)."""
+        first = self.curves[design][0][1]
+        last = self.curves[design][-1][1]
+        return last / first
+
+    def format(self) -> str:
+        headers = ["design", "clients", "offered Gbps", "mean latency us"]
+        rows: List[List[object]] = []
+        for design, curve in self.curves.items():
+            for (bandwidth, latency), clients in zip(curve, CLIENT_COUNTS):
+                rows.append([design, clients, round(bandwidth, 2),
+                             round(latency, 2)])
+        return format_table(headers, rows,
+                            title="Fig 16 — bandwidth vs latency stress test")
+
+
+def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+        client_counts=CLIENT_COUNTS) -> Fig16Result:
+    cfg = (config if config is not None else SystemConfig()).with_payload(
+        PAYLOAD)
+    requests = 60 if quick else 200
+    builders = {
+        "client-server": build_client_server,
+        "pmnet-switch": build_pmnet_switch,
+    }
+
+    def op_maker(ci: int, ri: int, rng):
+        return Operation(OpKind.SET, key=(ci, ri), value=b"x"), PAYLOAD
+
+    curves: Dict[str, List[Tuple[float, float]]] = {
+        name: [] for name in builders}
+    wire_bits = 8 * (PAYLOAD + cfg.network.header_overhead_bytes
+                     + 11)  # PMNet header rides in the payload
+    for clients in client_counts:
+        for name, builder in builders.items():
+            deployment = builder(cfg.with_clients(clients))
+            stats = run_closed_loop(deployment, op_maker,
+                                    requests_per_client=requests,
+                                    warmup_requests=5)
+            ops = stats.ops_per_second()
+            bandwidth_gbps = ops * wire_bits / 1e9
+            latency_us = stats.update_latencies.mean() / 1000.0
+            curves[name].append((bandwidth_gbps, latency_us))
+    return Fig16Result(curves)

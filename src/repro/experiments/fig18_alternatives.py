@@ -1,0 +1,79 @@
+"""Figure 18: PMNet vs client-side and server-side logging, +-replication.
+
+Paper numbers (100 B payload, ideal handler):
+
+===================  ==========  ===============
+design               no repl us  3-way repl us
+===================  ==========  ===============
+client-side logging  10.4        41.61
+PMNet                21.5        22.8
+server-side logging  47.97       94.02
+===================  ==========  ===============
+
+The *shape* under test: client-side logging wins un-replicated (no
+network stack at all) but collapses with replication; PMNet is nearly
+replication-free; server-side logging is worst in both columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.report import format_table
+from repro.baselines.deploy import build_client_logging, build_server_logging
+from repro.config import SystemConfig
+from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.driver import run_closed_loop
+from repro.workloads.kv import OpKind, Operation
+
+#: Paper's reference numbers in microseconds, for the report.
+PAPER_US = {
+    ("client-log", 1): 10.4, ("client-log", 3): 41.61,
+    ("pmnet", 1): 21.5, ("pmnet", 3): 22.8,
+    ("server-log", 1): 47.97, ("server-log", 3): 94.02,
+}
+
+
+@dataclass
+class Fig18Result:
+    #: (design, replication) -> mean update latency (us).
+    latencies: Dict[tuple, float]
+
+    def format(self) -> str:
+        headers = ["design", "replication", "measured us", "paper us"]
+        rows = []
+        for key in sorted(self.latencies):
+            rows.append([key[0], key[1], round(self.latencies[key], 2),
+                         PAPER_US.get(key, "-")])
+        return format_table(
+            headers, rows,
+            title="Fig 18 — alternative logging designs (ideal handler)")
+
+
+def run(config: SystemConfig = None, quick: bool = True) -> Fig18Result:  # type: ignore[assignment]
+    cfg = config if config is not None else SystemConfig()
+    requests = 120 if quick else 400
+    # Latency microbenchmark: few clients (replication needs 3 for the
+    # client-side peers).
+    cfg = cfg.with_clients(3)
+
+    def op_maker(ci: int, ri: int, rng):
+        return (Operation(OpKind.SET, key=(ci, ri), value=b"x"),
+                cfg.payload_bytes)
+
+    points = {
+        ("client-log", 1): lambda: build_client_logging(cfg),
+        ("client-log", 3): lambda: build_client_logging(cfg, replication=3),
+        ("pmnet", 1): lambda: build_pmnet_switch(cfg),
+        ("pmnet", 3): lambda: build_pmnet_switch(cfg, replication=3),
+        ("server-log", 1): lambda: build_server_logging(cfg),
+        ("server-log", 3): lambda: build_server_logging(cfg, replication=3),
+    }
+    latencies = {}
+    for key, build in points.items():
+        stats = run_closed_loop(build(), op_maker,
+                                requests_per_client=requests,
+                                warmup_requests=10)
+        latencies[key] = stats.update_latencies.mean() / 1000.0
+    return Fig18Result(latencies)

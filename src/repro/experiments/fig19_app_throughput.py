@@ -1,0 +1,139 @@
+"""Figure 19: application throughput, normalized to Client-Server.
+
+Eight workloads (five PMDK stores, PM-Redis, Twitter, TPC-C) are driven
+closed-loop at update ratios 100/75/50/25 %; each point reports PMNet
+throughput divided by the Client-Server baseline's.  Paper claims:
+~4.31x average at 100 % updates, shrinking as the read share grows
+(PMNet only accelerates updates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Dict, List
+
+from repro.analysis.report import format_table
+from repro.analysis.stats import geometric_mean
+from repro.config import SystemConfig
+from repro.experiments.common import Scale
+from repro.experiments.deploy import build_client_server, build_pmnet_switch
+from repro.experiments.driver import run_closed_loop, run_sessions
+from repro.host.stackmodel import TCP, UDP
+from repro.workloads import tpcc, twitter
+from repro.workloads.handlers import StructureHandler
+from repro.workloads.pmdk.btree import PMBTree
+from repro.workloads.pmdk.ctree import PMCTree
+from repro.workloads.pmdk.hashmap import PMHashmap
+from repro.workloads.pmdk.rbtree import PMRBTree
+from repro.workloads.pmdk.skiplist import PMSkiplist
+from repro.workloads.redis import RedisHandler
+from repro.workloads.tpcc import TPCCHandler
+from repro.workloads.twitter import TwitterHandler
+from repro.workloads.ycsb import YCSBConfig, make_op_maker
+
+UPDATE_RATIOS = (1.0, 0.75, 0.5, 0.25)
+QUICK_RATIOS = (1.0, 0.5)
+
+
+def _structure_spec(factory: Callable) -> dict:
+    return {"handler": lambda: StructureHandler(factory()),
+            "baseline_transport": UDP, "kind": "kv"}
+
+
+#: Workload registry: how to build the handler and drive the clients.
+WORKLOADS: Dict[str, dict] = {
+    "btree": _structure_spec(PMBTree),
+    "ctree": _structure_spec(PMCTree),
+    "rbtree": _structure_spec(PMRBTree),
+    "hashmap": _structure_spec(PMHashmap),
+    "skiplist": _structure_spec(PMSkiplist),
+    "redis": {"handler": RedisHandler, "baseline_transport": TCP,
+              "kind": "kv"},
+    "twitter": {"handler": TwitterHandler, "baseline_transport": TCP,
+                "kind": "session", "session": twitter.session},
+    "tpcc": {"handler": TPCCHandler, "baseline_transport": TCP,
+             "kind": "session", "session": tpcc.session},
+}
+
+
+@dataclass
+class Fig19Result:
+    #: workload -> update ratio -> normalized throughput (pmnet/baseline).
+    normalized: Dict[str, Dict[float, float]]
+    #: workload -> update ratio -> absolute ops/s per design.
+    absolute: Dict[str, Dict[float, Dict[str, float]]]
+
+    def average_speedup(self, ratio: float = 1.0) -> float:
+        values = [ratios[ratio] for ratios in self.normalized.values()
+                  if ratio in ratios]
+        return geometric_mean(values)
+
+    def format(self) -> str:
+        ratios = sorted({r for d in self.normalized.values() for r in d},
+                        reverse=True)
+        headers = ["workload"] + [f"{int(r * 100)}% upd" for r in ratios]
+        rows: List[List[object]] = []
+        for name, by_ratio in self.normalized.items():
+            rows.append([name] + [round(by_ratio.get(r, float("nan")), 2)
+                                  for r in ratios])
+        body = format_table(
+            headers, rows,
+            title="Fig 19 — PMNet throughput normalized to Client-Server")
+        avg = self.average_speedup(1.0)
+        return (f"{body}\n\ngeomean speedup at 100% updates: {avg:.2f}x  "
+                f"(paper mean: 4.31x)")
+
+
+def _drive(deployment, spec: dict, scale: Scale, update_ratio: float,
+           payload: int):
+    if spec["kind"] == "kv":
+        op_maker = make_op_maker(YCSBConfig(update_ratio=update_ratio,
+                                            payload_bytes=payload))
+        return run_closed_loop(deployment, op_maker,
+                               requests_per_client=scale.requests_per_client,
+                               warmup_requests=scale.warmup)
+    session = partial(_session_wrapper, spec["session"], scale,
+                      update_ratio, payload)
+    return run_sessions(deployment, session, warmup_requests=scale.warmup)
+
+
+def _session_wrapper(session_fn, scale: Scale, update_ratio: float,
+                     payload: int, index: int, api, rng):
+    count = scale.requests_per_client + scale.warmup
+    if session_fn is twitter.session:
+        return session_fn(index, api, rng, requests=count,
+                          update_ratio=update_ratio, payload_bytes=payload,
+                          population=max(64, scale.clients))
+    return session_fn(index, api, rng, transactions=count,
+                      update_ratio=update_ratio, payload_bytes=payload)
+
+
+def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+        workloads=None, ratios=None) -> Fig19Result:
+    cfg = config if config is not None else SystemConfig()
+    scale = Scale.pick(quick)
+    selected = workloads or list(WORKLOADS)
+    selected_ratios = ratios or (QUICK_RATIOS if quick else UPDATE_RATIOS)
+    normalized: Dict[str, Dict[float, float]] = {}
+    absolute: Dict[str, Dict[float, Dict[str, float]]] = {}
+    for name in selected:
+        spec = WORKLOADS[name]
+        normalized[name] = {}
+        absolute[name] = {}
+        for ratio in selected_ratios:
+            baseline = build_client_server(
+                cfg.with_clients(scale.clients), handler=spec["handler"](),
+                transport=spec["baseline_transport"])
+            base_stats = _drive(baseline, spec, scale, ratio,
+                                cfg.payload_bytes)
+            pmnet = build_pmnet_switch(
+                cfg.with_clients(scale.clients), handler=spec["handler"]())
+            pmnet_stats = _drive(pmnet, spec, scale, ratio,
+                                 cfg.payload_bytes)
+            base_ops = base_stats.ops_per_second()
+            pmnet_ops = pmnet_stats.ops_per_second()
+            normalized[name][ratio] = pmnet_ops / base_ops
+            absolute[name][ratio] = {"client-server": base_ops,
+                                     "pmnet-switch": pmnet_ops}
+    return Fig19Result(normalized, absolute)

@@ -1,0 +1,111 @@
+"""Figure 20: request-latency CDFs with and without the read cache.
+
+Three systems — Client-Server, PMNet, PMNet+cache — serve a zipfian
+GET/SET mix at 100 % and 50 % update ratios.  Claims to reproduce:
+
+* at 100 % updates PMNet's whole CDF sits far left of the baseline
+  (3.23x better p99);
+* at 50 % updates PMNet-without-cache has a knee near the 50th
+  percentile (reads still pay the full RTT), while PMNet+cache keeps
+  improving past it (cache hits are sub-RTT);
+* with caching the mean is ~3.36x better than Client-Server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.analysis.report import format_cdf
+from repro.config import SystemConfig
+from repro.experiments.common import Scale
+from repro.experiments.deploy import build_client_server, build_pmnet_switch
+from repro.experiments.driver import RunStats, run_closed_loop
+from repro.workloads.handlers import StructureHandler
+from repro.workloads.pmdk.hashmap import PMHashmap
+from repro.workloads.ycsb import YCSBConfig, make_op_maker
+
+UPDATE_RATIOS = (1.0, 0.5)
+#: A hot keyspace so the in-network cache sees real hit rates, like the
+#: paper's key-value workloads.
+POPULATION = 512
+ZIPF_THETA = 0.9
+
+
+@dataclass
+class Fig20Result:
+    #: (system, update_ratio) -> latency stats.
+    stats: Dict[Tuple[str, float], RunStats]
+    cache_hit_rate: Dict[float, float]
+
+    def mean_ratio(self, ratio: float, system: str = "pmnet+cache") -> float:
+        base = self.stats[("client-server", ratio)].all_latencies.mean()
+        return base / self.stats[(system, ratio)].all_latencies.mean()
+
+    def p99_ratio(self, ratio: float, system: str = "pmnet") -> float:
+        base = self.stats[("client-server", ratio)].all_latencies.p99()
+        return base / self.stats[(system, ratio)].all_latencies.p99()
+
+    def knee_fraction(self, ratio: float = 0.5,
+                      system: str = "pmnet") -> float:
+        """Where a system's CDF leaves the sub-RTT regime.
+
+        Fig 20b's knee: the fraction of requests served at PMNet-ACK
+        latency before the curve jumps to full-RTT (server-path) reads.
+        Measured as the first fraction whose latency exceeds twice the
+        curve's 25th percentile.
+        """
+        curve = self.stats[(system, ratio)].all_latencies.cdf(200)
+        sub_rtt = 2 * self.stats[(system, ratio)].all_latencies.percentile(25)
+        for value, fraction in curve:
+            if value >= sub_rtt:
+                return fraction
+        return 1.0
+
+    def format(self) -> str:
+        parts: List[str] = ["Fig 20 — latency CDFs (us)"]
+        for (system, ratio), stats in sorted(self.stats.items()):
+            curve = [(v / 1000.0, f)
+                     for v, f in stats.all_latencies.cdf(100)]
+            parts.append(format_cdf(f"{system} @ {int(ratio * 100)}% upd",
+                                    curve))
+        parts.append(
+            f"mean speedup with cache @100%: {self.mean_ratio(1.0):.2f}x "
+            f"(paper: 3.36x)")
+        parts.append(
+            f"p99 speedup PMNet @100%: {self.p99_ratio(1.0):.2f}x "
+            f"(paper: 3.23x)")
+        parts.append(
+            f"knee of PMNet-no-cache @50%: p{100 * self.knee_fraction():.0f} "
+            f"(paper: ~p50)")
+        for ratio, hit_rate in self.cache_hit_rate.items():
+            parts.append(f"cache hit rate @{int(ratio * 100)}% upd: "
+                         f"{100 * hit_rate:.1f}%")
+        return "\n".join(parts)
+
+
+def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+        ratios=UPDATE_RATIOS) -> Fig20Result:
+    cfg = config if config is not None else SystemConfig()
+    scale = Scale.pick(quick)
+    stats: Dict[Tuple[str, float], RunStats] = {}
+    hit_rates: Dict[float, float] = {}
+    for ratio in ratios:
+        op_maker = make_op_maker(YCSBConfig(
+            update_ratio=ratio, population=POPULATION,
+            zipf_theta=ZIPF_THETA, payload_bytes=cfg.payload_bytes))
+        baseline = build_client_server(cfg.with_clients(scale.clients),
+                                       handler=StructureHandler(PMHashmap()))
+        stats[("client-server", ratio)] = run_closed_loop(
+            baseline, op_maker, scale.requests_per_client, scale.warmup)
+        pmnet = build_pmnet_switch(cfg.with_clients(scale.clients),
+                                   handler=StructureHandler(PMHashmap()))
+        stats[("pmnet", ratio)] = run_closed_loop(
+            pmnet, op_maker, scale.requests_per_client, scale.warmup)
+        cached = build_pmnet_switch(cfg.with_clients(scale.clients),
+                                    handler=StructureHandler(PMHashmap()),
+                                    enable_cache=True)
+        stats[("pmnet+cache", ratio)] = run_closed_loop(
+            cached, op_maker, scale.requests_per_client, scale.warmup)
+        hit_rates[ratio] = cached.devices[0].cache.hit_rate()
+    return Fig20Result(stats, hit_rates)

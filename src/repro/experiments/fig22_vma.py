@@ -1,0 +1,65 @@
+"""Figure 22: update throughput with an optimized network stack (libVMA).
+
+Four designs — Client-Server and PMNet, each with the kernel stack and
+with libVMA user-space stacks on both ends.  Claims: PMNet delivers
+~3.08x better update throughput on the kernel stack and the benefit
+*persists* (~3.56x) with libVMA, because PMNet also removes the server
+processing wait, not just stack time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.analysis.report import format_table
+from repro.config import SystemConfig
+from repro.experiments.common import Scale
+from repro.experiments.deploy import build_client_server, build_pmnet_switch
+from repro.experiments.driver import run_closed_loop
+from repro.workloads.kv import OpKind, Operation
+
+
+@dataclass
+class Fig22Result:
+    #: design -> update throughput (ops/s).
+    throughput: Dict[str, float]
+
+    def speedup(self, vma: bool) -> float:
+        suffix = "+vma" if vma else ""
+        return (self.throughput[f"pmnet{suffix}"]
+                / self.throughput[f"client-server{suffix}"])
+
+    def format(self) -> str:
+        headers = ["design", "ops/s"]
+        rows = [[name, round(ops)] for name, ops in self.throughput.items()]
+        body = format_table(
+            headers, rows,
+            title="Fig 22 — update throughput with optimized stacks")
+        return (f"{body}\n\nPMNet speedup, kernel stack: "
+                f"{self.speedup(False):.2f}x (paper: 3.08x); "
+                f"with libVMA: {self.speedup(True):.2f}x (paper: 3.56x)")
+
+
+def run(config: SystemConfig = None, quick: bool = True) -> Fig22Result:  # type: ignore[assignment]
+    cfg = config if config is not None else SystemConfig()
+    scale = Scale.pick(quick)
+
+    def op_maker(ci: int, ri: int, rng):
+        return (Operation(OpKind.SET, key=(ci, ri), value=b"x"),
+                cfg.payload_bytes)
+
+    points = {
+        "client-server": build_client_server(cfg.with_clients(scale.clients)),
+        "pmnet": build_pmnet_switch(cfg.with_clients(scale.clients)),
+        "client-server+vma": build_client_server(
+            cfg.with_vma().with_clients(scale.clients)),
+        "pmnet+vma": build_pmnet_switch(
+            cfg.with_vma().with_clients(scale.clients)),
+    }
+    throughput = {}
+    for name, deployment in points.items():
+        stats = run_closed_loop(deployment, op_maker,
+                                scale.requests_per_client, scale.warmup)
+        throughput[name] = stats.ops_per_second()
+    return Fig22Result(throughput)

@@ -1,0 +1,107 @@
+"""Registry mapping experiment ids to runnable entries.
+
+Every table/figure of the paper's evaluation has an entry here; the CLI
+and the benchmark harness both dispatch through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.analysis.bdp import scaling_table
+from repro.analysis.report import dict_rows, format_table
+from repro.experiments import (
+    ablations,
+    fig02_breakdown,
+    fig07_ordering,
+    fig15_payload_latency,
+    fig16_stress,
+    fig18_alternatives,
+    fig19_app_throughput,
+    fig20_cdf_caching,
+    fig21_replication,
+    fig22_vma,
+    motivation,
+    multirack,
+    sec6b6_recovery,
+    sec7_scaling,
+)
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One reproducible experiment."""
+
+    id: str
+    description: str
+    run: Callable[..., str]
+
+
+def _formatted(module) -> Callable[..., str]:
+    def runner(quick: bool = True) -> str:
+        return module.run(quick=quick).format()
+    return runner
+
+
+def _fig02(quick: bool = True) -> str:
+    return fig02_breakdown.run().format()
+
+
+def _bdp(quick: bool = True) -> str:
+    rows = scaling_table()
+    keys = ["bandwidth_gbps", "pm_capacity_mbit", "pm_capacity_mbytes",
+            "log_queue_kbit", "log_queue_bytes"]
+    return format_table(
+        ["BW Gbps", "PM Mbit", "PM MB", "queue kbit", "queue B"],
+        dict_rows(rows, keys),
+        title="Eq 1/2 — BDP sizing (Sec V-A, Sec VII)")
+
+
+def _ablations(quick: bool = True) -> str:
+    results = ablations.run_all(quick=quick)
+    return "\n\n".join(result.format() for result in results.values())
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "fig02": Experiment("fig02", "Latency breakdown of an update request",
+                        _fig02),
+    "fig07": Experiment("fig07", "Ordering under reorder/loss/failure",
+                        _formatted(fig07_ordering)),
+    "fig15": Experiment("fig15", "Ideal-handler latency vs payload size",
+                        _formatted(fig15_payload_latency)),
+    "fig16": Experiment("fig16", "Bandwidth vs latency stress test",
+                        _formatted(fig16_stress)),
+    "fig18": Experiment("fig18", "Alternative logging designs",
+                        _formatted(fig18_alternatives)),
+    "fig19": Experiment("fig19", "Application throughput vs update ratio",
+                        _formatted(fig19_app_throughput)),
+    "fig20": Experiment("fig20", "Latency CDFs with read caching",
+                        _formatted(fig20_cdf_caching)),
+    "fig21": Experiment("fig21", "3-way replication latency",
+                        _formatted(fig21_replication)),
+    "fig22": Experiment("fig22", "Throughput with libVMA stacks",
+                        _formatted(fig22_vma)),
+    "sec6b6": Experiment("sec6b6", "Server failure recovery",
+                         _formatted(sec6b6_recovery)),
+    "sec7": Experiment("sec7", "Scaling to faster ports (Sec VII)",
+                       _formatted(sec7_scaling)),
+    "motivation": Experiment("motivation",
+                             "Sync vs async vs sync-over-PMNet (Sec II-A)",
+                             _formatted(motivation)),
+    "multirack": Experiment("multirack",
+                            "Two-rack placement / cross-rack replication",
+                            _formatted(multirack)),
+    "bdp": Experiment("bdp", "BDP sizing equations", _bdp),
+    "ablations": Experiment("ablations", "Design-choice ablations",
+                            _ablations),
+}
+
+
+def get(experiment_id: str) -> Experiment:
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {known}") from None

@@ -1,0 +1,128 @@
+"""Deployment introspection: a one-call health/statistics report.
+
+After any run, ``summarize(deployment)`` collects every component's
+counters into one structured dict (and a printable report) — the thing
+an operator would check first: did the log bypass, did clients
+retransmit, did the cache hit, is anything still pending.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.analysis.report import format_table
+from repro.experiments.deploy import Deployment
+
+
+def summarize(deployment: Deployment) -> Dict[str, Any]:
+    """Structured statistics for every component of a deployment."""
+    summary: Dict[str, Any] = {
+        "config": {
+            "clients": deployment.config.num_clients,
+            "payload_bytes": deployment.config.payload_bytes,
+            "seed": deployment.config.seed,
+        },
+        "sim": {
+            "now_ns": deployment.sim.now,
+            "executed_events": deployment.sim.executed_events,
+        },
+        "clients": {},
+        "devices": {},
+        "server": {},
+    }
+    for client in deployment.clients:
+        summary["clients"][client.host.name] = {
+            "completed_pmnet": int(getattr(client, "completed_pmnet", 0)),
+            "completed_server": int(getattr(client, "completed_server", 0)),
+            "completed_cache": int(getattr(client, "completed_cache", 0)),
+            "retransmissions": int(getattr(client, "retransmissions", 0)),
+            "outstanding": getattr(client, "outstanding", 0),
+        }
+    for device in deployment.devices:
+        stats = {
+            "logged": int(device.log.logged),
+            "invalidated": int(device.log.invalidated),
+            "occupancy": device.log.occupancy,
+            "bypassed_full": int(device.log.bypassed_full),
+            "bypassed_collision": int(device.log.bypassed_collision),
+            "bypassed_queue_busy": int(device.log.bypassed_queue_busy),
+            "pmnet_acks": int(device.acks_sent),
+            "retrans_served": int(device.retrans_served),
+            "redo_resends": int(device.redo_resends),
+            "recovery_resends": int(device.resend_engine.resends),
+            "write_queue_high_water": device.write_queue.high_water_bytes,
+        }
+        if device.cache is not None:
+            stats["cache_hits"] = int(device.cache.hits)
+            stats["cache_hit_rate"] = round(device.cache.hit_rate(), 4)
+        summary["devices"][device.name] = stats
+    server = deployment.server
+    summary["server"] = {
+        "processed": int(server.processed),
+        "makeup_acks": int(server.makeup_acks),
+        "retrans_sent": int(server.retrans_sent),
+        "sessions": len(server.persistent_applied),
+        "lock_acquisitions": server.locks.acquisitions,
+        "lock_conflicts": server.locks.conflicts,
+        "reorder_buffered": server.reorder.out_of_order_buffered,
+        "reorder_duplicates": server.reorder.duplicates_dropped,
+    }
+    return summary
+
+
+def health_check(deployment: Deployment) -> Dict[str, bool]:
+    """Invariant spot-checks an operator (or test) can assert on."""
+    summary = summarize(deployment)
+    devices = summary["devices"].values()
+    clients = summary["clients"].values()
+    return {
+        # Nothing should still be in flight after a drained run.
+        "no_outstanding_requests": all(c["outstanding"] == 0
+                                       for c in clients),
+        # Every logged entry was eventually invalidated (or the log is
+        # empty anyway).
+        "logs_drained": all(d["occupancy"] == 0 for d in devices),
+        # ACK accounting: a device never ACKs more than it logged.
+        "ack_accounting": all(d["pmnet_acks"] <= d["logged"]
+                              for d in devices),
+        # The server never buffered without eventually applying.
+        "server_idle": summary["server"]["processed"] > 0
+        or not any(c["completed_pmnet"] or c["completed_server"]
+                   for c in clients),
+    }
+
+
+def format_summary(deployment: Deployment) -> str:
+    """Human-readable rendering of :func:`summarize`."""
+    summary = summarize(deployment)
+    parts = []
+    client_rows = [[name, c["completed_pmnet"], c["completed_server"],
+                    c["completed_cache"], c["retransmissions"]]
+                   for name, c in sorted(summary["clients"].items())]
+    parts.append(format_table(
+        ["client", "via pmnet", "via server", "via cache", "retrans"],
+        client_rows, title="Clients"))
+    if summary["devices"]:
+        device_rows = [[name, d["logged"], d["invalidated"], d["occupancy"],
+                        d["bypassed_full"] + d["bypassed_collision"]
+                        + d["bypassed_queue_busy"],
+                        d["redo_resends"], d["recovery_resends"]]
+                       for name, d in sorted(summary["devices"].items())]
+        parts.append(format_table(
+            ["device", "logged", "invalidated", "left", "bypassed",
+             "redo", "replayed"],
+            device_rows, title="PMNet devices"))
+    server = summary["server"]
+    parts.append(format_table(
+        ["processed", "makeup acks", "retrans", "sessions",
+         "lock conflicts"],
+        [[server["processed"], server["makeup_acks"],
+          server["retrans_sent"], server["sessions"],
+          server["lock_conflicts"]]],
+        title="Server"))
+    checks = health_check(deployment)
+    verdict = ("all checks pass" if all(checks.values())
+               else "FAILED: " + ", ".join(k for k, v in checks.items()
+                                           if not v))
+    parts.append(f"health: {verdict}")
+    return "\n\n".join(parts)

@@ -1,0 +1,23 @@
+"""Failure injection and the paper's Fig 12/13 recovery scenarios."""
+
+from repro.failure.autorecover import RecoveryManager, attach_recovery_manager
+from repro.failure.injector import FailureInjector, FailureRecord
+from repro.failure.scenarios import (
+    ScenarioOutcome,
+    client_failure_mid_run,
+    device_failure_before_ack,
+    device_failure_before_receive,
+    intermittent_server_failure,
+    permanent_device_failure_with_replication,
+)
+
+__all__ = [
+    "FailureInjector", "FailureRecord",
+    "RecoveryManager", "attach_recovery_manager",
+    "ScenarioOutcome",
+    "intermittent_server_failure",
+    "device_failure_before_ack",
+    "device_failure_before_receive",
+    "client_failure_mid_run",
+    "permanent_device_failure_with_replication",
+]

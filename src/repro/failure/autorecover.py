@@ -1,0 +1,103 @@
+"""Heartbeat-driven automatic recovery orchestration.
+
+Sec IV-E notes that "these systems typically monitor servers' status
+using heartbeats" — failures are *detected*, not announced.  The
+:class:`RecoveryManager` closes that loop without any simulator
+omniscience: a monitor host pings the server; when enough beats are
+missed it marks the server failed, and when pongs resume after an
+intermittent outage it triggers the server's recovery poll against the
+PMNet devices.
+
+Experiments that want scripted failure times keep using
+:class:`~repro.failure.injector.FailureInjector` directly; the manager
+is for end-to-end runs where detection latency itself matters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.host.heartbeat import HeartbeatMonitor, MonitorEndpoint
+from repro.host.node import HostNode
+from repro.host.server import PMNetServer
+from repro.host.stackmodel import UDP, HostStack
+from repro.sim.clock import microseconds
+from repro.sim.event import SimEvent
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.experiments.deploy import Deployment
+    from repro.sim.kernel import Simulator
+
+
+class RecoveryManager:
+    """Detects server outages via heartbeats and drives recovery.
+
+    The manager runs on its own monitor host attached to the fabric.
+    On detected recovery of the server *host* (pongs flowing again after
+    a failure), it invokes ``server.recover(pmnet_devices)``, which runs
+    application recovery and the log-replay poll.
+    """
+
+    def __init__(self, sim: "Simulator", monitor_host: HostNode,
+                 server: PMNetServer, pmnet_devices: List[str],
+                 period_ns: int = microseconds(150),
+                 miss_threshold: int = 3) -> None:
+        self.sim = sim
+        self.server = server
+        self.pmnet_devices = list(pmnet_devices)
+        self.endpoint = MonitorEndpoint(monitor_host)
+        self.monitor = self.endpoint.attach(HeartbeatMonitor(
+            sim, monitor_host, server.host.name, period_ns=period_ns,
+            miss_threshold=miss_threshold,
+            on_failure=self._on_failure_detected,
+            on_recovery=self._on_host_back))
+        self.detections = 0
+        self.recoveries_started = 0
+        self.detected_at_ns: List[int] = []
+        #: Succeeds (with the recovery duration) when the next automatic
+        #: recovery completes; re-armed for each outage.
+        self.recovery_done: Optional[SimEvent] = None
+
+    def start(self) -> None:
+        self.monitor.start()
+
+    def stop(self) -> None:
+        self.monitor.stop()
+
+    # ------------------------------------------------------------------
+    def _on_failure_detected(self) -> None:
+        self.detections += 1
+        self.detected_at_ns.append(self.sim.now)
+
+    def _on_host_back(self) -> None:
+        """Pongs are flowing again: the machine rebooted; start the
+        application + log-replay recovery."""
+        self.recoveries_started += 1
+        inner = self.server.recover(self.pmnet_devices)
+        proxy = self.sim.event("auto-recovery-done")
+        inner.add_callback(
+            lambda event: proxy.succeed(event.value)
+            if not proxy.triggered else None)
+        self.recovery_done = proxy
+
+
+def attach_recovery_manager(deployment: "Deployment",
+                            period_ns: int = microseconds(150),
+                            miss_threshold: int = 3) -> RecoveryManager:
+    """Wire a monitor host into a deployment and return its manager.
+
+    Must be called before the simulation starts (it adds a host and
+    recomputes routes).
+    """
+    sim = deployment.sim
+    stack = HostStack(sim, "recovery-monitor",
+                      deployment.config.client_stack, UDP)
+    host = HostNode(sim, "recovery-monitor", stack)
+    deployment.topology.add(host)
+    attach_point = (deployment.switches[0] if deployment.switches
+                    else deployment.devices[0])
+    deployment.topology.connect(host, attach_point)
+    deployment.topology.compute_routes()
+    return RecoveryManager(sim, host, deployment.server,
+                           deployment.pmnet_names, period_ns=period_ns,
+                           miss_threshold=miss_threshold)

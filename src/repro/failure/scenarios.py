@@ -1,0 +1,267 @@
+"""Runnable failure scenarios (Fig 12 intermittent, Fig 13 permanent).
+
+Each scenario builds a deployment, drives clients, injects the failure
+at the point the paper's figure describes, and returns a
+:class:`ScenarioOutcome` with the facts the paper's argument depends on
+(no acknowledged update lost, exactly-once application, recovery
+duration).  Tests and the failure-recovery example both call these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.config import SystemConfig
+from repro.experiments.deploy import build_pmnet_switch
+from repro.failure.injector import FailureInjector
+from repro.sim.clock import microseconds, milliseconds
+from repro.workloads.handlers import StructureHandler
+from repro.workloads.kv import OpKind, Operation
+from repro.workloads.pmdk.hashmap import PMHashmap
+
+
+@dataclass
+class ScenarioOutcome:
+    """What a failure scenario observed."""
+
+    name: str
+    acknowledged_updates: Dict[object, object] = field(default_factory=dict)
+    server_state: Dict[object, object] = field(default_factory=dict)
+    recovery_duration_ns: Optional[int] = None
+    resent: int = 0
+    retransmissions: int = 0
+    client_completions: int = 0
+
+    @property
+    def durable(self) -> bool:
+        """Every acknowledged update is present in the recovered store."""
+        return all(self.server_state.get(key) == value
+                   for key, value in self.acknowledged_updates.items())
+
+
+def _small_config(config: Optional[SystemConfig], clients: int) -> SystemConfig:
+    base = config if config is not None else SystemConfig()
+    return base.with_clients(clients)
+
+
+def intermittent_server_failure(config: Optional[SystemConfig] = None,
+                                clients: int = 4,
+                                requests_per_client: int = 40,
+                                crash_after: int = milliseconds(1),
+                                outage: int = milliseconds(5)
+                                ) -> ScenarioOutcome:
+    """The Sec VI-B6 scenario: server power-cut with a loaded PMNet log.
+
+    Clients write continuously; the server dies mid-run and recovers
+    after ``outage``.  PMNet resends its durable log; the outcome checks
+    that every client-acknowledged update is in the recovered store.
+    """
+    cfg = _small_config(config, clients)
+    handler = StructureHandler(PMHashmap())
+    deployment = build_pmnet_switch(cfg, handler=handler)
+    sim = deployment.sim
+    injector = FailureInjector(sim)
+    outcome = ScenarioOutcome("intermittent-server-failure")
+
+    def client_proc(index: int, client) -> object:
+        for request_index in range(requests_per_client):
+            key = (index, request_index)
+            value = f"v{index}.{request_index}"
+            op = Operation(OpKind.SET, key=key, value=value)
+            completion = yield client.send_update(op)
+            if completion.result.ok:
+                outcome.acknowledged_updates[key] = value
+                outcome.client_completions += 1
+            yield cfg.client.think_time_ns
+
+    deployment.open_all_sessions()
+    processes = [sim.spawn(client_proc(i, c), f"client{i}")
+                 for i, c in enumerate(deployment.clients)]
+    record = injector.crash_server_at(deployment.server, crash_after)
+    recovery = injector.recover_server_at(
+        deployment.server, crash_after + outage, deployment.pmnet_names,
+        record)
+    sim.run()
+    assert all(not p.alive for p in processes), "clients never finished"
+    assert recovery.triggered, "recovery never completed"
+    outcome.recovery_duration_ns = recovery.value
+    outcome.resent = sum(int(d.resend_engine.resends)
+                         for d in deployment.devices)
+    outcome.retransmissions = sum(int(c.retransmissions)
+                                  for c in deployment.clients)
+    outcome.server_state = dict(handler.structure.items())
+    return outcome
+
+
+def device_failure_before_ack(config: Optional[SystemConfig] = None
+                              ) -> ScenarioOutcome:
+    """Fig 12 case 2b: PMNet dies after accepting a request but before
+    the PMNet-ACK reaches the client.
+
+    The client must stall, time out, retransmit, and eventually complete
+    through the recovered path; durability is never claimed falsely.
+    """
+    cfg = _small_config(config, 1)
+    handler = StructureHandler(PMHashmap())
+    deployment = build_pmnet_switch(cfg, handler=handler)
+    sim = deployment.sim
+    injector = FailureInjector(sim)
+    outcome = ScenarioOutcome("device-failure-before-ack")
+    device = deployment.devices[0]
+    client = deployment.clients[0]
+
+    # Kill the device the instant the update's log write is in flight:
+    # just after the request would reach it (client stack + wire).
+    crash_at = cfg.client_stack.send_ns + microseconds(1.2)
+    record = injector.crash_device_at(device, crash_at)
+    injector.recover_device_at(device, crash_at + microseconds(400), record)
+
+    def client_proc() -> object:
+        op = Operation(OpKind.SET, key="k", value="v")
+        completion = yield client.send_update(op)
+        if completion.result.ok:
+            outcome.acknowledged_updates["k"] = "v"
+            outcome.client_completions += 1
+
+    deployment.open_all_sessions()
+    process = sim.spawn(client_proc(), "client")
+    sim.run()
+    assert not process.alive, "client never finished"
+    outcome.retransmissions = int(client.retransmissions)
+    outcome.server_state = dict(handler.structure.items())
+    return outcome
+
+
+def device_failure_before_receive(config: Optional[SystemConfig] = None
+                                  ) -> ScenarioOutcome:
+    """Fig 12 case 1: PMNet dies *before* the request reaches it.
+
+    Nothing was accepted anywhere, so no acknowledgement exists; the
+    client simply stalls, times out, and resends once the device is
+    back.  Durability is never claimed falsely.
+    """
+    cfg = _small_config(config, 1)
+    handler = StructureHandler(PMHashmap())
+    deployment = build_pmnet_switch(cfg, handler=handler)
+    sim = deployment.sim
+    injector = FailureInjector(sim)
+    outcome = ScenarioOutcome("device-failure-before-receive")
+    device = deployment.devices[0]
+    client = deployment.clients[0]
+
+    # Fail the device before the client's packet can arrive (the client
+    # stack alone takes ~10 us).
+    injector.crash_device_at(device, microseconds(1))
+    injector.recover_device_at(device, microseconds(500))
+
+    def client_proc():
+        completion = yield client.send_update(
+            Operation(OpKind.SET, key="k", value="v"))
+        if completion.result.ok:
+            outcome.acknowledged_updates["k"] = "v"
+            outcome.client_completions += 1
+
+    deployment.open_all_sessions()
+    process = sim.spawn(client_proc(), "client")
+    sim.run()
+    assert not process.alive, "client never finished"
+    outcome.retransmissions = int(client.retransmissions)
+    outcome.server_state = dict(handler.structure.items())
+    return outcome
+
+
+def client_failure_mid_run(config: Optional[SystemConfig] = None,
+                           requests_per_client: int = 30) -> ScenarioOutcome:
+    """Sec IV-E3: a component outside the persistence domain fails.
+
+    One client dies mid-run.  The system owes it nothing — but every
+    update it *was* acknowledged for must still be durable, and the
+    surviving clients and the server must be completely unaffected.
+    """
+    cfg = _small_config(config, 3)
+    handler = StructureHandler(PMHashmap())
+    deployment = build_pmnet_switch(cfg, handler=handler)
+    sim = deployment.sim
+    outcome = ScenarioOutcome("client-failure")
+    doomed = deployment.clients[0]
+
+    def client_proc(index: int, client) -> object:
+        for request_index in range(requests_per_client):
+            key = (index, request_index)
+            value = f"v{index}.{request_index}"
+            completion = yield client.send_update(
+                Operation(OpKind.SET, key=key, value=value))
+            if completion.result.ok:
+                outcome.acknowledged_updates[key] = value
+                outcome.client_completions += 1
+            yield cfg.client.think_time_ns
+
+    deployment.open_all_sessions()
+    processes = [sim.spawn(client_proc(i, c), f"client{i}")
+                 for i, c in enumerate(deployment.clients)]
+    # Kill client 0's machine a few requests in; its driver process is
+    # interrupted like a real process dying.
+    kill_at = microseconds(180)
+    sim.schedule_at(kill_at, doomed.host.fail)
+    sim.schedule_at(kill_at, processes[0].interrupt, "client died")
+    sim.run()
+    assert all(not p.alive for p in processes[1:]), \
+        "surviving clients never finished"
+    outcome.server_state = dict(handler.structure.items())
+    return outcome
+
+
+def permanent_device_failure_with_replication(
+        config: Optional[SystemConfig] = None,
+        requests_per_client: int = 20) -> ScenarioOutcome:
+    """Fig 13: one of two chained PMNet devices dies permanently.
+
+    Timeline: (1) the server power-cuts early, so the devices' logs fill
+    with durable, un-committed updates while clients keep completing via
+    the two PMNet-ACKs; (2) device #2 dies permanently and is replaced
+    by a *blank* unit — its copy of the log is gone for good; (3) the
+    server restarts and recovers from the surviving device #1 alone,
+    which must be sufficient (Sec IV-E2: any surviving PMNet can
+    retransmit).
+    """
+    cfg = _small_config(config, 2)
+    handler = StructureHandler(PMHashmap())
+    deployment = build_pmnet_switch(cfg, handler=handler, replication=2)
+    sim = deployment.sim
+    injector = FailureInjector(sim)
+    outcome = ScenarioOutcome("permanent-device-failure")
+    doomed = deployment.devices[1]
+    survivor = deployment.devices[0]
+
+    def client_proc(index: int, client) -> object:
+        for request_index in range(requests_per_client):
+            key = (index, request_index)
+            value = f"v{index}.{request_index}"
+            completion = yield client.send_update(
+                Operation(OpKind.SET, key=key, value=value))
+            if completion.result.ok:
+                outcome.acknowledged_updates[key] = value
+                outcome.client_completions += 1
+            yield cfg.client.think_time_ns
+
+    deployment.open_all_sessions()
+    processes = [sim.spawn(client_proc(i, c), f"client{i}")
+                 for i, c in enumerate(deployment.clients)]
+    # Clients need ~requests * RTT to finish; place the failures after.
+    send_window = microseconds(30) * requests_per_client + microseconds(200)
+    injector.crash_server_at(deployment.server, microseconds(150))
+    death = injector.kill_device_permanently_at(doomed, send_window)
+    injector.replace_device_at(doomed, send_window + microseconds(100),
+                               death)
+    recovery = injector.recover_server_at(
+        deployment.server, send_window + microseconds(200), [survivor.name])
+    sim.run()
+    assert all(not p.alive for p in processes), "clients never finished"
+    assert recovery.triggered, "recovery never completed"
+    outcome.recovery_duration_ns = recovery.value
+    outcome.resent = int(survivor.resend_engine.resends)
+    outcome.retransmissions = sum(int(c.retransmissions)
+                                  for c in deployment.clients)
+    outcome.server_state = dict(handler.structure.items())
+    return outcome

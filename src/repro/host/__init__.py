@@ -1,0 +1,23 @@
+"""Host software: the PMNet client/server libraries of Table I."""
+
+from repro.host.async_client import AsyncPMNetClient
+from repro.host.client import Completion, PMNetClient
+from repro.host.handler import (
+    HandlerOutcome,
+    IdealHandler,
+    LockTable,
+    RequestHandler,
+)
+from repro.host.heartbeat import HeartbeatMonitor, MonitorEndpoint
+from repro.host.node import HostNode
+from repro.host.server import PMNetServer
+from repro.host.sharded import ShardedClient
+from repro.host.stackmodel import TCP, UDP, HostStack
+
+__all__ = [
+    "HostNode", "HostStack", "UDP", "TCP",
+    "PMNetClient", "AsyncPMNetClient", "Completion",
+    "PMNetServer", "ShardedClient",
+    "RequestHandler", "IdealHandler", "HandlerOutcome", "LockTable",
+    "HeartbeatMonitor", "MonitorEndpoint",
+]

@@ -1,0 +1,287 @@
+"""The client-side PMNet library (Table I: client side).
+
+:class:`PMNetClient` exposes the paper's four-call interface —
+``start_session`` / ``end_session`` / ``send_update`` / ``bypass`` —
+over the simulated fabric.  ``send_update`` returns an event that
+succeeds once the request is *persistent*: either every fragment holds
+PMNet-ACKs from the required number of distinct devices (the replication
+policy), or the server itself acknowledged.  ``bypass`` completes on the
+server's (or in-network cache's) response.
+
+The library also implements the reliability half of the protocol: it
+retransmits unacknowledged fragments after a timeout and answers the
+server's Retrans requests for packets PMNet could not serve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.core.replication import ReplicationPolicy, SINGLE_LOG
+from repro.errors import SessionError
+from repro.host.node import HostNode
+from repro.net.packet import Frame
+from repro.protocol.fragment import fragment_request, max_fragment_payload
+from repro.protocol.packet import PMNetPacket, RetransRequest
+from repro.protocol.session import Session, SessionAllocator
+from repro.protocol.types import PacketType
+from repro.sim.event import SimEvent
+from repro.sim.monitor import Counter
+from repro.sim.trace import GLOBAL_TRACER, Tracer
+from repro.workloads.kv import Operation, Result
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import SystemConfig
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class Completion:
+    """What a finished request hands back to the application."""
+
+    result: Result
+    #: "pmnet" (early ACK), "server" (server ACK/response), or "cache".
+    via: str
+    retransmissions: int = 0
+
+
+@dataclass
+class _PendingRequest:
+    """Client-side state of one in-flight request."""
+
+    packets: List[PMNetPacket]
+    completion: SimEvent
+    is_update: bool
+    #: Per-fragment set of distinct PMNet device names that ACKed.
+    pmnet_origins: List[Set[str]] = field(default_factory=list)
+    server_acked: List[bool] = field(default_factory=list)
+    retransmissions: int = 0
+    timer_token: object = None
+
+    def __post_init__(self) -> None:
+        if not self.pmnet_origins:
+            self.pmnet_origins = [set() for _ in self.packets]
+        if not self.server_acked:
+            self.server_acked = [False] * len(self.packets)
+
+
+class PMNetClient:
+    """One client instance bound to a host."""
+
+    def __init__(self, sim: "Simulator", host: HostNode,
+                 config: "SystemConfig", server: str,
+                 allocator: SessionAllocator,
+                 policy: ReplicationPolicy = SINGLE_LOG,
+                 max_retries: Optional[int] = None,
+                 tracer: Optional[Tracer] = None,
+                 bind: bool = True) -> None:
+        self.sim = sim
+        self.host = host
+        self.config = config
+        self.server = server
+        self.allocator = allocator
+        self.policy = policy
+        self.max_retries = max_retries
+        self.tracer = tracer or GLOBAL_TRACER
+        if bind:
+            # A sharded wrapper owns the host endpoint and demultiplexes
+            # frames to per-server sub-clients instead.
+            host.bind(self)
+        self.session: Optional[Session] = None
+        self._pending: Dict[int, _PendingRequest] = {}
+        self._by_seq: Dict[Tuple[int, int], Tuple[_PendingRequest, int]] = {}
+        self._mtu_payload = max_fragment_payload(
+            config.network.mtu_bytes, config.network.header_overhead_bytes)
+        self.completed_pmnet = Counter(f"{host.name}.completed_pmnet")
+        self.completed_server = Counter(f"{host.name}.completed_server")
+        self.completed_cache = Counter(f"{host.name}.completed_cache")
+        self.retransmissions = Counter(f"{host.name}.retransmissions")
+
+    # ------------------------------------------------------------------
+    # Table I interface
+    # ------------------------------------------------------------------
+    def start_session(self) -> Session:
+        """``PMNet_start_session()``: open a session to the server."""
+        if self.session is not None and not self.session.closed:
+            raise SessionError(f"client {self.host.name} already in a session")
+        self.session = self.allocator.open(self.host.name, self.server)
+        return self.session
+
+    def end_session(self) -> None:
+        """``PMNet_end_session()``: close the current session."""
+        if self.session is None:
+            raise SessionError(f"client {self.host.name} has no session")
+        self.allocator.close(self.session)
+
+    def send_update(self, op: Operation,
+                    payload_bytes: Optional[int] = None) -> SimEvent:
+        """``PMNet_send_update()``: an update-req that PMNet may log."""
+        return self._send(PacketType.UPDATE_REQ, op, payload_bytes)
+
+    def bypass(self, op: Operation,
+               payload_bytes: Optional[int] = None) -> SimEvent:
+        """``PMNet_bypass()``: a read/synchronization request that must
+        reach the server (no early acknowledgement)."""
+        return self._send(PacketType.BYPASS_REQ, op, payload_bytes)
+
+    # ------------------------------------------------------------------
+    # Send path
+    # ------------------------------------------------------------------
+    def _send(self, packet_type: PacketType, op: Operation,
+              payload_bytes: Optional[int]) -> SimEvent:
+        if self.session is None or self.session.closed:
+            raise SessionError(
+                f"client {self.host.name}: start_session() first")
+        size = payload_bytes if payload_bytes is not None \
+            else self.config.payload_bytes
+        packets = fragment_request(self.session, packet_type, op, size,
+                                   self._mtu_payload)
+        is_update = packet_type is PacketType.UPDATE_REQ
+        state = _PendingRequest(
+            packets=packets,
+            completion=self.sim.event(f"req{packets[0].request_id}"),
+            is_update=is_update)
+        self._pending[packets[0].request_id] = state
+        self.tracer.emit(self.sim.now, self.host.name, "request_sent",
+                         req=packets[0].request_id,
+                         session=packets[0].session_id,
+                         seq=packets[0].seq_num, update=is_update,
+                         fragments=len(packets))
+        for index, packet in enumerate(packets):
+            # Updates and reads draw from separate SeqNum streams
+            # (session.py), so the stream is part of the key.
+            key = (packet.session_id, packet.seq_num, is_update)
+            self._by_seq[key] = (state, index)
+            self._transmit(packet)
+        self._arm_timeout(state)
+        return state.completion
+
+    def _transmit(self, packet: PMNetPacket) -> None:
+        self.host.send_frame(self.server, packet, packet.wire_bytes,
+                             51000 + packet.session_id % 1000)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def on_frame(self, frame: Frame) -> None:
+        packet = frame.payload
+        if not isinstance(packet, PMNetPacket):
+            return
+        kind = packet.packet_type
+        if kind is PacketType.RETRANS:
+            self._handle_retrans(packet)
+            return
+        is_update_ack = kind in (PacketType.PMNET_ACK,
+                                 PacketType.SERVER_ACK)
+        lookup = self._by_seq.get(
+            (packet.session_id, packet.seq_num, is_update_ack))
+        if lookup is None:
+            return  # late ACK for an already-completed request
+        state, index = lookup
+        if kind is PacketType.PMNET_ACK:
+            state.pmnet_origins[index].add(packet.origin_device or "pmnet")
+            self._check_update_completion(state, via="pmnet")
+        elif kind is PacketType.SERVER_ACK:
+            state.server_acked[index] = True
+            self._check_update_completion(state, via="server")
+        elif kind in (PacketType.SERVER_RESP, PacketType.CACHE_RESP):
+            result = packet.payload if isinstance(packet.payload, Result) \
+                else Result(ok=True)
+            via = "cache" if kind is PacketType.CACHE_RESP else "server"
+            self._complete(state, result, via)
+
+    def _fragment_persistent(self, state: _PendingRequest, index: int) -> bool:
+        if state.server_acked[index]:
+            return True
+        return (self.policy.uses_pmnet
+                and self.policy.satisfied_by(len(state.pmnet_origins[index])))
+
+    def _check_update_completion(self, state: _PendingRequest,
+                                 via: str) -> None:
+        if not state.is_update or state.completion.triggered:
+            return
+        if all(self._fragment_persistent(state, i)
+               for i in range(len(state.packets))):
+            self._complete(state, Result(ok=True), via)
+
+    def _complete(self, state: _PendingRequest, result: Result,
+                  via: str) -> None:
+        if state.completion.triggered:
+            return
+        for packet in state.packets:
+            self._by_seq.pop(
+                (packet.session_id, packet.seq_num, state.is_update), None)
+        self._pending.pop(state.packets[0].request_id, None)
+        state.timer_token = None
+        counter = {"pmnet": self.completed_pmnet,
+                   "server": self.completed_server,
+                   "cache": self.completed_cache}[via]
+        counter.increment()
+        first = state.packets[0]
+        self.tracer.emit(self.sim.now, self.host.name, "completed",
+                         req=first.request_id, session=first.session_id,
+                         seq=first.seq_num, via=via,
+                         update=state.is_update, ok=result.ok)
+        # The application wakeup (epoll + scheduler) is charged here.
+        completion = Completion(result=result, via=via,
+                                retransmissions=state.retransmissions)
+        self.sim.schedule(self.host.stack.dispatch_cost(),
+                          self._succeed, state.completion, completion)
+
+    @staticmethod
+    def _succeed(event: SimEvent, value: Completion) -> None:
+        if not event.triggered:
+            event.succeed(value)
+
+    # ------------------------------------------------------------------
+    # Reliability: timeout retransmission and server Retrans requests
+    # ------------------------------------------------------------------
+    def _arm_timeout(self, state: _PendingRequest) -> None:
+        token = object()
+        state.timer_token = token
+        self.sim.schedule(self.config.client.timeout_ns,
+                          self._on_timeout, state, token)
+
+    def _on_timeout(self, state: _PendingRequest, token: object) -> None:
+        if state.timer_token is not token or state.completion.triggered:
+            return
+        if self.host.failed:
+            # The machine is dead: its timers die with it.  (A rebooted
+            # client restarts its application and sessions from scratch;
+            # stale pre-crash request state is never resumed.)
+            return
+        if (self.max_retries is not None
+                and state.retransmissions >= self.max_retries):
+            self._complete(state, Result(ok=False, error="timeout"), "server")
+            return
+        state.retransmissions += 1
+        self.retransmissions.increment()
+        for index, packet in enumerate(state.packets):
+            if not self._fragment_persistent(state, index):
+                self._transmit(packet)
+        self.tracer.emit(self.sim.now, self.host.name, "timeout_retransmit",
+                         req=state.packets[0].request_id,
+                         attempt=state.retransmissions)
+        self._arm_timeout(state)
+
+    def _handle_retrans(self, packet: PMNetPacket) -> None:
+        """The server asked for packets neither it nor PMNet has."""
+        request = packet.payload
+        if not isinstance(request, RetransRequest):
+            return
+        for seq in request.missing_seq_nums:
+            # The server only tracks gaps in the update stream.
+            lookup = self._by_seq.get((request.session_id, seq, True))
+            if lookup is not None:
+                state, index = lookup
+                self.retransmissions.increment()
+                self._transmit(state.packets[index])
+
+    # ------------------------------------------------------------------
+    @property
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PMNetClient {self.host.name} -> {self.server}>"

@@ -1,0 +1,99 @@
+"""Request-handler abstraction: what the server application does per op.
+
+A handler receives one :class:`~repro.workloads.kv.Operation`, mutates
+its (persistent) state, and reports both the application result and the
+simulated processing cost.  Workload handlers in :mod:`repro.workloads`
+execute real data structures and derive the cost from the PM operations
+they perform; :class:`IdealHandler` is the paper's microbenchmark server
+that "acknowledges the client upon reception, without processing it"
+(Sec VI-B1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.sim.clock import microseconds
+from repro.workloads.kv import Operation, Result
+
+
+@dataclass
+class HandlerOutcome:
+    """One processed operation: the reply plus its simulated cost."""
+
+    result: Result
+    cost_ns: int
+    response_bytes: int = 32
+
+
+class RequestHandler:
+    """Base class for server request handlers."""
+
+    name = "handler"
+
+    def process(self, op: Operation) -> HandlerOutcome:
+        """Apply one operation; must be implemented by subclasses."""
+        raise NotImplementedError
+
+    # -- failure hooks --------------------------------------------------
+    def crash(self) -> None:
+        """Lose volatile state.  PM-backed stores keep committed data."""
+
+    def recovery_cost_ns(self) -> int:
+        """Application-level recovery time after a crash (pool reopen,
+        consistency scan) charged before the server accepts traffic."""
+        return microseconds(100)
+
+
+class IdealHandler(RequestHandler):
+    """The ideal request handler of the latency microbenchmarks."""
+
+    name = "ideal"
+
+    def __init__(self, cost_ns: int = microseconds(2.4)) -> None:
+        self.cost_ns = cost_ns
+        self.processed = 0
+
+    def process(self, op: Operation) -> HandlerOutcome:
+        self.processed += 1
+        return HandlerOutcome(result=Result(ok=True), cost_ns=self.cost_ns,
+                              response_bytes=16)
+
+    def recovery_cost_ns(self) -> int:
+        return microseconds(10)
+
+
+class LockTable:
+    """Server-side synchronization primitives (Sec III-C).
+
+    Lock requests always bypass PMNet; the server enforces mutual
+    exclusion here, failing acquisitions of held locks so clients retry.
+    """
+
+    def __init__(self) -> None:
+        self._holders: Dict[object, int] = {}
+        self.acquisitions = 0
+        self.conflicts = 0
+
+    def acquire(self, lock_name: object, session_id: int) -> bool:
+        holder = self._holders.get(lock_name)
+        if holder is not None and holder != session_id:
+            self.conflicts += 1
+            return False
+        self._holders[lock_name] = session_id
+        self.acquisitions += 1
+        return True
+
+    def release(self, lock_name: object, session_id: int) -> bool:
+        if self._holders.get(lock_name) != session_id:
+            return False
+        del self._holders[lock_name]
+        return True
+
+    def holder(self, lock_name: object) -> object:
+        return self._holders.get(lock_name)
+
+    def release_all(self) -> None:
+        """Drop every lock (crash recovery: lock state is volatile)."""
+        self._holders.clear()

@@ -1,0 +1,108 @@
+"""Heartbeat-based failure detection (Sec IV-E: "systems typically
+monitor servers' status using heartbeats").
+
+A :class:`HeartbeatMonitor` runs on any host: it pings a target on a
+fixed period and declares the target failed after ``miss_threshold``
+consecutive unanswered pings, invoking a callback (experiments use it to
+start recovery without consulting simulator-omniscient state).  When the
+target answers again after a failure, a recovery callback fires.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.host.node import HostNode
+from repro.net.packet import Frame, RawPayload
+from repro.sim.clock import microseconds
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class HeartbeatMonitor:
+    """Pings a target host and tracks its liveness."""
+
+    def __init__(self, sim: "Simulator", host: HostNode, target: str,
+                 period_ns: int = microseconds(200),
+                 miss_threshold: int = 3,
+                 on_failure: Optional[Callable[[], None]] = None,
+                 on_recovery: Optional[Callable[[], None]] = None) -> None:
+        if miss_threshold <= 0:
+            raise ValueError("miss threshold must be positive")
+        self.sim = sim
+        self.host = host
+        self.target = target
+        self.period_ns = period_ns
+        self.miss_threshold = miss_threshold
+        self.on_failure = on_failure
+        self.on_recovery = on_recovery
+        self.target_alive = True
+        self.failures_detected = 0
+        self._seq = 0
+        self._last_answered = -1
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._seq += 1
+        ping = RawPayload(("ping", self._seq), 8)
+        self.host.send_frame(self.target, ping, 8, udp_port=9100)
+        self.sim.schedule(self.period_ns, self._check, self._seq)
+        self.sim.schedule(self.period_ns, self._tick)
+
+    def _check(self, seq: int) -> None:
+        misses = seq - self._last_answered
+        if self.target_alive and misses >= self.miss_threshold:
+            self.target_alive = False
+            self.failures_detected += 1
+            if self.on_failure is not None:
+                self.on_failure()
+
+    # ------------------------------------------------------------------
+    def on_pong(self, seq: int) -> None:
+        """Called by the owner endpoint when a pong arrives."""
+        self._last_answered = max(self._last_answered, seq)
+        if not self.target_alive:
+            self.target_alive = True
+            if self.on_recovery is not None:
+                self.on_recovery()
+
+    def handles(self, frame: Frame) -> bool:
+        """Offer a frame; returns True if it was this monitor's pong."""
+        payload = frame.payload
+        if (isinstance(payload, RawPayload)
+                and isinstance(payload.data, tuple)
+                and len(payload.data) == 2 and payload.data[0] == "pong"
+                and frame.src == self.target):
+            self.on_pong(payload.data[1])
+            return True
+        return False
+
+
+class MonitorEndpoint:
+    """A host endpoint that exists only to feed one or more monitors."""
+
+    def __init__(self, host: HostNode) -> None:
+        self.monitors: list[HeartbeatMonitor] = []
+        host.bind(self)
+
+    def attach(self, monitor: HeartbeatMonitor) -> HeartbeatMonitor:
+        self.monitors.append(monitor)
+        return monitor
+
+    def on_frame(self, frame: Frame) -> None:
+        for monitor in self.monitors:
+            if monitor.handles(frame):
+                return

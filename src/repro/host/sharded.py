@@ -1,0 +1,112 @@
+"""Sharded access to multiple PM servers (the paper's Sec I framing).
+
+Datacenter storage spans many servers; a client talks to the shard that
+owns each key.  :class:`ShardedClient` wraps one per-server
+:class:`~repro.host.client.PMNetClient` (each with its own session and
+ordered update stream) behind the same ``send_update``/``bypass``
+surface, routing by key hash.  Incoming frames are demultiplexed to the
+owning sub-client by SessionID.
+
+Ordering note: per-session ordering is per *shard* — exactly the
+guarantee a sharded store gives (cross-shard operations would need the
+application-level locks of Sec III-C, same as cross-client ones).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.replication import ReplicationPolicy, SINGLE_LOG
+from repro.protocol.crc import crc32
+from repro.errors import SessionError
+from repro.host.client import PMNetClient
+from repro.host.node import HostNode
+from repro.net.packet import Frame
+from repro.protocol.packet import PMNetPacket
+from repro.protocol.session import SessionAllocator
+from repro.sim.event import SimEvent
+from repro.sim.trace import Tracer
+from repro.workloads.kv import Operation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import SystemConfig
+    from repro.sim.kernel import Simulator
+
+
+class ShardedClient:
+    """One application client spanning several storage shards."""
+
+    def __init__(self, sim: "Simulator", host: HostNode,
+                 config: "SystemConfig", servers: List[str],
+                 allocator: SessionAllocator,
+                 policy: ReplicationPolicy = SINGLE_LOG,
+                 tracer: Optional[Tracer] = None) -> None:
+        if not servers:
+            raise SessionError("a sharded client needs at least one server")
+        self.sim = sim
+        self.host = host
+        self.servers = list(servers)
+        host.bind(self)
+        self._subclients: List[PMNetClient] = [
+            PMNetClient(sim, host, config, server, allocator,
+                        policy=policy, tracer=tracer, bind=False)
+            for server in self.servers]
+        self._by_session: Dict[int, PMNetClient] = {}
+
+    # ------------------------------------------------------------------
+    # Table I surface
+    # ------------------------------------------------------------------
+    def start_session(self) -> None:
+        """Open one session per shard."""
+        for subclient in self._subclients:
+            session = subclient.start_session()
+            self._by_session[session.session_id] = subclient
+
+    def end_session(self) -> None:
+        for subclient in self._subclients:
+            subclient.end_session()
+        self._by_session.clear()
+
+    def send_update(self, op: Operation,
+                    payload_bytes: Optional[int] = None) -> SimEvent:
+        return self.shard_for(op.key).send_update(op, payload_bytes)
+
+    def bypass(self, op: Operation,
+               payload_bytes: Optional[int] = None) -> SimEvent:
+        return self.shard_for(op.key).bypass(op, payload_bytes)
+
+    # ------------------------------------------------------------------
+    def shard_index(self, key: object) -> int:
+        """Stable key-to-shard placement.
+
+        Uses CRC-32 of the key's repr, not Python's builtin ``hash`` —
+        the builtin is salted per process for strings, which would move
+        keys between shards across runs and break reproducibility.
+        """
+        return crc32(repr(key).encode()) % len(self.servers)
+
+    def shard_for(self, key: object) -> PMNetClient:
+        return self._subclients[self.shard_index(key)]
+
+    @property
+    def retransmissions(self):  # driver-facing counter aggregation
+        total = sum(int(c.retransmissions) for c in self._subclients)
+        return total
+
+    @property
+    def outstanding(self) -> int:
+        return sum(c.outstanding for c in self._subclients)
+
+    # ------------------------------------------------------------------
+    def on_frame(self, frame: Frame) -> None:
+        """Demultiplex to the owning sub-client by SessionID."""
+        packet = frame.payload
+        if not isinstance(packet, PMNetPacket):
+            return
+        subclient = self._by_session.get(packet.session_id)
+        if subclient is not None:
+            subclient.on_frame(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<ShardedClient {self.host.name} "
+                f"shards={len(self.servers)}>")

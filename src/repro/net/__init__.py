@@ -1,0 +1,22 @@
+"""Network substrate: frames, links, switches, and topology wiring."""
+
+from repro.net.device import ForwardingTable, Node, Port
+from repro.net.link import Channel, Impairments, Link
+from repro.net.packet import (
+    PLAIN_UDP_PORT,
+    PMNET_UDP_PORT_MAX,
+    PMNET_UDP_PORT_MIN,
+    Frame,
+    RawPayload,
+    is_pmnet_port,
+)
+from repro.net.switch import Switch
+from repro.net.topology import Topology
+
+__all__ = [
+    "Node", "Port", "ForwardingTable",
+    "Channel", "Link", "Impairments",
+    "Frame", "RawPayload", "is_pmnet_port",
+    "PLAIN_UDP_PORT", "PMNET_UDP_PORT_MIN", "PMNET_UDP_PORT_MAX",
+    "Switch", "Topology",
+]

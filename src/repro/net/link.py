@@ -1,0 +1,133 @@
+"""Links: serialization, propagation, FIFO queueing, and impairments.
+
+A :class:`Link` is full duplex: it is built from two independent directed
+:class:`Channel` objects.  Each channel models
+
+* a drop-tail output queue (finite packet capacity),
+* a transmitter that serializes one frame at a time at the link rate,
+* fixed propagation delay, and
+* optional impairments (loss, reordering, duplication) driven by a
+  dedicated random stream so experiments can inject packet loss exactly
+  where the paper's Fig 7 scenarios need it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.device import Port
+from repro.net.packet import Frame
+from repro.sim.clock import transmission_delay
+from repro.sim.monitor import Counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import NetworkProfile
+    from repro.sim.kernel import Simulator
+
+
+@dataclass
+class Impairments:
+    """Probabilistic misbehaviour of a directed channel."""
+
+    loss_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    reorder_probability: float = 0.0
+    #: Extra delay added to a reordered frame so it lands behind its
+    #: successors.
+    reorder_extra_ns: int = 5_000
+
+    def any_enabled(self) -> bool:
+        return (self.loss_probability > 0.0
+                or self.duplicate_probability > 0.0
+                or self.reorder_probability > 0.0)
+
+
+class Channel:
+    """One direction of a link: ``source`` port -> ``sink`` port."""
+
+    def __init__(self, sim: "Simulator", name: str, profile: "NetworkProfile",
+                 sink: Port, impairments: Optional[Impairments] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.profile = profile
+        self.sink = sink
+        self.impairments = impairments or Impairments()
+        self._rng = sim.random.stream(f"channel:{name}")
+        self._queue: list[Frame] = []
+        self._busy = False
+        self.delivered = Counter(f"{name}.delivered")
+        self.dropped_full = Counter(f"{name}.dropped_full")
+        self.dropped_loss = Counter(f"{name}.dropped_loss")
+        self.bytes_sent = Counter(f"{name}.bytes")
+
+    # ------------------------------------------------------------------
+    def send(self, frame: Frame) -> None:
+        """Enqueue a frame for transmission (drop-tail when full)."""
+        if len(self._queue) >= self.profile.queue_capacity_packets:
+            self.dropped_full.increment()
+            return
+        self._queue.append(frame)
+        if not self._busy:
+            self._transmit_next()
+
+    def _transmit_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        frame = self._queue.pop(0)
+        wire_bytes = frame.wire_size(self.profile.header_overhead_bytes)
+        serialize = transmission_delay(wire_bytes, self.profile.bandwidth_bps)
+        self.bytes_sent.increment(wire_bytes)
+        # The transmitter is busy for the serialization time, then the
+        # frame flies for the propagation delay while the next one starts.
+        self.sim.schedule(serialize, self._serialized, frame)
+
+    def _serialized(self, frame: Frame) -> None:
+        self._launch(frame)
+        self._transmit_next()
+
+    def _launch(self, frame: Frame) -> None:
+        delay = self.profile.propagation_ns
+        if self.impairments.any_enabled():
+            if self._rng.random() < self.impairments.loss_probability:
+                self.dropped_loss.increment()
+                return
+            if self._rng.random() < self.impairments.duplicate_probability:
+                self.sim.schedule(delay, self._deliver, frame)
+            if self._rng.random() < self.impairments.reorder_probability:
+                delay += self.impairments.reorder_extra_ns
+        self.sim.schedule(delay, self._deliver, frame)
+
+    def _deliver(self, frame: Frame) -> None:
+        self.delivered.increment()
+        self.sink.node.receive(frame, self.sink)
+
+    @property
+    def queue_depth(self) -> int:
+        """Frames waiting behind the one being serialized."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Channel {self.name} queued={self.queue_depth}>"
+
+
+class Link:
+    """A full-duplex link between two ports (two directed channels)."""
+
+    def __init__(self, sim: "Simulator", profile: "NetworkProfile",
+                 port_a: Port, port_b: Port,
+                 impairments_ab: Optional[Impairments] = None,
+                 impairments_ba: Optional[Impairments] = None) -> None:
+        name_ab = f"{port_a.node.name}->{port_b.node.name}"
+        name_ba = f"{port_b.node.name}->{port_a.node.name}"
+        self.forward = Channel(sim, name_ab, profile, port_b, impairments_ab)
+        self.backward = Channel(sim, name_ba, profile, port_a, impairments_ba)
+        port_a.channel = self.forward
+        port_b.channel = self.backward
+        self.port_a = port_a
+        self.port_b = port_b
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Link {self.forward.name}>"

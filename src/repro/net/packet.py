@@ -1,0 +1,79 @@
+"""Network frames: what actually travels on simulated links.
+
+A :class:`Frame` is the L2-L4 envelope: source/destination node names, a
+UDP destination port, a payload object, and the payload's wire size.  The
+payload is either an opaque :class:`RawPayload` (non-PMNet traffic) or a
+``repro.protocol.PMNetPacket``; devices dispatch on the UDP port exactly
+like the paper's ingress pipeline (PMNet reserves ports 51000-52000).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: UDP destination-port range reserved for PMNet traffic (Sec IV-A2).
+PMNET_UDP_PORT_MIN = 51000
+PMNET_UDP_PORT_MAX = 52000
+
+#: Default UDP port for ordinary (non-PMNet) datagram traffic.
+PLAIN_UDP_PORT = 9000
+
+_frame_ids = itertools.count(1)
+
+
+def is_pmnet_port(udp_port: int) -> bool:
+    """Whether a UDP port falls inside the reserved PMNet range."""
+    return PMNET_UDP_PORT_MIN <= udp_port <= PMNET_UDP_PORT_MAX
+
+
+@dataclass
+class RawPayload:
+    """Opaque application payload for non-PMNet traffic."""
+
+    data: Any = None
+    size_bytes: int = 0
+
+
+@dataclass
+class Frame:
+    """One simulated network frame.
+
+    ``payload_bytes`` is the application-payload size; links add the
+    configured L2-L4 framing overhead when computing serialization time.
+    ``hops`` counts store-and-forward stages for diagnostics; ``frame_id``
+    makes every frame uniquely identifiable in traces.
+    """
+
+    src: str
+    dst: str
+    payload: Any
+    payload_bytes: int
+    udp_port: int = PLAIN_UDP_PORT
+    hops: int = 0
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError(f"payload size must be >= 0, got {self.payload_bytes}")
+
+    @property
+    def is_pmnet(self) -> bool:
+        """Whether this frame belongs to the PMNet protocol."""
+        return is_pmnet_port(self.udp_port)
+
+    def wire_size(self, header_overhead_bytes: int) -> int:
+        """Total on-wire size including framing overhead."""
+        return self.payload_bytes + header_overhead_bytes
+
+    def reply_to(self, payload: Any, payload_bytes: int,
+                 udp_port: Optional[int] = None) -> "Frame":
+        """Build a frame going back to this frame's source."""
+        return Frame(src=self.dst, dst=self.src, payload=payload,
+                     payload_bytes=payload_bytes,
+                     udp_port=self.udp_port if udp_port is None else udp_port)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Frame#{self.frame_id} {self.src}->{self.dst} "
+                f"port={self.udp_port} {self.payload_bytes}B>")

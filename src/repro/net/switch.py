@@ -1,0 +1,40 @@
+"""A plain (non-programmable) store-and-forward switch.
+
+Models the "regular switch (with sub-microsecond latency)" the paper
+places between the clients and the FPGA (Sec VI-A1): a fixed forwarding
+delay plus whatever queueing the output links impose.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.device import ForwardingTable, Node, Port
+from repro.net.packet import Frame
+from repro.sim.monitor import Counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import NetworkProfile
+    from repro.sim.kernel import Simulator
+
+
+class Switch(Node):
+    """Forwards every frame toward its destination after a fixed delay."""
+
+    def __init__(self, sim: "Simulator", name: str,
+                 profile: "NetworkProfile") -> None:
+        super().__init__(sim, name)
+        self.profile = profile
+        self.table = ForwardingTable()
+        self.forwarded = Counter(f"{name}.forwarded")
+
+    def handle_frame(self, frame: Frame, in_port: Port) -> None:
+        self.sim.schedule(self.profile.switch_forward_ns,
+                          self._forward, frame)
+
+    def _forward(self, frame: Frame) -> None:
+        if self.failed:
+            return
+        out_port = self.table.lookup(frame.dst)
+        self.forwarded.increment()
+        out_port.transmit(frame)

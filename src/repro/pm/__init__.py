@@ -1,0 +1,7 @@
+"""Persistent-memory substrate: device timing, log queues, request log."""
+
+from repro.pm.device import PMDevice
+from repro.pm.log import LogEntry, LogRegion
+from repro.pm.queues import LogQueue
+
+__all__ = ["PMDevice", "LogQueue", "LogRegion", "LogEntry"]

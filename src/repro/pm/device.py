@@ -1,0 +1,116 @@
+"""Persistent-memory device timing model.
+
+A :class:`PMDevice` serializes accesses through one media port (the
+paper's FPGA DMA engine): each access costs the device's fixed latency
+plus size/bandwidth, and accesses queue behind each other.  Durability is
+explicit: a write's data is persistent only when its completion fires.
+On a crash, in-flight accesses are discarded — exactly the volatile
+window the paper's log queues create (Sec V-A).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Tuple
+
+from repro.errors import CrashedDeviceError
+from repro.sim.monitor import Counter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import PMProfile
+    from repro.sim.kernel import Simulator
+
+
+class PMDevice:
+    """One PM media port with latency/bandwidth and crash semantics."""
+
+    def __init__(self, sim: "Simulator", name: str,
+                 profile: "PMProfile") -> None:
+        self.sim = sim
+        self.name = name
+        self.profile = profile
+        self._busy_until = 0
+        self._inflight: List[object] = []
+        self.crashed = False
+        self.writes_completed = Counter(f"{name}.writes")
+        self.reads_completed = Counter(f"{name}.reads")
+        self.bytes_written = Counter(f"{name}.bytes_written")
+
+    # ------------------------------------------------------------------
+    def _media_time(self, nbytes: int) -> int:
+        return round(nbytes / self.profile.bandwidth_bytes_per_s * 1e9)
+
+    def _submit(self, latency_ns: int, nbytes: int,
+                on_complete: Callable[[], None]) -> int:
+        """Pipelined access model: the DMA engine initiates accesses at
+        the media bandwidth (back-to-back accesses are spaced by their
+        transfer time), while each access's *completion* additionally
+        waits the fixed media latency.  A lone access costs
+        latency + transfer; a stream is bandwidth-bound."""
+        if self.crashed:
+            raise CrashedDeviceError(f"PM device {self.name} has crashed")
+        start = max(self.sim.now, self._busy_until)
+        media = self._media_time(nbytes)
+        self._busy_until = start + media
+        finish = start + latency_ns + media
+        token = object()
+        self._inflight.append(token)
+
+        def complete() -> None:
+            if token not in self._inflight:
+                return  # discarded by a crash
+            self._inflight.remove(token)
+            on_complete()
+
+        self.sim.schedule_at(finish, complete)
+        return finish
+
+    def submit_write(self, nbytes: int,
+                     on_persisted: Callable[[], None]) -> int:
+        """Start persisting ``nbytes``; returns the completion time.
+
+        ``on_persisted`` fires when the data is durable.  If the device
+        crashes first, the callback never fires (the write is lost).
+        """
+        def done() -> None:
+            self.writes_completed.increment()
+            self.bytes_written.increment(nbytes)
+            on_persisted()
+
+        return self._submit(self.profile.write_latency_ns, nbytes, done)
+
+    def submit_read(self, nbytes: int,
+                    on_complete: Callable[[], None]) -> int:
+        """Start reading ``nbytes``; returns the completion time."""
+        def done() -> None:
+            self.reads_completed.increment()
+            on_complete()
+
+        return self._submit(self.profile.read_latency_ns, nbytes, done)
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_accesses(self) -> int:
+        return len(self._inflight)
+
+    def busy_for(self) -> int:
+        """Nanoseconds until the media port goes idle (0 if idle now)."""
+        return max(0, self._busy_until - self.sim.now)
+
+    def crash(self) -> Tuple[int, int]:
+        """Power-fail the device: drop in-flight accesses.
+
+        Returns ``(discarded_accesses, completed_writes)`` for assertions.
+        """
+        discarded = len(self._inflight)
+        self._inflight.clear()
+        self.crashed = True
+        return discarded, int(self.writes_completed)
+
+    def recover(self) -> None:
+        """Bring the device back (durable data handling is the log's job)."""
+        self.crashed = False
+        self._busy_until = self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "crashed" if self.crashed else "ok"
+        return f"<PMDevice {self.name} {state} inflight={self.pending_accesses}>"

@@ -1,0 +1,37 @@
+"""The PMNet wire protocol: header, packet types, sessions, ordering."""
+
+from repro.protocol.crc import crc32
+from repro.protocol.fragment import (
+    Reassembler,
+    fragment_request,
+    max_fragment_payload,
+)
+from repro.protocol.header import (
+    HEADER_BYTES,
+    PMNetHeader,
+    make_request_header,
+)
+from repro.protocol.ordering import ReorderBuffer
+from repro.protocol.packet import (
+    PMNetPacket,
+    RecoveryPoll,
+    RetransRequest,
+    next_request_id,
+)
+from repro.protocol.session import Session, SessionAllocator
+from repro.protocol.types import (
+    CLIENT_TO_SERVER,
+    TO_CLIENT,
+    PacketType,
+    is_request,
+)
+
+__all__ = [
+    "crc32",
+    "HEADER_BYTES", "PMNetHeader", "make_request_header",
+    "PacketType", "is_request", "CLIENT_TO_SERVER", "TO_CLIENT",
+    "PMNetPacket", "RetransRequest", "RecoveryPoll", "next_request_id",
+    "Session", "SessionAllocator",
+    "ReorderBuffer",
+    "Reassembler", "fragment_request", "max_fragment_payload",
+]

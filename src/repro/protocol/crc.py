@@ -1,0 +1,41 @@
+"""CRC-32 (IEEE 802.3), implemented from scratch.
+
+The paper's sender stack computes a CRC-32 over the PMNet header and the
+device uses it as the log index (``HashVal``).  This is the standard
+reflected CRC-32 with polynomial 0xEDB88320 — byte-compatible with
+``zlib.crc32`` (the test suite asserts this equivalence).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_POLYNOMIAL = 0xEDB88320
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLYNOMIAL
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes, initial: int = 0) -> int:
+    """CRC-32 of ``data``; ``initial`` allows incremental computation.
+
+    >>> crc32(b"123456789")
+    3421780262
+    """
+    crc = (initial ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    for byte in data:
+        crc = _TABLE[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF

@@ -1,0 +1,113 @@
+"""MTU fragmentation and reassembly (Sec IV-A3).
+
+Requests larger than the MTU payload budget are split into fragments;
+each fragment gets its own SeqNum (so ordering machinery works unchanged)
+and its own PMNet-ACK.  The client completes a request only when *all*
+fragment ACKs arrived; the server reassembles before invoking the handler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import FragmentationError
+from repro.protocol.header import HEADER_BYTES, make_request_header
+from repro.protocol.packet import PMNetPacket, next_request_id
+from repro.protocol.session import Session
+from repro.protocol.types import PacketType
+
+
+def max_fragment_payload(mtu_bytes: int, framing_overhead_bytes: int) -> int:
+    """Largest application payload that fits one MTU frame."""
+    budget = mtu_bytes - framing_overhead_bytes - HEADER_BYTES
+    if budget <= 0:
+        raise FragmentationError(
+            f"MTU {mtu_bytes} cannot carry a PMNet header")
+    return budget
+
+
+def fragment_request(session: Session, packet_type: PacketType,
+                     payload: Any, payload_bytes: int,
+                     mtu_payload_bytes: int) -> List[PMNetPacket]:
+    """Split one logical request into sealed MTU-sized packets.
+
+    The payload object rides on the *first* fragment; trailing fragments
+    carry only size (the simulation does not model byte-level content of
+    the spilled region, just its cost and its ACK accounting).
+    """
+    if payload_bytes <= 0:
+        raise FragmentationError("request payload must be positive-sized")
+    if mtu_payload_bytes <= 0:
+        raise FragmentationError("MTU payload budget must be positive")
+    sizes: List[int] = []
+    remaining = payload_bytes
+    while remaining > 0:
+        chunk = min(remaining, mtu_payload_bytes)
+        sizes.append(chunk)
+        remaining -= chunk
+    request_id = next_request_id()
+    is_update = packet_type is PacketType.UPDATE_REQ
+    packets = []
+    for index, size in enumerate(sizes):
+        seq = (session.next_seq_num() if is_update
+               else session.next_read_seq())
+        header = make_request_header(packet_type, session.session_id, seq)
+        packets.append(PMNetPacket(
+            header=header,
+            payload=payload if index == 0 else None,
+            payload_bytes=size,
+            request_id=request_id,
+            client=session.client,
+            server=session.server,
+            frag_index=index,
+            frag_count=len(sizes),
+        ))
+    return packets
+
+
+@dataclass
+class _PendingRequest:
+    """Reassembly state for one in-flight fragmented request."""
+
+    frag_count: int
+    received: Dict[int, PMNetPacket] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return len(self.received) == self.frag_count
+
+
+class Reassembler:
+    """Collects fragments and yields the completed logical request."""
+
+    def __init__(self) -> None:
+        self._pending: Dict[int, _PendingRequest] = {}
+
+    def push(self, packet: PMNetPacket) -> Optional[List[PMNetPacket]]:
+        """Accept one in-order fragment.
+
+        Returns all fragments in ``frag_index`` order (the first carries
+        the payload object) once the whole request has arrived, else
+        ``None``.  Single-fragment requests complete immediately.
+        """
+        if packet.frag_count == 1:
+            return [packet]
+        state = self._pending.get(packet.request_id)
+        if state is None:
+            state = _PendingRequest(packet.frag_count)
+            self._pending[packet.request_id] = state
+        if state.frag_count != packet.frag_count:
+            raise FragmentationError(
+                f"request {packet.request_id}: inconsistent fragment count")
+        if packet.frag_index in state.received:
+            return None  # duplicate fragment
+        state.received[packet.frag_index] = packet
+        if not state.complete:
+            return None
+        del self._pending[packet.request_id]
+        return [state.received[i] for i in range(state.frag_count)]
+
+    @property
+    def incomplete_requests(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,144 @@
+"""The PMNet packet: header plus payload plus fragment bookkeeping.
+
+A *request* is the application-level unit (one update or read).  On the
+wire it becomes one or more :class:`PMNetPacket` fragments, each with its
+own ``SeqNum`` and ``HashVal`` (Sec IV-A3).  The packet also records which
+client and server it travels between so devices can route derived ACKs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict
+
+from repro.protocol.header import HEADER_BYTES, PMNetHeader
+from repro.protocol.types import PacketType
+
+_request_ids = itertools.count(1)
+
+
+def next_request_id() -> int:
+    """A process-unique id for a logical request."""
+    return next(_request_ids)
+
+
+@dataclass
+class PMNetPacket:
+    """One PMNet fragment as it travels through the fabric."""
+
+    header: PMNetHeader
+    payload: Any
+    payload_bytes: int
+    request_id: int
+    client: str
+    server: str
+    frag_index: int = 0
+    frag_count: int = 1
+    #: Set on packets PMNet resends from its log during recovery, so the
+    #: server knows to consult SeqNum for dedup (Sec IV-E1).
+    resent: bool = False
+    #: Which device generated this packet (PMNet-ACKs and cache responses);
+    #: clients count distinct origins to enforce replication strength
+    #: (Sec IV-C: wait for PMNet-ACK #1 *and* #2).
+    origin_device: str = ""
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload size must be >= 0")
+        if not 0 <= self.frag_index < self.frag_count:
+            raise ValueError(
+                f"fragment {self.frag_index}/{self.frag_count} out of range")
+
+    @property
+    def wire_bytes(self) -> int:
+        """Application-layer size: PMNet header plus payload."""
+        return HEADER_BYTES + self.payload_bytes
+
+    @property
+    def packet_type(self) -> PacketType:
+        return self.header.packet_type
+
+    @property
+    def hash_val(self) -> int:
+        return self.header.hash_val
+
+    @property
+    def session_id(self) -> int:
+        return self.header.session_id
+
+    @property
+    def seq_num(self) -> int:
+        return self.header.seq_num
+
+    # ------------------------------------------------------------------
+    # Derived packets
+    # ------------------------------------------------------------------
+    def make_ack(self, packet_type: PacketType,
+                 origin_device: str = "") -> "PMNetPacket":
+        """A PMNet-ACK or server-ACK for this request fragment.
+
+        The ACK keeps SessionID/SeqNum/HashVal so both the client library
+        and any PMNet device on the path can identify the original packet.
+        """
+        if packet_type not in (PacketType.PMNET_ACK, PacketType.SERVER_ACK):
+            raise ValueError(f"not an ACK type: {packet_type}")
+        return PMNetPacket(
+            header=self.header.with_type(packet_type),
+            payload=None,
+            payload_bytes=0,
+            request_id=self.request_id,
+            client=self.client,
+            server=self.server,
+            frag_index=self.frag_index,
+            frag_count=self.frag_count,
+            origin_device=origin_device,
+        )
+
+    def make_response(self, payload: Any, payload_bytes: int,
+                      from_cache: bool = False,
+                      origin_device: str = "") -> "PMNetPacket":
+        """The server's (or cache's) application response to this request."""
+        packet_type = (PacketType.CACHE_RESP if from_cache
+                       else PacketType.SERVER_RESP)
+        return PMNetPacket(
+            header=self.header.with_type(packet_type),
+            payload=payload,
+            payload_bytes=payload_bytes,
+            request_id=self.request_id,
+            client=self.client,
+            server=self.server,
+            origin_device=origin_device,
+        )
+
+    def as_resent(self) -> "PMNetPacket":
+        """A copy marked as a recovery retransmission."""
+        return replace(self, resent=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<PMNetPacket {self.packet_type.name} req={self.request_id} "
+                f"sess={self.session_id} seq={self.seq_num} "
+                f"frag={self.frag_index}/{self.frag_count}>")
+
+
+@dataclass
+class RetransRequest:
+    """Payload of a RETRANS packet: which fragments the server is missing."""
+
+    session_id: int
+    missing_seq_nums: tuple[int, ...]
+    #: HashVals of the missing packets, parallel to ``missing_seq_nums``;
+    #: PMNet looks entries up by HashVal (Sec IV-B1).
+    missing_hash_vals: tuple[int, ...] = field(default_factory=tuple)
+
+
+@dataclass
+class RecoveryPoll:
+    """Payload of a RECOVERY_POLL: the recovering server's resume points.
+
+    Maps SessionID to the next SeqNum the server expects (Sec IV-E1: the
+    server polls PMNet "with the sequence number starting from the last
+    packet it receives").
+    """
+
+    expected_seq: Dict[int, int] = field(default_factory=dict)

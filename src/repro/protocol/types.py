@@ -1,0 +1,44 @@
+"""PMNet packet types (the 8-bit ``Type`` header field, Sec IV-B1)."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class PacketType(IntEnum):
+    """All request/ACK types the PMNet MAT pipeline distinguishes."""
+
+    #: An update request from a client — logged by PMNet and acknowledged
+    #: early (Sec IV-B1).
+    UPDATE_REQ = 1
+    #: A read or synchronization request that must reach the server and
+    #: must not be acknowledged early (Sec IV-B1).
+    BYPASS_REQ = 2
+    #: PMNet's early acknowledgement to the client: the request is in the
+    #: network persistence domain.
+    PMNET_ACK = 3
+    #: The server's acknowledgement that a request has been committed;
+    #: invalidates the device's log entry.
+    SERVER_ACK = 4
+    #: A retransmission request from the server for a lost packet.
+    RETRANS = 5
+    #: The server's application-level response (read results; the baseline
+    #: completion signal for updates).
+    SERVER_RESP = 6
+    #: A response served from the PMNet read cache (Sec IV-D).
+    CACHE_RESP = 7
+    #: The recovering server's poll for logged requests (Sec IV-E1).
+    RECOVERY_POLL = 8
+
+
+#: Types that flow from client toward server.
+CLIENT_TO_SERVER = frozenset({PacketType.UPDATE_REQ, PacketType.BYPASS_REQ,
+                              PacketType.RECOVERY_POLL})
+#: Types that flow from server/device back toward the client.
+TO_CLIENT = frozenset({PacketType.PMNET_ACK, PacketType.SERVER_RESP,
+                       PacketType.CACHE_RESP})
+
+
+def is_request(packet_type: PacketType) -> bool:
+    """Whether the type is a client request PMNet may see on ingress."""
+    return packet_type in (PacketType.UPDATE_REQ, PacketType.BYPASS_REQ)

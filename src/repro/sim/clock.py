@@ -1,0 +1,88 @@
+"""Simulated time: integer nanoseconds and unit helpers.
+
+All simulation timestamps and durations in this library are plain ``int``
+nanoseconds.  Integers keep event ordering exact and runs bit-reproducible;
+floats would accumulate rounding error over millions of events.  The helpers
+here convert between human units and nanoseconds and format times for
+reports.
+"""
+
+from __future__ import annotations
+
+#: One nanosecond (the base unit).
+NANOSECOND = 1
+#: One microsecond in nanoseconds.
+MICROSECOND = 1_000
+#: One millisecond in nanoseconds.
+MILLISECOND = 1_000_000
+#: One second in nanoseconds.
+SECOND = 1_000_000_000
+
+
+def nanoseconds(value: float) -> int:
+    """Convert ``value`` nanoseconds to the integer time base."""
+    return round(value)
+
+
+def microseconds(value: float) -> int:
+    """Convert ``value`` microseconds to integer nanoseconds."""
+    return round(value * MICROSECOND)
+
+
+def milliseconds(value: float) -> int:
+    """Convert ``value`` milliseconds to integer nanoseconds."""
+    return round(value * MILLISECOND)
+
+
+def seconds(value: float) -> int:
+    """Convert ``value`` seconds to integer nanoseconds."""
+    return round(value * SECOND)
+
+
+def to_microseconds(time_ns: int) -> float:
+    """Express an integer-nanosecond time in microseconds."""
+    return time_ns / MICROSECOND
+
+
+def to_milliseconds(time_ns: int) -> float:
+    """Express an integer-nanosecond time in milliseconds."""
+    return time_ns / MILLISECOND
+
+
+def to_seconds(time_ns: int) -> float:
+    """Express an integer-nanosecond time in seconds."""
+    return time_ns / SECOND
+
+
+def format_time(time_ns: int) -> str:
+    """Render a duration with the most readable unit (for reports/tracing).
+
+    >>> format_time(1500)
+    '1.500us'
+    >>> format_time(2_000_000_000)
+    '2.000s'
+    """
+    if time_ns >= SECOND:
+        return f"{time_ns / SECOND:.3f}s"
+    if time_ns >= MILLISECOND:
+        return f"{time_ns / MILLISECOND:.3f}ms"
+    if time_ns >= MICROSECOND:
+        return f"{time_ns / MICROSECOND:.3f}us"
+    return f"{time_ns}ns"
+
+
+def transmission_delay(size_bytes: int, bandwidth_bps: float) -> int:
+    """Serialization delay of ``size_bytes`` on a ``bandwidth_bps`` link.
+
+    Returns integer nanoseconds, rounded up so a nonzero payload always
+    costs at least one tick on a finite-bandwidth link.
+    """
+    if bandwidth_bps <= 0:
+        raise ValueError(f"bandwidth must be positive, got {bandwidth_bps}")
+    if size_bytes < 0:
+        raise ValueError(f"size must be non-negative, got {size_bytes}")
+    if size_bytes == 0:
+        return 0
+    bits = size_bytes * 8
+    delay = (bits * SECOND + bandwidth_bps - 1) // int(bandwidth_bps)
+    return int(delay)

@@ -1,0 +1,163 @@
+"""Events and the pending-event queue of the discrete-event kernel.
+
+Two kinds of "event" exist and are deliberately distinct:
+
+* :class:`ScheduledCall` — an internal queue record: *at time T, invoke this
+  callback*.  Users normally never touch these directly.
+* :class:`SimEvent` — a one-shot synchronization object (in the style of
+  simpy events or asyncio futures): processes wait on it; someone succeeds
+  or fails it exactly once, waking all waiters with a value or an error.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+
+
+class ScheduledCall:
+    """A callback registered to run at a fixed simulated time.
+
+    Instances are ordered by ``(time, seq)`` so that simultaneous events
+    run in scheduling order, which keeps runs deterministic.
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time arrives."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledCall") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledCall t={self.time} seq={self.seq} {state}>"
+
+
+class EventQueue:
+    """Min-heap of :class:`ScheduledCall` records ordered by time."""
+
+    def __init__(self) -> None:
+        self._heap: list[ScheduledCall] = []
+        self._seq = 0
+
+    def push(self, time: int, callback: Callable[[], None]) -> ScheduledCall:
+        """Enqueue ``callback`` to run at ``time``; returns a cancellable handle."""
+        call = ScheduledCall(time, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, call)
+        return call
+
+    def pop(self) -> ScheduledCall:
+        """Remove and return the earliest non-cancelled call.
+
+        Raises :class:`IndexError` if the queue is empty (after dropping
+        cancelled entries).
+        """
+        while self._heap:
+            call = heapq.heappop(self._heap)
+            if not call.cancelled:
+                return call
+        raise IndexError("pop from empty EventQueue")
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest pending call, or ``None`` if empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return sum(1 for call in self._heap if not call.cancelled)
+
+    def __bool__(self) -> bool:
+        return self.peek_time() is not None
+
+
+class SimEvent:
+    """A one-shot, waitable occurrence carrying a value or an exception.
+
+    Lifecycle: *pending* → (``succeed`` | ``fail``) → *triggered*.
+    Triggering twice is an error: it almost always indicates two components
+    believe they own the same completion.
+    """
+
+    __slots__ = ("_sim", "_callbacks", "_triggered", "_value", "_exception", "name")
+
+    def __init__(self, sim: Any, name: str = "") -> None:
+        self._sim = sim
+        self._callbacks: list[Callable[["SimEvent"], None]] = []
+        self._triggered = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self.name = name
+
+    @property
+    def triggered(self) -> bool:
+        """Whether the event has been succeeded or failed."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event was triggered successfully."""
+        return self._triggered and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The success value; raises if the event failed or is pending."""
+        if not self._triggered:
+            raise SimulationError(f"event {self.name!r} has not been triggered")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or ``None``."""
+        return self._exception
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Trigger the event successfully, waking waiters with ``value``."""
+        self._trigger(value, None)
+        return self
+
+    def fail(self, exception: BaseException) -> "SimEvent":
+        """Trigger the event with an error, raising it in each waiter."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() requires an exception, got {exception!r}")
+        self._trigger(None, exception)
+        return self
+
+    def _trigger(self, value: Any, exception: Optional[BaseException]) -> None:
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self._triggered = True
+        self._value = value
+        self._exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            # Callbacks run through the kernel "now" so that waiter wakeups
+            # interleave with other same-time events deterministically.
+            self._sim.call_soon(callback, self)
+
+    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
+        """Run ``callback(event)`` once triggered (immediately if already)."""
+        if self._triggered:
+            self._sim.call_soon(callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "pending"
+        if self._triggered:
+            state = "failed" if self._exception is not None else "ok"
+        return f"<SimEvent {self.name!r} {state}>"

@@ -1,0 +1,142 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the virtual clock and the event queue.  Components
+schedule plain callbacks (``schedule``/``call_soon``) or spawn coroutine
+processes (see :mod:`repro.sim.process`).  The kernel is single-threaded
+and deterministic: given the same seed and the same scheduling order, a run
+is bit-for-bit reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.clock import format_time
+from repro.sim.event import EventQueue, ScheduledCall, SimEvent
+from repro.sim.process import Process
+from repro.sim.rand import RandomStreams
+
+
+class Simulator:
+    """A deterministic discrete-event simulator with integer-ns time."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0
+        self._queue = EventQueue()
+        self._running = False
+        self._stopped = False
+        self.random = RandomStreams(seed)
+        #: Number of callbacks executed so far (observability/debugging).
+        self.executed_events = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[..., None],
+                 *args: Any) -> ScheduledCall:
+        """Run ``callback(*args)`` after ``delay`` nanoseconds.
+
+        ``delay`` must be non-negative; scheduling into the past would break
+        causality and is always a caller bug.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}ns into the past")
+        if args:
+            bound = callback
+            callback = lambda: bound(*args)  # noqa: E731 - tiny binding shim
+        return self._queue.push(self._now + delay, callback)
+
+    def schedule_at(self, time: int, callback: Callable[..., None],
+                    *args: Any) -> ScheduledCall:
+        """Run ``callback(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {format_time(time)}, now is "
+                f"{format_time(self._now)}")
+        return self.schedule(time - self._now, callback, *args)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> ScheduledCall:
+        """Run ``callback(*args)`` at the current time, after pending events."""
+        return self.schedule(0, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Events and processes
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> SimEvent:
+        """Create a fresh, untriggered :class:`SimEvent`."""
+        return SimEvent(self, name)
+
+    def timeout(self, delay: int, value: Any = None) -> SimEvent:
+        """An event that succeeds with ``value`` after ``delay`` ns."""
+        ev = SimEvent(self, f"timeout({delay})")
+        self.schedule(delay, ev.succeed, value)
+        return ev
+
+    def spawn(self, generator: Iterator[Any], name: str = "") -> Process:
+        """Start a coroutine process (a generator yielding events/delays)."""
+        return Process(self, generator, name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the single earliest pending event.
+
+        Returns ``False`` when the queue is empty, ``True`` otherwise.
+        """
+        try:
+            call = self._queue.pop()
+        except IndexError:
+            return False
+        if call.time < self._now:
+            raise SimulationError("event queue returned a past event")
+        self._now = call.time
+        self.executed_events += 1
+        call.callback()
+        return True
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` (absolute ns), or a budget.
+
+        Returns the simulated time at which execution stopped.  ``until`` is
+        inclusive: events scheduled exactly at ``until`` execute.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run)")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while not self._stopped:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self._now = until
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        return self._now
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event completes."""
+        self._stopped = True
+
+    def pending_events(self) -> int:
+        """Number of events waiting in the queue."""
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Simulator now={format_time(self._now)} "
+                f"pending={self.pending_events()}>")

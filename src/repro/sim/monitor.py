@@ -1,0 +1,174 @@
+"""Measurement utilities: counters, latency recorders, time series.
+
+Experiments attach these to components and read them back after the run.
+They are deliberately simulation-agnostic (plain numbers in, summaries
+out) so the analysis layer can also use them on non-simulated data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Counter:
+    """A named monotonically-increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class LatencyRecorder:
+    """Collects latency samples and summarizes them.
+
+    Stores raw samples (simulations here are small enough that exact
+    percentiles beat streaming sketches for clarity and testability).
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._samples: List[int] = []
+        self._sorted: Optional[List[int]] = None
+
+    def record(self, latency_ns: int) -> None:
+        """Add one sample (non-negative nanoseconds)."""
+        if latency_ns < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_ns}")
+        self._samples.append(latency_ns)
+        self._sorted = None
+
+    def extend(self, samples: Iterable[int]) -> None:
+        for sample in samples:
+            self.record(sample)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> List[int]:
+        """The raw samples, in arrival order (a copy)."""
+        return list(self._samples)
+
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError(f"no samples recorded in {self.name!r}")
+        return sum(self._samples) / len(self._samples)
+
+    def percentile(self, pct: float) -> int:
+        """Exact percentile via the nearest-rank method."""
+        if not self._samples:
+            raise ValueError(f"no samples recorded in {self.name!r}")
+        if not 0.0 <= pct <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {pct}")
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        if pct == 0.0:
+            return self._sorted[0]
+        rank = math.ceil(pct / 100.0 * len(self._sorted))
+        return self._sorted[rank - 1]
+
+    def median(self) -> int:
+        return self.percentile(50.0)
+
+    def p99(self) -> int:
+        return self.percentile(99.0)
+
+    def maximum(self) -> int:
+        return self.percentile(100.0)
+
+    def minimum(self) -> int:
+        return self.percentile(0.0)
+
+    def cdf(self, points: int = 200) -> List[Tuple[int, float]]:
+        """The empirical CDF as ``(latency_ns, fraction)`` pairs.
+
+        Downsamples to at most ``points`` evenly spaced quantiles so plots
+        and reports stay small regardless of sample count.
+        """
+        if not self._samples:
+            return []
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        n = len(self._sorted)
+        if n <= points:
+            return [(value, (i + 1) / n) for i, value in enumerate(self._sorted)]
+        curve = []
+        for i in range(points):
+            frac = (i + 1) / points
+            idx = min(n - 1, math.ceil(frac * n) - 1)
+            curve.append((self._sorted[idx], frac))
+        return curve
+
+    def summary(self) -> Dict[str, float]:
+        """Mean/median/p99/min/max in one dict (nanoseconds)."""
+        return {
+            "count": self.count,
+            "mean": self.mean(),
+            "p50": float(self.median()),
+            "p99": float(self.p99()),
+            "min": float(self.minimum()),
+            "max": float(self.maximum()),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LatencyRecorder {self.name!r} n={self.count}>"
+
+
+class ThroughputMeter:
+    """Counts completions over simulated time and reports ops/second."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.completions = 0
+        self._first_ns: Optional[int] = None
+        self._last_ns: Optional[int] = None
+
+    def record(self, now_ns: int) -> None:
+        """Register one completion at simulated time ``now_ns``."""
+        if self._first_ns is None:
+            self._first_ns = now_ns
+        self._last_ns = now_ns
+        self.completions += 1
+
+    def ops_per_second(self) -> float:
+        """Completions per simulated second over the observed window."""
+        if self.completions < 2 or self._first_ns == self._last_ns:
+            raise ValueError(
+                f"need >= 2 spread-out completions in {self.name!r} to "
+                "compute throughput")
+        window_ns = self._last_ns - self._first_ns  # type: ignore[operator]
+        return (self.completions - 1) * 1e9 / window_ns
+
+
+class TimeSeries:
+    """Records ``(time_ns, value)`` observations for later inspection."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.points: List[Tuple[int, float]] = []
+
+    def record(self, now_ns: int, value: float) -> None:
+        if self.points and now_ns < self.points[-1][0]:
+            raise ValueError("time series observations must be monotonic")
+        self.points.append((now_ns, value))
+
+    def values(self) -> List[float]:
+        return [value for _time, value in self.points]
+
+    def __len__(self) -> int:
+        return len(self.points)

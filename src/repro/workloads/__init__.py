@@ -1,0 +1,38 @@
+"""Workloads: the operation model, PMDK stores, Redis, Twitter, TPC-C."""
+
+from repro.workloads.handlers import StructureHandler
+from repro.workloads.kv import (
+    BYPASS_KINDS,
+    UPDATE_KINDS,
+    OpKind,
+    Operation,
+    Result,
+    estimate_result_bytes,
+)
+from repro.workloads.pmdk.btree import PMBTree
+from repro.workloads.pmdk.ctree import PMCTree
+from repro.workloads.pmdk.hashmap import PMHashmap
+from repro.workloads.pmdk.rbtree import PMRBTree
+from repro.workloads.pmdk.skiplist import PMSkiplist
+from repro.workloads.redis import PMRedis, RedisHandler
+from repro.workloads.tpcc import TPCCHandler
+from repro.workloads.twitter import TwitterHandler
+from repro.workloads.ycsb import YCSBConfig, YCSBGenerator, make_op_maker
+
+#: Factory map for the five PMDK stores (Fig 19's first five rows).
+PMDK_STRUCTURES = {
+    "btree": PMBTree,
+    "ctree": PMCTree,
+    "rbtree": PMRBTree,
+    "hashmap": PMHashmap,
+    "skiplist": PMSkiplist,
+}
+
+__all__ = [
+    "Operation", "Result", "OpKind", "UPDATE_KINDS", "BYPASS_KINDS",
+    "estimate_result_bytes",
+    "PMBTree", "PMCTree", "PMRBTree", "PMHashmap", "PMSkiplist",
+    "PMDK_STRUCTURES", "StructureHandler",
+    "PMRedis", "RedisHandler", "TwitterHandler", "TPCCHandler",
+    "YCSBConfig", "YCSBGenerator", "make_op_maker",
+]

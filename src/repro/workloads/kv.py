@@ -1,0 +1,96 @@
+"""The application-level operation model shared by all workloads.
+
+Every request payload in the system is an :class:`Operation`; every
+response payload is a :class:`Result`.  The PMNet read cache understands
+the GET/SET subset (the paper's cache is keyed on the KV interface,
+Sec VI-B4); richer workloads (Twitter, TPC-C) encode their procedures as
+operations with workload-specific kinds that the cache simply ignores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Optional
+
+
+class OpKind(str, Enum):
+    """All operation kinds understood by the request handlers."""
+
+    GET = "get"
+    SET = "set"
+    DELETE = "delete"
+    #: Acquire an application-level lock (TPC-C critical sections);
+    #: always sent as a bypass request (Sec III-C).
+    LOCK = "lock"
+    #: Release an application-level lock.
+    UNLOCK = "unlock"
+    #: A workload-specific read-only procedure (e.g. Twitter timeline).
+    PROC_READ = "proc_read"
+    #: A workload-specific state-mutating procedure (e.g. TPC-C payment).
+    PROC_UPDATE = "proc_update"
+
+
+#: Kinds that mutate server state and therefore ride update-req packets.
+UPDATE_KINDS = frozenset({OpKind.SET, OpKind.DELETE, OpKind.PROC_UPDATE})
+#: Kinds that must bypass PMNet logging (reads and synchronization).
+BYPASS_KINDS = frozenset({OpKind.GET, OpKind.LOCK, OpKind.UNLOCK,
+                          OpKind.PROC_READ})
+
+
+@dataclass
+class Operation:
+    """One application request."""
+
+    kind: OpKind
+    key: Any = None
+    value: Any = None
+    #: Workload-specific arguments (e.g. TPC-C order lines).
+    args: Dict[str, Any] = field(default_factory=dict)
+    #: Name of the procedure for PROC_* kinds.
+    proc: str = ""
+
+    @property
+    def is_update(self) -> bool:
+        """Whether this operation changes server state."""
+        return self.kind in UPDATE_KINDS
+
+    @property
+    def is_cacheable_get(self) -> bool:
+        """Whether the PMNet read cache may serve this operation."""
+        return self.kind is OpKind.GET and self.key is not None
+
+    @property
+    def is_cacheable_set(self) -> bool:
+        """Whether this operation installs a value the cache can keep."""
+        return self.kind is OpKind.SET and self.key is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = self.proc or self.kind.value
+        return f"<Op {label} key={self.key!r}>"
+
+
+@dataclass
+class Result:
+    """One application response."""
+
+    ok: bool = True
+    value: Any = None
+    error: Optional[str] = None
+    #: True when the value was served by the in-network cache.
+    from_cache: bool = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "ok" if self.ok else f"error={self.error!r}"
+        return f"<Result {status}>"
+
+
+def estimate_result_bytes(result: Result, default_bytes: int = 32) -> int:
+    """Wire size of a response: values dominate, errors are small."""
+    if result.value is None:
+        return default_bytes
+    if isinstance(result.value, (bytes, str)):
+        return max(default_bytes, len(result.value))
+    if isinstance(result.value, (list, tuple)):
+        return max(default_bytes, 16 * len(result.value))
+    return default_bytes

@@ -1,0 +1,15 @@
+"""The five PMDK example stores, re-implemented with metered PM costs."""
+
+from repro.workloads.pmdk.base import PersistentStructure
+from repro.workloads.pmdk.btree import PMBTree
+from repro.workloads.pmdk.ctree import PMCTree
+from repro.workloads.pmdk.hashmap import PMHashmap
+from repro.workloads.pmdk.pmobj import DEFAULT_PM_COSTS, PMCostProfile, PMMeter
+from repro.workloads.pmdk.rbtree import PMRBTree
+from repro.workloads.pmdk.skiplist import PMSkiplist
+
+__all__ = [
+    "PersistentStructure",
+    "PMBTree", "PMCTree", "PMHashmap", "PMRBTree", "PMSkiplist",
+    "PMCostProfile", "PMMeter", "DEFAULT_PM_COSTS",
+]

@@ -1,0 +1,95 @@
+"""Common interface for the PMDK example data structures.
+
+Each structure is a genuine implementation of its algorithm (real nodes,
+real rebalancing) that meters its persistent-memory actions through a
+:class:`~repro.workloads.pmdk.pmobj.PMMeter`.  Mutations are wrapped in
+a "transaction" (undo-log cost) so each operation is atomic — exactly
+the property the failure-recovery experiments rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import KeyNotFound
+from repro.workloads.pmdk.pmobj import DEFAULT_PM_COSTS, PMCostProfile, PMMeter
+
+
+class PersistentStructure:
+    """A persistent key-value structure with metered operations.
+
+    ``set``/``get``/``delete`` return the operation's processing cost in
+    nanoseconds (``get`` returns ``(value, cost)``); ``digest`` produces
+    an order-independent fingerprint of the contents for recovery
+    equivalence checks.
+    """
+
+    kind = "abstract"
+
+    def __init__(self, costs: PMCostProfile = DEFAULT_PM_COSTS) -> None:
+        self.meter = PMMeter(costs)
+        self.op_count = 0
+
+    # -- to implement ----------------------------------------------------
+    def _insert(self, key: Any, value: Any) -> None:
+        raise NotImplementedError
+
+    def _lookup(self, key: Any) -> Any:
+        """Return the value or raise KeyNotFound."""
+        raise NotImplementedError
+
+    def _remove(self, key: Any) -> None:
+        """Remove the key or raise KeyNotFound."""
+        raise NotImplementedError
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # -- metered public interface -----------------------------------------
+    def set(self, key: Any, value: Any) -> int:
+        """Insert or update; returns the metered cost in nanoseconds."""
+        self.meter.reset()
+        self.meter.begin_tx()
+        self._insert(key, value)
+        self.op_count += 1
+        return self.meter.take_ns()
+
+    def get(self, key: Any) -> Tuple[Optional[Any], int]:
+        """Look up; returns ``(value_or_None, cost_ns)``."""
+        self.meter.reset()
+        try:
+            value = self._lookup(key)
+        except KeyNotFound:
+            value = None
+        self.op_count += 1
+        return value, self.meter.take_ns()
+
+    def delete(self, key: Any) -> Tuple[bool, int]:
+        """Remove; returns ``(found, cost_ns)``."""
+        self.meter.reset()
+        self.meter.begin_tx()
+        try:
+            self._remove(key)
+            found = True
+        except KeyNotFound:
+            found = False
+        self.op_count += 1
+        return found, self.meter.take_ns()
+
+    # -- recovery support --------------------------------------------------
+    def digest(self) -> int:
+        """Order-independent fingerprint of the current contents."""
+        acc = 0
+        for key, value in self.items():
+            acc ^= hash((key, value))
+        return acc
+
+    def snapshot(self) -> List[Tuple[Any, Any]]:
+        """Sorted contents (for equality assertions in tests)."""
+        return sorted(self.items(), key=lambda kv: repr(kv[0]))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} len={len(self)} ops={self.op_count}>"

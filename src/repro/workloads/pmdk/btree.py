@@ -1,0 +1,279 @@
+"""A persistent B-tree (the PMDK ``btree`` example analog).
+
+A real B-tree of order ``ORDER``: sorted keys per node, split-on-full
+insertion, borrow/merge deletion.  Every structural write is metered:
+node allocations, undo-log snapshots of modified nodes, and flushes of
+dirtied cache lines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import KeyNotFound
+from repro.workloads.pmdk.base import PersistentStructure
+
+#: Maximum number of keys per node (PMDK's example uses 8).
+ORDER = 8
+
+
+class _Node:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.values: List[Any] = []
+        self.children: List["_Node"] = []
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+
+class PMBTree(PersistentStructure):
+    """Order-8 persistent B-tree."""
+
+    kind = "btree"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._root = _Node()
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def _find_slot(self, node: _Node, key: Any) -> int:
+        """Index of the first key >= ``key`` (linear, like the PMDK code)."""
+        slot = 0
+        while slot < len(node.keys) and node.keys[slot] < key:
+            slot += 1
+        return slot
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _lookup(self, key: Any) -> Any:
+        node = self._root
+        while True:
+            self.meter.visit()
+            self.meter.read()
+            slot = self._find_slot(node, key)
+            if slot < len(node.keys) and node.keys[slot] == key:
+                return node.values[slot]
+            if node.is_leaf:
+                raise KeyNotFound(key)
+            node = node.children[slot]
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def _insert(self, key: Any, value: Any) -> None:
+        root = self._root
+        if len(root.keys) >= ORDER:
+            new_root = _Node()
+            new_root.children.append(root)
+            self.meter.alloc()
+            self.meter.snapshot()  # root pointer
+            self._split_child(new_root, 0)
+            self._root = new_root
+        self._insert_nonfull(self._root, key, value)
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        child = parent.children[index]
+        mid = len(child.keys) // 2
+        sibling = _Node()
+        self.meter.alloc()
+        self.meter.snapshot(2)  # parent and child are both modified
+        self.meter.flush(2)
+        sibling.keys = child.keys[mid + 1:]
+        sibling.values = child.values[mid + 1:]
+        if not child.is_leaf:
+            sibling.children = child.children[mid + 1:]
+            del child.children[mid + 1:]
+        parent.keys.insert(index, child.keys[mid])
+        parent.values.insert(index, child.values[mid])
+        parent.children.insert(index + 1, sibling)
+        del child.keys[mid:]
+        del child.values[mid:]
+
+    def _insert_nonfull(self, node: _Node, key: Any, value: Any) -> None:
+        while True:
+            self.meter.visit()
+            slot = self._find_slot(node, key)
+            if slot < len(node.keys) and node.keys[slot] == key:
+                # PMDK-style overwrite: allocate the new value buffer,
+                # swap the pointer under the undo log, free the old one.
+                self.meter.alloc()
+                self.meter.free()
+                self.meter.snapshot()
+                self.meter.flush()
+                node.values[slot] = value
+                return
+            if node.is_leaf:
+                self.meter.snapshot()
+                self.meter.flush()
+                node.keys.insert(slot, key)
+                node.values.insert(slot, value)
+                self._count += 1
+                return
+            if len(node.children[slot].keys) >= ORDER:
+                self._split_child(node, slot)
+                if node.keys[slot] < key:
+                    slot += 1
+                elif node.keys[slot] == key:
+                    self.meter.snapshot()
+                    node.values[slot] = value
+                    return
+            node = node.children[slot]
+
+    # ------------------------------------------------------------------
+    # Delete (CLRS-style: fix occupancy *before* descending)
+    # ------------------------------------------------------------------
+    #: Minimum keys in a non-root node; a split leaves >= ORDER//2 - 1.
+    _MIN_KEYS = ORDER // 2 - 1
+
+    def _remove(self, key: Any) -> None:
+        self._delete_from(self._root, key)
+        if not self._root.keys and self._root.children:
+            self.meter.snapshot()
+            self.meter.free()
+            self._root = self._root.children[0]
+        self._count -= 1
+
+    def _delete_from(self, node: _Node, key: Any) -> None:
+        self.meter.visit()
+        self.meter.read()
+        slot = self._find_slot(node, key)
+        if slot < len(node.keys) and node.keys[slot] == key:
+            self._delete_here(node, slot, key)
+            return
+        if node.is_leaf:
+            raise KeyNotFound(key)
+        child = node.children[slot]
+        if len(child.keys) <= self._MIN_KEYS:
+            self._fill(node, slot)
+            # Filling may have moved the separator; re-route.
+            slot = self._find_slot(node, key)
+            if slot < len(node.keys) and node.keys[slot] == key:
+                self._delete_here(node, slot, key)
+                return
+            child = node.children[slot]
+        self._delete_from(child, key)
+
+    def _delete_here(self, node: _Node, slot: int, key: Any) -> None:
+        self.meter.snapshot()
+        self.meter.flush()
+        if node.is_leaf:
+            node.keys.pop(slot)
+            node.values.pop(slot)
+            return
+        left, right = node.children[slot], node.children[slot + 1]
+        if len(left.keys) > self._MIN_KEYS:
+            pred_key, pred_value = self._max_of(left)
+            node.keys[slot] = pred_key
+            node.values[slot] = pred_value
+            self._delete_from(left, pred_key)
+        elif len(right.keys) > self._MIN_KEYS:
+            succ_key, succ_value = self._min_of(right)
+            node.keys[slot] = succ_key
+            node.values[slot] = succ_value
+            self._delete_from(right, succ_key)
+        else:
+            self._merge(node, slot)
+            self._delete_from(node.children[slot], key)
+
+    def _max_of(self, node: _Node) -> Tuple[Any, Any]:
+        while not node.is_leaf:
+            self.meter.visit()
+            node = node.children[-1]
+        return node.keys[-1], node.values[-1]
+
+    def _min_of(self, node: _Node) -> Tuple[Any, Any]:
+        while not node.is_leaf:
+            self.meter.visit()
+            node = node.children[0]
+        return node.keys[0], node.values[0]
+
+    def _fill(self, node: _Node, slot: int) -> None:
+        """Bring ``children[slot]`` above minimum by borrow or merge."""
+        child = node.children[slot]
+        if slot > 0 and len(node.children[slot - 1].keys) > self._MIN_KEYS:
+            donor = node.children[slot - 1]
+            self.meter.snapshot(3)
+            self.meter.flush(2)
+            child.keys.insert(0, node.keys[slot - 1])
+            child.values.insert(0, node.values[slot - 1])
+            node.keys[slot - 1] = donor.keys.pop()
+            node.values[slot - 1] = donor.values.pop()
+            if not donor.is_leaf:
+                child.children.insert(0, donor.children.pop())
+        elif (slot < len(node.keys)
+              and len(node.children[slot + 1].keys) > self._MIN_KEYS):
+            donor = node.children[slot + 1]
+            self.meter.snapshot(3)
+            self.meter.flush(2)
+            child.keys.append(node.keys[slot])
+            child.values.append(node.values[slot])
+            node.keys[slot] = donor.keys.pop(0)
+            node.values[slot] = donor.values.pop(0)
+            if not donor.is_leaf:
+                child.children.append(donor.children.pop(0))
+        elif slot < len(node.keys):
+            self._merge(node, slot)
+        else:
+            self._merge(node, slot - 1)
+
+    def _merge(self, node: _Node, slot: int) -> None:
+        """Fold ``keys[slot]`` and ``children[slot+1]`` into
+        ``children[slot]``."""
+        left, right = node.children[slot], node.children[slot + 1]
+        self.meter.snapshot(3)
+        self.meter.flush(2)
+        self.meter.free()
+        left.keys.append(node.keys.pop(slot))
+        left.values.append(node.values.pop(slot))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+        node.children.pop(slot + 1)
+
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        yield from self._walk(self._root)
+
+    def _walk(self, node: _Node) -> Iterator[Tuple[Any, Any]]:
+        if node.is_leaf:
+            yield from zip(node.keys, node.values)
+            return
+        for index, (key, value) in enumerate(zip(node.keys, node.values)):
+            yield from self._walk(node.children[index])
+            yield key, value
+        yield from self._walk(node.children[len(node.keys)])
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- structural invariants (exercised by property tests) --------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError if B-tree invariants are violated."""
+        self._check_node(self._root, None, None, is_root=True)
+        keys = [key for key, _value in self.items()]
+        assert keys == sorted(keys), "in-order walk is not sorted"
+        assert len(keys) == self._count, "count drifted from contents"
+
+    def _check_node(self, node: _Node, low: Optional[Any],
+                    high: Optional[Any], is_root: bool = False) -> int:
+        assert len(node.keys) <= ORDER, "node overflow"
+        assert node.keys == sorted(node.keys), "node keys unsorted"
+        for key in node.keys:
+            assert low is None or key > low, "key below subtree bound"
+            assert high is None or key < high, "key above subtree bound"
+        if node.is_leaf:
+            return 1
+        assert len(node.children) == len(node.keys) + 1, "fanout mismatch"
+        depths = set()
+        bounds = [low] + list(node.keys) + [high]
+        for index, child in enumerate(node.children):
+            depths.add(self._check_node(child, bounds[index],
+                                        bounds[index + 1]))
+        assert len(depths) == 1, "leaves at unequal depth"
+        return depths.pop() + 1

@@ -1,0 +1,185 @@
+"""A persistent crit-bit tree (the PMDK ``ctree`` example analog).
+
+PMDK's ctree is a crit-bit (binary radix) tree over the bits of the key:
+internal nodes test a single bit position; leaves hold the key/value.
+Keys are hashed to fixed-width integers first (as the PMDK example does
+with its 64-bit keys).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple, Union
+
+from repro.errors import KeyNotFound
+from repro.workloads.pmdk.base import PersistentStructure
+
+_BITS = 64
+_MASK = (1 << _BITS) - 1
+
+
+def _key_bits(key: Any) -> int:
+    """The fixed-width integer the tree actually indexes on."""
+    if isinstance(key, int) and 0 <= key <= _MASK:
+        return key
+    return hash(key) & _MASK
+
+
+class _Leaf:
+    __slots__ = ("bits", "key", "value")
+
+    def __init__(self, bits: int, key: Any, value: Any) -> None:
+        self.bits = bits
+        self.key = key
+        self.value = value
+
+
+class _Inner:
+    __slots__ = ("bit", "left", "right")
+
+    def __init__(self, bit: int, left: "_NodeT", right: "_NodeT") -> None:
+        self.bit = bit  # bit position tested (higher = more significant)
+        self.left = left
+        self.right = right
+
+
+_NodeT = Union[_Leaf, _Inner]
+
+
+class PMCTree(PersistentStructure):
+    """Persistent crit-bit tree."""
+
+    kind = "ctree"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._root: Optional[_NodeT] = None
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def _descend(self, bits: int) -> _Leaf:
+        """Walk to the leaf that shares the longest prefix with ``bits``."""
+        node = self._root
+        assert node is not None
+        while isinstance(node, _Inner):
+            self.meter.visit()
+            self.meter.read()
+            node = node.right if (bits >> node.bit) & 1 else node.left
+        return node
+
+    def _lookup(self, key: Any) -> Any:
+        if self._root is None:
+            raise KeyNotFound(key)
+        bits = _key_bits(key)
+        leaf = self._descend(bits)
+        self.meter.visit()
+        if leaf.bits == bits and leaf.key == key:
+            return leaf.value
+        raise KeyNotFound(key)
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: Any, value: Any) -> None:
+        bits = _key_bits(key)
+        if self._root is None:
+            self.meter.alloc()
+            self.meter.snapshot()
+            self.meter.flush()
+            self._root = _Leaf(bits, key, value)
+            self._count += 1
+            return
+        nearest = self._descend(bits)
+        if nearest.bits == bits and nearest.key == key:
+            # Value-buffer replacement, as in the PMDK examples.
+            self.meter.alloc()
+            self.meter.free()
+            self.meter.snapshot()
+            self.meter.flush()
+            nearest.value = value
+            return
+        diff = nearest.bits ^ bits
+        crit_bit = diff.bit_length() - 1
+        leaf = _Leaf(bits, key, value)
+        self.meter.alloc(2)  # new leaf + new inner node
+        self.meter.snapshot()  # the rewired parent pointer
+        self.meter.flush(2)
+        # Re-descend, stopping where the new inner node belongs (at the
+        # first tested bit below crit_bit).
+        parent: Optional[_Inner] = None
+        node = self._root
+        while isinstance(node, _Inner) and node.bit > crit_bit:
+            self.meter.visit()
+            parent = node
+            node = node.right if (bits >> node.bit) & 1 else node.left
+        if (bits >> crit_bit) & 1:
+            inner = _Inner(crit_bit, node, leaf)
+        else:
+            inner = _Inner(crit_bit, leaf, node)
+        if parent is None:
+            self._root = inner
+        elif (bits >> parent.bit) & 1:
+            parent.right = inner
+        else:
+            parent.left = inner
+        self._count += 1
+
+    # ------------------------------------------------------------------
+    def _remove(self, key: Any) -> None:
+        if self._root is None:
+            raise KeyNotFound(key)
+        bits = _key_bits(key)
+        grand: Optional[_Inner] = None
+        parent: Optional[_Inner] = None
+        node = self._root
+        while isinstance(node, _Inner):
+            self.meter.visit()
+            grand = parent
+            parent = node
+            node = node.right if (bits >> node.bit) & 1 else node.left
+        if node.bits != bits or node.key != key:
+            raise KeyNotFound(key)
+        self.meter.snapshot()
+        self.meter.flush()
+        self.meter.free()
+        if parent is None:
+            self._root = None
+        else:
+            sibling = parent.left if parent.right is node else parent.right
+            self.meter.free()  # the collapsed inner node
+            if grand is None:
+                self._root = sibling
+            elif grand.left is parent:
+                grand.left = sibling
+            else:
+                grand.right = sibling
+        self._count -= 1
+
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        if self._root is None:
+            return
+        stack: list[_NodeT] = [self._root]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, _Leaf):
+                yield node.key, node.value
+            else:
+                stack.append(node.right)
+                stack.append(node.left)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def check_invariants(self) -> None:
+        """Bit discrimination must strictly decrease along every path."""
+        count = self._check(self._root, _BITS)
+        assert count == self._count, "count drifted from contents"
+
+    def _check(self, node: Optional[_NodeT], max_bit: int) -> int:
+        if node is None:
+            return 0
+        if isinstance(node, _Leaf):
+            return 1
+        assert node.bit < max_bit, "crit-bit order violated"
+        left = self._check(node.left, node.bit)
+        right = self._check(node.right, node.bit)
+        assert left >= 1 and right >= 1, "inner node with empty side"
+        return left + right

@@ -1,0 +1,134 @@
+"""A persistent hashmap (the PMDK ``hashmap_tx`` example analog).
+
+Separate chaining with transactional resize at load factor 1.0.  The
+common case touches one bucket (cheap — the paper's hashmap is its
+fastest PMDK workload); a resize is a large metered burst, amortized.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import KeyNotFound
+from repro.workloads.pmdk.base import PersistentStructure
+
+_INITIAL_BUCKETS = 64
+
+
+class _Cell:
+    __slots__ = ("key", "value", "next")
+
+    def __init__(self, key: Any, value: Any, nxt: Optional["_Cell"]) -> None:
+        self.key = key
+        self.value = value
+        self.next = nxt
+
+
+class PMHashmap(PersistentStructure):
+    """Persistent chained hashmap with transactional resize."""
+
+    kind = "hashmap"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._buckets: List[Optional[_Cell]] = [None] * _INITIAL_BUCKETS
+        self._count = 0
+        self.resizes = 0
+
+    def _index(self, key: Any) -> int:
+        return hash(key) % len(self._buckets)
+
+    # ------------------------------------------------------------------
+    def _lookup(self, key: Any) -> Any:
+        self.meter.read()
+        cell = self._buckets[self._index(key)]
+        while cell is not None:
+            self.meter.visit()
+            if cell.key == key:
+                return cell.value
+            cell = cell.next
+        raise KeyNotFound(key)
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: Any, value: Any) -> None:
+        index = self._index(key)
+        cell = self._buckets[index]
+        while cell is not None:
+            self.meter.visit()
+            if cell.key == key:
+                # Value-buffer replacement, as in the PMDK examples.
+                self.meter.alloc()
+                self.meter.free()
+                self.meter.snapshot()
+                self.meter.flush()
+                cell.value = value
+                return
+            cell = cell.next
+        self.meter.alloc()
+        self.meter.snapshot()  # bucket head pointer
+        self.meter.flush()
+        self._buckets[index] = _Cell(key, value, self._buckets[index])
+        self._count += 1
+        if self._count > len(self._buckets):
+            self._resize()
+
+    def _resize(self) -> None:
+        """Double the table inside the same transaction."""
+        old = self._buckets
+        self.meter.alloc()             # new bucket array
+        self.meter.snapshot()          # table root
+        self.meter.flush(len(old) // 8 + 1)
+        self._buckets = [None] * (len(old) * 2)
+        for head in old:
+            cell = head
+            while cell is not None:
+                self.meter.visit()
+                nxt = cell.next
+                index = self._index(cell.key)
+                cell.next = self._buckets[index]
+                self._buckets[index] = cell
+                cell = nxt
+        self.resizes += 1
+
+    # ------------------------------------------------------------------
+    def _remove(self, key: Any) -> None:
+        index = self._index(key)
+        cell = self._buckets[index]
+        previous: Optional[_Cell] = None
+        while cell is not None:
+            self.meter.visit()
+            if cell.key == key:
+                self.meter.snapshot()
+                self.meter.flush()
+                self.meter.free()
+                if previous is None:
+                    self._buckets[index] = cell.next
+                else:
+                    previous.next = cell.next
+                self._count -= 1
+                return
+            previous = cell
+            cell = cell.next
+        raise KeyNotFound(key)
+
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        for head in self._buckets:
+            cell = head
+            while cell is not None:
+                yield cell.key, cell.value
+                cell = cell.next
+
+    def __len__(self) -> int:
+        return self._count
+
+    def check_invariants(self) -> None:
+        """Every cell must live in the bucket its key hashes to."""
+        seen = 0
+        for index, head in enumerate(self._buckets):
+            cell = head
+            while cell is not None:
+                assert self._index(cell.key) == index, "cell in wrong bucket"
+                seen += 1
+                cell = cell.next
+        assert seen == self._count, "count drifted from contents"

@@ -1,0 +1,313 @@
+"""A persistent red-black tree (the PMDK ``rbtree`` example analog).
+
+A textbook red-black tree with sentinel NIL, recoloring and rotations on
+insert, and full fixup on delete.  Rotations and recolorings touch more
+nodes than B-tree splits, so updates meter more snapshots — which is why
+the paper's rbtree workload is one of the slower handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional, Tuple
+
+from repro.errors import KeyNotFound
+from repro.workloads.pmdk.base import PersistentStructure
+
+RED = True
+BLACK = False
+
+
+class _Node:
+    __slots__ = ("key", "value", "color", "left", "right", "parent")
+
+    def __init__(self, key: Any = None, value: Any = None,
+                 color: bool = BLACK) -> None:
+        self.key = key
+        self.value = value
+        self.color = color
+        self.left: "_Node" = None  # type: ignore[assignment]
+        self.right: "_Node" = None  # type: ignore[assignment]
+        self.parent: "_Node" = None  # type: ignore[assignment]
+
+
+class PMRBTree(PersistentStructure):
+    """Persistent red-black tree."""
+
+    kind = "rbtree"
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._nil = _Node(color=BLACK)
+        self._nil.left = self._nil.right = self._nil.parent = self._nil
+        self._root = self._nil
+        self._count = 0
+
+    # ------------------------------------------------------------------
+    def _lookup(self, key: Any) -> Any:
+        node = self._root
+        while node is not self._nil:
+            self.meter.visit()
+            self.meter.read()
+            if key == node.key:
+                return node.value
+            node = node.left if key < node.key else node.right
+        raise KeyNotFound(key)
+
+    # ------------------------------------------------------------------
+    # Rotations (each snapshots the three touched nodes)
+    # ------------------------------------------------------------------
+    def _rotate_left(self, x: _Node) -> None:
+        self.meter.snapshot(3)
+        self.meter.flush(2)
+        y = x.right
+        x.right = y.left
+        if y.left is not self._nil:
+            y.left.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+
+    def _rotate_right(self, x: _Node) -> None:
+        self.meter.snapshot(3)
+        self.meter.flush(2)
+        y = x.left
+        x.left = y.right
+        if y.right is not self._nil:
+            y.right.parent = x
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+    def _insert(self, key: Any, value: Any) -> None:
+        parent = self._nil
+        node = self._root
+        while node is not self._nil:
+            self.meter.visit()
+            parent = node
+            if key == node.key:
+                # Value-buffer replacement, as in the PMDK examples.
+                self.meter.alloc()
+                self.meter.free()
+                self.meter.snapshot()
+                self.meter.flush()
+                node.value = value
+                return
+            node = node.left if key < node.key else node.right
+        fresh = _Node(key, value, RED)
+        fresh.left = fresh.right = self._nil
+        fresh.parent = parent
+        self.meter.alloc()
+        self.meter.snapshot()
+        self.meter.flush()
+        if parent is self._nil:
+            self._root = fresh
+        elif key < parent.key:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        self._count += 1
+        self._insert_fixup(fresh)
+
+    def _insert_fixup(self, z: _Node) -> None:
+        while z.parent.color is RED:
+            grand = z.parent.parent
+            if z.parent is grand.left:
+                uncle = grand.right
+                if uncle.color is RED:
+                    self.meter.snapshot(3)
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.color = BLACK
+                    grand.color = RED
+                    self.meter.snapshot(2)
+                    self._rotate_right(grand)
+            else:
+                uncle = grand.left
+                if uncle.color is RED:
+                    self.meter.snapshot(3)
+                    z.parent.color = BLACK
+                    uncle.color = BLACK
+                    grand.color = RED
+                    z = grand
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.color = BLACK
+                    grand.color = RED
+                    self.meter.snapshot(2)
+                    self._rotate_left(grand)
+        if self._root.color is RED:
+            self.meter.snapshot()
+            self._root.color = BLACK
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+    def _remove(self, key: Any) -> None:
+        z = self._root
+        while z is not self._nil and z.key != key:
+            self.meter.visit()
+            z = z.left if key < z.key else z.right
+        if z is self._nil:
+            raise KeyNotFound(key)
+        self.meter.snapshot()
+        self.meter.free()
+        y = z
+        y_color = y.color
+        if z.left is self._nil:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is self._nil:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_color = y.color
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.color = z.color
+            self.meter.snapshot(2)
+        self._count -= 1
+        if y_color is BLACK:
+            self._delete_fixup(x)
+
+    def _transplant(self, u: _Node, v: _Node) -> None:
+        self.meter.snapshot()
+        self.meter.flush()
+        if u.parent is self._nil:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _minimum(self, node: _Node) -> _Node:
+        while node.left is not self._nil:
+            self.meter.visit()
+            node = node.left
+        return node
+
+    def _delete_fixup(self, x: _Node) -> None:
+        while x is not self._root and x.color is BLACK:
+            if x is x.parent.left:
+                w = x.parent.right
+                if w.color is RED:
+                    self.meter.snapshot(2)
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_left(x.parent)
+                    w = x.parent.right
+                if w.left.color is BLACK and w.right.color is BLACK:
+                    self.meter.snapshot()
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.right.color is BLACK:
+                        self.meter.snapshot(2)
+                        w.left.color = BLACK
+                        w.color = RED
+                        self._rotate_right(w)
+                        w = x.parent.right
+                    self.meter.snapshot(3)
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.right.color = BLACK
+                    self._rotate_left(x.parent)
+                    x = self._root
+            else:
+                w = x.parent.left
+                if w.color is RED:
+                    self.meter.snapshot(2)
+                    w.color = BLACK
+                    x.parent.color = RED
+                    self._rotate_right(x.parent)
+                    w = x.parent.left
+                if w.right.color is BLACK and w.left.color is BLACK:
+                    self.meter.snapshot()
+                    w.color = RED
+                    x = x.parent
+                else:
+                    if w.left.color is BLACK:
+                        self.meter.snapshot(2)
+                        w.right.color = BLACK
+                        w.color = RED
+                        self._rotate_left(w)
+                        w = x.parent.left
+                    self.meter.snapshot(3)
+                    w.color = x.parent.color
+                    x.parent.color = BLACK
+                    w.left.color = BLACK
+                    self._rotate_right(x.parent)
+                    x = self._root
+        if x.color is RED:
+            self.meter.snapshot()
+        x.color = BLACK
+
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        stack = []
+        node = self._root
+        while stack or node is not self._nil:
+            while node is not self._nil:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node.key, node.value
+            node = node.right
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- structural invariants --------------------------------------------
+    def check_invariants(self) -> None:
+        """Raise AssertionError on red-black violations."""
+        assert self._root.color is BLACK, "root must be black"
+        self._check_node(self._root, None, None)
+        keys = [key for key, _value in self.items()]
+        assert keys == sorted(keys), "in-order walk is not sorted"
+        assert len(keys) == self._count, "count drifted from contents"
+
+    def _check_node(self, node: _Node, low: Optional[Any],
+                    high: Optional[Any]) -> int:
+        if node is self._nil:
+            return 1
+        assert low is None or node.key > low, "BST order violated"
+        assert high is None or node.key < high, "BST order violated"
+        if node.color is RED:
+            assert node.left.color is BLACK and node.right.color is BLACK, \
+                "red node with red child"
+        left_black = self._check_node(node.left, low, node.key)
+        right_black = self._check_node(node.right, node.key, high)
+        assert left_black == right_black, "black-height mismatch"
+        return left_black + (1 if node.color is BLACK else 0)

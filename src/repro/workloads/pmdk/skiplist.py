@@ -1,0 +1,135 @@
+"""A persistent skip list (the PMDK ``skiplist`` example analog).
+
+Probabilistic multi-level list with deterministic per-instance seeding
+(the level RNG is part of the structure so results are reproducible).
+Inserts snapshot one predecessor node per touched level.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterator, List, Tuple
+
+from repro.errors import KeyNotFound
+from repro.workloads.pmdk.base import PersistentStructure
+
+_MAX_LEVEL = 16
+_P = 0.5
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: Any, value: Any, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: List["_Node"] = [None] * level  # type: ignore[list-item]
+
+
+class PMSkiplist(PersistentStructure):
+    """Persistent skip list with metered level updates."""
+
+    kind = "skiplist"
+
+    def __init__(self, *args: Any, seed: int = 7, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._head = _Node(None, None, _MAX_LEVEL)
+        self._level = 1
+        self._count = 0
+        self._rng = random.Random(seed)
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: Any) -> List[_Node]:
+        """Per-level predecessor nodes of ``key`` (metered traversal)."""
+        update = [self._head] * _MAX_LEVEL
+        node = self._head
+        for level in range(self._level - 1, -1, -1):
+            while (node.forward[level] is not None
+                   and node.forward[level].key < key):
+                self.meter.visit()
+                self.meter.read()
+                node = node.forward[level]
+            update[level] = node
+        return update
+
+    # ------------------------------------------------------------------
+    def _lookup(self, key: Any) -> Any:
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        self.meter.visit()
+        if candidate is not None and candidate.key == key:
+            return candidate.value
+        raise KeyNotFound(key)
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: Any, value: Any) -> None:
+        update = self._find_predecessors(key)
+        candidate = update[0].forward[0]
+        if candidate is not None and candidate.key == key:
+            # Value-buffer replacement, as in the PMDK examples.
+            self.meter.alloc()
+            self.meter.free()
+            self.meter.snapshot()
+            self.meter.flush()
+            candidate.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        node = _Node(key, value, level)
+        self.meter.alloc()
+        # One predecessor pointer per level is snapshotted and flushed.
+        self.meter.snapshot(level)
+        self.meter.flush(level)
+        for i in range(level):
+            node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = node
+        self._count += 1
+
+    # ------------------------------------------------------------------
+    def _remove(self, key: Any) -> None:
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is None or node.key != key:
+            raise KeyNotFound(key)
+        touched = len(node.forward)
+        self.meter.snapshot(touched)
+        self.meter.flush(touched)
+        self.meter.free()
+        for i in range(touched):
+            if update[i].forward[i] is node:
+                update[i].forward[i] = node.forward[i]
+        while self._level > 1 and self._head.forward[self._level - 1] is None:
+            self._level -= 1
+        self._count -= 1
+
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def __len__(self) -> int:
+        return self._count
+
+    def check_invariants(self) -> None:
+        """Level-0 order is sorted; every level is a subsequence of it."""
+        keys = [key for key, _value in self.items()]
+        assert keys == sorted(keys), "level-0 walk is not sorted"
+        assert len(keys) == self._count, "count drifted from contents"
+        base = set(keys)
+        for level in range(1, self._level):
+            node = self._head.forward[level]
+            previous = None
+            while node is not None:
+                assert node.key in base, "higher-level node missing at base"
+                assert previous is None or node.key > previous, \
+                    "higher level unsorted"
+                previous = node.key
+                node = node.forward[level]

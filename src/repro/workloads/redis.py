@@ -1,0 +1,185 @@
+"""A PM-optimized Redis analog (Intel's pmem-redis, Sec VI-A2).
+
+Implements the Redis subset the paper's workloads use — strings
+(GET/SET/INCR), hashes (HSET/HGETALL), lists (LPUSH/LRANGE) and sets
+(SADD/SMEMBERS) — over a dictionary store with a persistent append-only
+cost model: every mutation appends to a PM AOF region (one flush) and
+updates the in-PM object, which is much cheaper per update than PMDK
+transactions (pmem-redis avoids undo logging), hence Redis is one of the
+faster handlers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.host.handler import HandlerOutcome, RequestHandler
+from repro.sim.clock import microseconds, milliseconds
+from repro.workloads.kv import OpKind, Operation, Result
+
+#: Cost of one AOF append + flush to PM.
+_AOF_APPEND_NS = microseconds(2.0)
+#: Cost of updating an object in PM (allocation amortized).
+_OBJECT_WRITE_NS = microseconds(3.5)
+#: Cost of a dictionary lookup + object read.
+_READ_NS = microseconds(2.2)
+#: Extra per element for multi-element reads (HGETALL/LRANGE/SMEMBERS).
+_PER_ELEMENT_NS = 150
+
+
+class PMRedis:
+    """The store itself: typed values with persistence-cost accounting."""
+
+    def __init__(self) -> None:
+        self._data: Dict[Any, Any] = {}
+        self.commands_executed = 0
+
+    # -- strings -----------------------------------------------------------
+    def set(self, key: Any, value: Any) -> int:
+        self._data[key] = value
+        self.commands_executed += 1
+        return _AOF_APPEND_NS + _OBJECT_WRITE_NS
+
+    def get(self, key: Any) -> Tuple[Any, int]:
+        self.commands_executed += 1
+        return self._data.get(key), _READ_NS
+
+    def incr(self, key: Any) -> Tuple[int, int]:
+        current = self._data.get(key, 0)
+        if not isinstance(current, int):
+            raise WorkloadError(f"INCR on non-integer key {key!r}")
+        self._data[key] = current + 1
+        self.commands_executed += 1
+        return current + 1, _AOF_APPEND_NS + _OBJECT_WRITE_NS
+
+    # -- hashes ------------------------------------------------------------
+    def hset(self, key: Any, field: Any, value: Any) -> int:
+        entry = self._data.setdefault(key, {})
+        if not isinstance(entry, dict):
+            raise WorkloadError(f"HSET on non-hash key {key!r}")
+        entry[field] = value
+        self.commands_executed += 1
+        return _AOF_APPEND_NS + _OBJECT_WRITE_NS
+
+    def hgetall(self, key: Any) -> Tuple[Dict[Any, Any], int]:
+        entry = self._data.get(key, {})
+        if not isinstance(entry, dict):
+            raise WorkloadError(f"HGETALL on non-hash key {key!r}")
+        self.commands_executed += 1
+        return dict(entry), _READ_NS + _PER_ELEMENT_NS * len(entry)
+
+    # -- lists ---------------------------------------------------------------
+    def lpush(self, key: Any, value: Any) -> int:
+        entry = self._data.setdefault(key, [])
+        if not isinstance(entry, list):
+            raise WorkloadError(f"LPUSH on non-list key {key!r}")
+        entry.insert(0, value)
+        self.commands_executed += 1
+        return _AOF_APPEND_NS + _OBJECT_WRITE_NS
+
+    def lrange(self, key: Any, start: int, stop: int) -> Tuple[List[Any], int]:
+        entry = self._data.get(key, [])
+        if not isinstance(entry, list):
+            raise WorkloadError(f"LRANGE on non-list key {key!r}")
+        window = entry[start:stop if stop >= 0 else None]
+        self.commands_executed += 1
+        return window, _READ_NS + _PER_ELEMENT_NS * len(window)
+
+    # -- sets -----------------------------------------------------------------
+    def sadd(self, key: Any, member: Any) -> int:
+        entry = self._data.setdefault(key, set())
+        if not isinstance(entry, set):
+            raise WorkloadError(f"SADD on non-set key {key!r}")
+        entry.add(member)
+        self.commands_executed += 1
+        return _AOF_APPEND_NS + _OBJECT_WRITE_NS
+
+    def smembers(self, key: Any) -> Tuple[set, int]:
+        entry = self._data.get(key, set())
+        if not isinstance(entry, set):
+            raise WorkloadError(f"SMEMBERS on non-set key {key!r}")
+        self.commands_executed += 1
+        return set(entry), _READ_NS + _PER_ELEMENT_NS * len(entry)
+
+    # -- recovery -------------------------------------------------------------
+    def digest(self) -> int:
+        acc = 0
+        for key, value in self._data.items():
+            if isinstance(value, dict):
+                value = tuple(sorted(value.items(), key=repr))
+            elif isinstance(value, list):
+                value = tuple(value)
+            elif isinstance(value, set):
+                value = tuple(sorted(value, key=repr))
+            acc ^= hash((key, value))
+        return acc
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class RedisHandler(RequestHandler):
+    """Adapts :class:`PMRedis` to the server handler interface.
+
+    GET/SET map to strings; richer commands arrive as PROC_* operations
+    with ``proc`` naming the command and ``args`` its parameters.
+    """
+
+    name = "redis"
+
+    def __init__(self, store: PMRedis = None) -> None:  # type: ignore[assignment]
+        self.store = store if store is not None else PMRedis()
+
+    def process(self, op: Operation) -> HandlerOutcome:
+        if op.kind is OpKind.SET:
+            return HandlerOutcome(Result(ok=True),
+                                  self.store.set(op.key, op.value), 16)
+        if op.kind is OpKind.GET:
+            value, cost = self.store.get(op.key)
+            return HandlerOutcome(Result(ok=value is not None, value=value),
+                                  cost)
+        if op.kind is OpKind.PROC_UPDATE:
+            return self._proc_update(op)
+        if op.kind is OpKind.PROC_READ:
+            return self._proc_read(op)
+        return HandlerOutcome(Result(ok=False, error="unsupported"),
+                              microseconds(1), 16)
+
+    def _proc_update(self, op: Operation) -> HandlerOutcome:
+        if op.proc == "incr":
+            value, cost = self.store.incr(op.key)
+            return HandlerOutcome(Result(ok=True, value=value), cost, 16)
+        if op.proc == "hset":
+            cost = self.store.hset(op.key, op.args["field"], op.value)
+            return HandlerOutcome(Result(ok=True), cost, 16)
+        if op.proc == "lpush":
+            cost = self.store.lpush(op.key, op.value)
+            return HandlerOutcome(Result(ok=True), cost, 16)
+        if op.proc == "sadd":
+            cost = self.store.sadd(op.key, op.value)
+            return HandlerOutcome(Result(ok=True), cost, 16)
+        return HandlerOutcome(Result(ok=False, error="unknown_proc"),
+                              microseconds(1), 16)
+
+    def _proc_read(self, op: Operation) -> HandlerOutcome:
+        if op.proc == "hgetall":
+            value, cost = self.store.hgetall(op.key)
+            return HandlerOutcome(Result(ok=True, value=value), cost)
+        if op.proc == "lrange":
+            value, cost = self.store.lrange(
+                op.key, op.args.get("start", 0), op.args.get("stop", 10))
+            return HandlerOutcome(Result(ok=True, value=value), cost)
+        if op.proc == "smembers":
+            value, cost = self.store.smembers(op.key)
+            return HandlerOutcome(Result(ok=True, value=sorted(value, key=repr)),
+                                  cost)
+        return HandlerOutcome(Result(ok=False, error="unknown_proc"),
+                              microseconds(1), 16)
+
+    def recovery_cost_ns(self) -> int:
+        """AOF replay-free pmem-redis restart: pool open + index scan."""
+        return milliseconds(120) + microseconds(4) * len(self.store)
+
+    def digest(self) -> int:
+        return self.store.digest()

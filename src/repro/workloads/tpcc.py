@@ -1,0 +1,168 @@
+"""A TPC-C subset (Sec VI-A2, Fig 5): the paper's lock-ordered workload.
+
+Implements the tables and the transaction shapes the paper's discussion
+needs: NEW-ORDER transactions modify the shared stock table inside an
+application-level critical section (LOCK stock -> update -> UNLOCK, per
+Fig 5), while PAYMENT and ORDER-STATUS transactions are lock-free.  The
+lock requests bypass PMNet (they are OpKind.LOCK/UNLOCK), so with the
+default mix about 13.7 % of the *requests* touch the locking primitive —
+the fraction the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Tuple
+
+from repro.host.handler import HandlerOutcome, RequestHandler
+from repro.sim.clock import microseconds
+from repro.workloads.kv import OpKind, Operation, Result
+
+#: Fraction of transactions that enter the stock critical section; with
+#: three requests per locking transaction (2 of them lock ops) and one
+#: per plain transaction, lock-op request share = 2x / (1 + 2x) = 13.7 %
+#: at x ~= 0.0794.
+LOCKING_TXN_FRACTION = 0.0794
+
+#: Back-off before retrying a failed lock acquisition.
+LOCK_RETRY_BACKOFF_NS = microseconds(30)
+
+_DISTRICTS_PER_WAREHOUSE = 10
+_ITEMS = 1000
+
+
+class TPCCHandler(RequestHandler):
+    """Executes TPC-C transaction bodies against in-PM tables."""
+
+    name = "tpcc"
+
+    def __init__(self, warehouses: int = 4) -> None:
+        self.warehouses = warehouses
+        self.district_next_oid: Dict[Tuple[int, int], int] = {}
+        self.stock: Dict[Tuple[int, int], int] = {}
+        self.orders: Dict[Tuple[int, int, int], Dict[str, Any]] = {}
+        self.customer_balance: Dict[Tuple[int, int, int], float] = {}
+        self.new_orders = 0
+        self.payments = 0
+        for warehouse in range(warehouses):
+            for district in range(_DISTRICTS_PER_WAREHOUSE):
+                self.district_next_oid[(warehouse, district)] = 1
+            for item in range(_ITEMS):
+                self.stock[(warehouse, item)] = 100
+
+    # ------------------------------------------------------------------
+    def process(self, op: Operation) -> HandlerOutcome:
+        if op.kind is OpKind.PROC_UPDATE and op.proc == "new_order":
+            return self._new_order(op.args)
+        if op.kind is OpKind.PROC_UPDATE and op.proc == "payment":
+            return self._payment(op.args)
+        if op.kind is OpKind.PROC_READ and op.proc == "order_status":
+            return self._order_status(op.args)
+        return HandlerOutcome(Result(ok=False, error="unknown_proc"),
+                              microseconds(1), 16)
+
+    def _new_order(self, args: Dict[str, Any]) -> HandlerOutcome:
+        warehouse = args["warehouse"]
+        district = args["district"]
+        items = args["items"]  # list of (item_id, quantity)
+        oid = self.district_next_oid[(warehouse, district)]
+        self.district_next_oid[(warehouse, district)] = oid + 1
+        cost = microseconds(6)  # district read + next-oid update
+        lines = []
+        for item_id, quantity in items:
+            stock_key = (warehouse, item_id)
+            level = self.stock.get(stock_key, 0)
+            if level < quantity:
+                level += 100  # TPC-C restock rule
+            self.stock[stock_key] = level - quantity
+            lines.append((item_id, quantity))
+            cost += microseconds(4)  # stock read-modify-write + flush
+        self.orders[(warehouse, district, oid)] = {
+            "items": lines, "status": "new"}
+        cost += microseconds(8)  # order + order-line inserts
+        self.new_orders += 1
+        return HandlerOutcome(Result(ok=True, value=oid), cost, 16)
+
+    def _payment(self, args: Dict[str, Any]) -> HandlerOutcome:
+        key = (args["warehouse"], args["district"], args["customer"])
+        self.customer_balance[key] = (self.customer_balance.get(key, 0.0)
+                                      + args["amount"])
+        self.payments += 1
+        # Warehouse YTD + district YTD + customer balance, each flushed.
+        return HandlerOutcome(Result(ok=True), microseconds(14), 16)
+
+    def _order_status(self, args: Dict[str, Any]) -> HandlerOutcome:
+        key = (args["warehouse"], args["district"], args["order"])
+        order = self.orders.get(key)
+        return HandlerOutcome(
+            Result(ok=order is not None, value=order,
+                   error=None if order else "no_such_order"),
+            microseconds(7))
+
+    def recovery_cost_ns(self) -> int:
+        rows = (len(self.stock) + len(self.orders)
+                + len(self.customer_balance))
+        return microseconds(150_000) + microseconds(2) * rows
+
+    def digest(self) -> int:
+        acc = 0
+        for key, value in self.stock.items():
+            acc ^= hash(("stock", key, value))
+        for key, value in self.customer_balance.items():
+            acc ^= hash(("bal", key, value))
+        acc ^= hash(("orders", len(self.orders)))
+        return acc
+
+
+def session(client_index: int, api, rng, transactions: int,
+            update_ratio: float, payload_bytes: int,
+            warehouses: int = 4) -> Iterator:
+    """One terminal's TPC-C session.
+
+    ``update_ratio`` scales how many transactions are updates (payment /
+    new-order) versus order-status reads, mirroring Fig 19's sweep.
+    """
+    for txn_index in range(transactions):
+        warehouse = rng.randrange(warehouses)
+        district = rng.randrange(_DISTRICTS_PER_WAREHOUSE)
+        if rng.random() >= update_ratio:
+            op = Operation(OpKind.PROC_READ, proc="order_status",
+                           args={"warehouse": warehouse,
+                                 "district": district,
+                                 "order": rng.randrange(1, 50)})
+            yield from api.request(op, payload_bytes)
+            continue
+        if rng.random() < LOCKING_TXN_FRACTION:
+            yield from _locked_new_order(api, rng, warehouse, district,
+                                         payload_bytes)
+        else:
+            op = Operation(OpKind.PROC_UPDATE, proc="payment",
+                           args={"warehouse": warehouse,
+                                 "district": district,
+                                 "customer": rng.randrange(100),
+                                 "amount": round(rng.random() * 500, 2)})
+            yield from api.request(op, payload_bytes)
+
+
+def _locked_new_order(api, rng, warehouse: int, district: int,
+                      payload_bytes: int) -> Iterator:
+    """Fig 5: LOCK stock -> new_order update -> UNLOCK, with retries.
+
+    The lock requests are OpKind.LOCK/UNLOCK, which the client library
+    sends as bypass requests — PMNet forwards them straight to the
+    server, so mutual exclusion is enforced there (Sec III-C).
+    """
+    lock_key = ("stock", warehouse)
+    while True:
+        completion = yield from api.request(
+            Operation(OpKind.LOCK, key=lock_key), payload_bytes)
+        if completion.result.ok:
+            break
+        yield from api.think(LOCK_RETRY_BACKOFF_NS)
+    items = [(rng.randrange(_ITEMS), rng.randrange(1, 6))
+             for _ in range(rng.randrange(3, 8))]
+    op = Operation(OpKind.PROC_UPDATE, proc="new_order",
+                   args={"warehouse": warehouse, "district": district,
+                         "items": items})
+    yield from api.request(op, payload_bytes)
+    yield from api.request(Operation(OpKind.UNLOCK, key=lock_key),
+                           payload_bytes)

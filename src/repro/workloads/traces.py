@@ -1,0 +1,168 @@
+"""Workload traces: record, save, load, and replay operation streams.
+
+Comparing two systems fairly requires byte-identical request streams.
+A :class:`WorkloadTrace` captures each client's operation sequence once
+(generated from any op maker) and replays it against any deployment —
+and serializes to JSON so traces can be versioned alongside experiment
+results.
+
+    trace = WorkloadTrace.capture(make_op_maker(cfg), clients=8,
+                                  requests_per_client=200, seed=1)
+    base  = run_closed_loop(baseline, trace.op_maker(), 200)
+    pmnet = run_closed_loop(pmnet_deployment, trace.op_maker(), 200)
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.kv import OpKind, Operation
+
+
+@dataclass(frozen=True)
+class TracedOp:
+    """One recorded operation (JSON-serializable)."""
+
+    kind: str
+    payload_bytes: int
+    key: Any = None
+    value: Any = None
+    proc: str = ""
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_operation(self) -> Operation:
+        return Operation(OpKind(self.kind), key=_thaw(self.key),
+                         value=self.value, proc=self.proc,
+                         args=dict(self.args))
+
+    @staticmethod
+    def from_operation(op: Operation, payload_bytes: int) -> "TracedOp":
+        return TracedOp(kind=op.kind.value, payload_bytes=payload_bytes,
+                        key=_freeze(op.key), value=op.value, proc=op.proc,
+                        args=dict(op.args))
+
+
+def _freeze(key: Any) -> Any:
+    """JSON-encode tuple keys losslessly."""
+    if isinstance(key, tuple):
+        return {"__tuple__": list(key)}
+    return key
+
+
+def _thaw(key: Any) -> Any:
+    if isinstance(key, dict) and "__tuple__" in key:
+        return tuple(key["__tuple__"])
+    if isinstance(key, list):
+        # JSON has no tuples; keys must be hashable, so a list here can
+        # only be a tuple that went through serialization unfrozen.
+        return tuple(key)
+    return key
+
+
+@dataclass
+class WorkloadTrace:
+    """Per-client operation sequences plus provenance metadata."""
+
+    per_client: List[List[TracedOp]]
+    seed: int = 0
+    description: str = ""
+
+    # ------------------------------------------------------------------
+    # Capture
+    # ------------------------------------------------------------------
+    @classmethod
+    def capture(cls, op_maker: Callable, clients: int,
+                requests_per_client: int, seed: int = 0,
+                description: str = "") -> "WorkloadTrace":
+        """Materialize an op maker into a fixed trace."""
+        if clients <= 0 or requests_per_client <= 0:
+            raise WorkloadError("trace needs positive clients and requests")
+        per_client: List[List[TracedOp]] = []
+        for client_index in range(clients):
+            rng = random.Random(f"{seed}/trace/{client_index}")
+            ops = []
+            for request_index in range(requests_per_client):
+                op, size = op_maker(client_index, request_index, rng)
+                ops.append(TracedOp.from_operation(op, size))
+            per_client.append(ops)
+        return cls(per_client=per_client, seed=seed,
+                   description=description)
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def op_maker(self) -> Callable:
+        """An op maker replaying this trace verbatim.
+
+        Requests beyond the recorded length wrap around (so warmup
+        prefixes do not run off the end).
+        """
+        def maker(client_index: int, request_index: int,
+                  _rng) -> Tuple[Operation, int]:
+            if client_index >= len(self.per_client):
+                raise WorkloadError(
+                    f"trace has {len(self.per_client)} clients, "
+                    f"deployment asked for client {client_index}")
+            ops = self.per_client[client_index]
+            traced = ops[request_index % len(ops)]
+            return traced.to_operation(), traced.payload_bytes
+        return maker
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def clients(self) -> int:
+        return len(self.per_client)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(len(ops) for ops in self.per_client)
+
+    def update_fraction(self) -> float:
+        updates = sum(1 for ops in self.per_client for op in ops
+                      if OpKind(op.kind) in
+                      (OpKind.SET, OpKind.DELETE, OpKind.PROC_UPDATE))
+        return updates / self.total_requests if self.total_requests else 0.0
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        payload = {
+            "seed": self.seed,
+            "description": self.description,
+            "per_client": [[asdict(op) for op in ops]
+                           for ops in self.per_client],
+        }
+        return json.dumps(payload, default=_json_fallback)
+
+    @classmethod
+    def from_json(cls, text: str) -> "WorkloadTrace":
+        try:
+            payload = json.loads(text)
+            per_client = [[TracedOp(**op) for op in ops]
+                          for ops in payload["per_client"]]
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            raise WorkloadError(f"malformed trace JSON: {error}") from error
+        return cls(per_client=per_client, seed=payload.get("seed", 0),
+                   description=payload.get("description", ""))
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "WorkloadTrace":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def _json_fallback(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return value.decode("latin1")
+    raise TypeError(f"not JSON-serializable: {type(value).__name__}")

@@ -1,0 +1,122 @@
+"""The Twitter/Retwis workload (Sec VI-A2, Fig 4).
+
+Models the Twitter-clone tutorial the paper adapts: users register (the
+shared ``lastUID`` counter of Fig 4 is incremented *without* cross-client
+ordering), post tweets (update own timeline + fan out to followers),
+follow users, and read timelines.  The backend is the PM-Redis store,
+so the server handler composes Redis commands per procedure; the client
+side supplies a session generator with the paper's independent-client
+access pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from repro.host.handler import HandlerOutcome, RequestHandler
+from repro.sim.clock import microseconds
+from repro.workloads.kv import OpKind, Operation, Result
+from repro.workloads.redis import PMRedis
+
+#: How many timeline entries a read returns.
+TIMELINE_LENGTH = 10
+
+
+class TwitterHandler(RequestHandler):
+    """Retwis procedures over a PM-Redis backend."""
+
+    name = "twitter"
+
+    def __init__(self) -> None:
+        self.store = PMRedis()
+        self.posts = 0
+        self.timeline_reads = 0
+
+    # ------------------------------------------------------------------
+    def process(self, op: Operation) -> HandlerOutcome:
+        if op.kind is OpKind.PROC_UPDATE and op.proc == "register":
+            return self._register()
+        if op.kind is OpKind.PROC_UPDATE and op.proc == "post":
+            return self._post(op.args["uid"], op.value)
+        if op.kind is OpKind.PROC_UPDATE and op.proc == "follow":
+            return self._follow(op.args["follower"], op.args["followee"])
+        if op.kind is OpKind.PROC_READ and op.proc == "timeline":
+            return self._timeline(op.args["uid"])
+        return HandlerOutcome(Result(ok=False, error="unknown_proc"),
+                              microseconds(1), 16)
+
+    def _register(self) -> HandlerOutcome:
+        """getUID of Fig 4: each client independently INCRs lastUID."""
+        uid, cost = self.store.incr("lastUID")
+        cost += self.store.hset(f"user:{uid}", "joined", True)
+        return HandlerOutcome(Result(ok=True, value=uid), cost, 16)
+
+    def _post(self, uid: int, text: object) -> HandlerOutcome:
+        """Store the tweet, push to own and followers' timelines."""
+        post_id, cost = self.store.incr("nextPostID")
+        cost += self.store.hset(f"post:{post_id}", "body", text)
+        cost += self.store.hset(f"post:{post_id}", "author", uid)
+        cost += self.store.lpush(f"timeline:{uid}", post_id)
+        followers, read_cost = self.store.smembers(f"followers:{uid}")
+        cost += read_cost
+        for follower in followers:
+            cost += self.store.lpush(f"timeline:{follower}", post_id)
+        self.posts += 1
+        return HandlerOutcome(Result(ok=True, value=post_id), cost, 16)
+
+    def _follow(self, follower: int, followee: int) -> HandlerOutcome:
+        cost = self.store.sadd(f"followers:{followee}", follower)
+        cost += self.store.sadd(f"following:{follower}", followee)
+        return HandlerOutcome(Result(ok=True), cost, 16)
+
+    def _timeline(self, uid: int) -> HandlerOutcome:
+        post_ids, cost = self.store.lrange(f"timeline:{uid}", 0,
+                                           TIMELINE_LENGTH)
+        posts = []
+        for post_id in post_ids:
+            body, read_cost = self.store.hgetall(f"post:{post_id}")
+            cost += read_cost
+            posts.append(body)
+        self.timeline_reads += 1
+        return HandlerOutcome(Result(ok=True, value=posts), cost)
+
+    def recovery_cost_ns(self) -> int:
+        return microseconds(120_000) + microseconds(4) * len(self.store)
+
+    def digest(self) -> int:
+        return self.store.digest()
+
+
+def make_ops(uid: int, request_index: int, rng,
+             update_ratio: float, payload_bytes: int,
+             population: int) -> Tuple[Operation, int]:
+    """One Retwis request for the closed-loop driver.
+
+    Updates are posts (dominant) and follows; reads are timelines of a
+    random user.  Clients never order against each other (Sec III-C).
+    """
+    if rng.random() < update_ratio:
+        if rng.random() < 0.85:
+            op = Operation(OpKind.PROC_UPDATE, proc="post",
+                           value=f"tweet-{uid}-{request_index}",
+                           args={"uid": uid})
+        else:
+            op = Operation(OpKind.PROC_UPDATE, proc="follow",
+                           args={"follower": uid,
+                                 "followee": rng.randrange(population)})
+    else:
+        op = Operation(OpKind.PROC_READ, proc="timeline",
+                       args={"uid": rng.randrange(population)})
+    return op, payload_bytes
+
+
+def session(uid: int, api, rng, requests: int, update_ratio: float,
+            payload_bytes: int, population: int) -> Iterator:
+    """A full Retwis client session: register once, then the mix."""
+    register = Operation(OpKind.PROC_UPDATE, proc="register")
+    completion = yield from api.request(register, payload_bytes)
+    my_uid = completion.result.value if completion.result.ok else uid
+    for request_index in range(requests):
+        op, size = make_ops(my_uid, request_index, rng, update_ratio,
+                            payload_bytes, population)
+        yield from api.request(op, size)

@@ -1,0 +1,111 @@
+"""Unit tests for statistics, the Fig 2 breakdown, and BDP sizing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.bdp import network_bdp, pm_queue_bdp, scaling_table
+from repro.analysis.breakdown import update_request_breakdown
+from repro.analysis.report import format_cdf, format_series, format_table
+from repro.analysis.stats import (
+    cdf_points,
+    geometric_mean,
+    mean,
+    percentile,
+    speedup,
+    stddev,
+)
+from repro.config import SystemConfig
+from repro.sim.clock import microseconds
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_percentile_nearest_rank(self):
+        assert percentile(list(range(1, 101)), 99) == 99
+
+    def test_stddev(self):
+        assert stddev([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(2.138, abs=1e-3)
+
+    def test_geomean_of_ratios(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_speedup(self):
+        assert speedup(100.0, 25.0) == 4.0
+
+    def test_cdf_points_monotone(self):
+        curve = cdf_points([5, 1, 3, 2, 4], points=5)
+        assert [v for v, _f in curve] == [1, 2, 3, 4, 5]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1e6,
+                              allow_nan=False), min_size=1))
+    def test_percentile_within_range(self, samples):
+        p = percentile(samples, 50)
+        assert min(samples) <= p <= max(samples)
+
+
+class TestBreakdown:
+    def test_composition_matches_rtt_estimate(self):
+        breakdown = update_request_breakdown(SystemConfig())
+        assert breakdown.total_ns > 0  # internal cross-check asserted too
+
+    def test_fractions_sum_to_one(self):
+        breakdown = update_request_breakdown(SystemConfig())
+        assert sum(breakdown.fractions().values()) == pytest.approx(1.0)
+
+    def test_server_side_dominates_with_real_handler(self):
+        """The paper's headline: ~70% server-side share."""
+        breakdown = update_request_breakdown(SystemConfig(),
+                                             handler_ns=microseconds(30))
+        assert 0.6 < breakdown.server_side_fraction < 0.85
+
+    def test_bigger_handler_bigger_share(self):
+        small = update_request_breakdown(SystemConfig(),
+                                         handler_ns=microseconds(5))
+        large = update_request_breakdown(SystemConfig(),
+                                         handler_ns=microseconds(50))
+        assert large.server_side_fraction > small.server_side_fraction
+
+
+class TestBDP:
+    def test_eq1_network_bdp_is_5mbit(self):
+        result = network_bdp(rtt_s=500e-6, bandwidth_bps=10e9)
+        assert result.bits == pytest.approx(5e6)
+
+    def test_eq2_queue_bdp_is_1kbit(self):
+        result = pm_queue_bdp(pm_latency_s=100e-9, bandwidth_bps=10e9)
+        assert result.bits == pytest.approx(1e3)
+
+    def test_sec7_100g_numbers(self):
+        rows = {row["bandwidth_gbps"]: row for row in scaling_table()}
+        assert rows[100.0]["log_queue_bytes"] == pytest.approx(1250)
+        assert rows[100.0]["pm_capacity_mbytes"] == pytest.approx(6.25)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            network_bdp(rtt_s=0)
+        with pytest.raises(ValueError):
+            pm_queue_bdp(bandwidth_bps=-1)
+
+
+class TestReport:
+    def test_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 40]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_series(self):
+        text = format_series("s", [(1, 2.0)], "x", "y")
+        assert "s" in text and "2.00" in text
+
+    def test_cdf_picks_percentiles(self):
+        curve = [(float(i), i / 100.0) for i in range(1, 101)]
+        text = format_cdf("lat", curve)
+        assert "p50" in text and "p99" in text

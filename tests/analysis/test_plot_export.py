@@ -1,0 +1,93 @@
+"""Tests for ASCII plotting and result export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    export_csv,
+    export_json,
+    result_to_dict,
+    series_to_csv,
+)
+from repro.analysis.plot import ascii_bars, ascii_cdf, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_marks_appear_for_each_series(self):
+        text = ascii_plot({"a": [(0, 0), (10, 10)],
+                           "b": [(0, 10), (10, 0)]}, width=20, height=8)
+        assert "o" in text and "x" in text
+        assert "o=a" in text and "x=b" in text
+
+    def test_extremes_land_on_plot_corners(self):
+        text = ascii_plot({"s": [(0, 0), (1, 1)]}, width=10, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert rows[0].rstrip().endswith("o")   # max y at max x
+        assert "o" in rows[-1].split("|")[1][:1]  # min y at min x
+
+    def test_axis_labels_present(self):
+        text = ascii_plot({"s": [(1, 2)]}, x_label="Gbps",
+                          y_label="latency", title="T")
+        assert text.startswith("T")
+        assert "Gbps vs latency" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot({})
+
+    def test_cdf_wrapper(self):
+        text = ascii_cdf({"pmnet": [(22.0, 0.5), (26.0, 1.0)]})
+        assert "latency (us) vs fraction" in text
+
+    def test_bars_scale_to_peak(self):
+        text = ascii_bars({"base": 1.0, "pmnet": 4.0}, width=40, unit="x")
+        lines = text.splitlines()
+        base_bar = lines[0].count("#")
+        pmnet_bar = lines[1].count("#")
+        assert pmnet_bar == 40
+        assert base_bar == 10
+
+    def test_bars_reject_empty_or_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_bars({})
+        with pytest.raises(ValueError):
+            ascii_bars({"a": 0.0})
+
+
+class TestExport:
+    def test_dataclass_result_roundtrips(self):
+        from repro.experiments import fig02_breakdown
+        result = fig02_breakdown.run()
+        document = json.loads(export_json(result, "fig02"))
+        assert document["experiment"] == "fig02"
+        assert "rows" in document["result"]
+        assert "ideal" in document["result"]["rows"]
+
+    def test_tuple_keys_become_strings(self):
+        from repro.experiments import fig18_alternatives
+        result = fig18_alternatives.run(quick=True)
+        exported = result_to_dict(result)
+        assert any("|" in key for key in exported["latencies"])
+
+    def test_csv_export(self):
+        text = export_csv([[1, 2], [3, 4]], ["a", "b"])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_csv_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            export_csv([[1]], ["a", "b"])
+
+    def test_series_csv_long_format(self):
+        text = series_to_csv({"pmnet": [(1, 10), (2, 20)]},
+                             "clients", "gbps")
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["series", "clients", "gbps"]
+        assert rows[1] == ["pmnet", "1", "10"]
+
+    def test_unexportable_rejected(self):
+        with pytest.raises(TypeError):
+            result_to_dict(42)

@@ -1,0 +1,112 @@
+"""Behavioral tests for the alternative designs (Figs 17, 18, 21)."""
+
+import pytest
+
+from repro.baselines import (
+    build_client_logging,
+    build_server_logging,
+    build_server_replication,
+)
+from repro.config import SystemConfig
+from repro.experiments.deploy import build_client_server, build_pmnet_switch
+from repro.experiments.driver import run_closed_loop
+from repro.workloads.kv import OpKind, Operation
+
+
+def _op_maker(ci, ri, rng):
+    return Operation(OpKind.SET, key=(ci, ri), value=b"x"), 100
+
+
+def _mean_update_us(deployment, requests=80):
+    stats = run_closed_loop(deployment, _op_maker,
+                            requests_per_client=requests, warmup_requests=8)
+    return stats.update_latencies.mean() / 1000.0, stats
+
+
+class TestClientSideLogging:
+    def test_update_completes_locally(self):
+        deployment = build_client_logging(SystemConfig().with_clients(1))
+        _mean, stats = _mean_update_us(deployment)
+        assert stats.completions_by_via == {"client-log": 80}
+
+    def test_local_latency_beats_pmnet(self):
+        config = SystemConfig().with_clients(1)
+        local_us, _s = _mean_update_us(build_client_logging(config))
+        pmnet_us, _s = _mean_update_us(build_pmnet_switch(config))
+        assert local_us < pmnet_us
+
+    def test_requests_still_reach_server(self):
+        deployment = build_client_logging(SystemConfig().with_clients(1))
+        _mean, _stats = _mean_update_us(deployment)
+        assert int(deployment.server.processed) == 88  # incl. warmup
+
+    def test_replication_drags_in_the_network(self):
+        config = SystemConfig().with_clients(3)
+        solo_us, _s = _mean_update_us(build_client_logging(config))
+        repl_us, _s = _mean_update_us(
+            build_client_logging(config, replication=3))
+        assert repl_us > 3 * solo_us  # 10.4 -> 41.6 in the paper
+
+    def test_replication_needs_enough_clients(self):
+        with pytest.raises(ValueError):
+            build_client_logging(SystemConfig().with_clients(2),
+                                 replication=3)
+
+    def test_reads_complete_via_server(self):
+        deployment = build_client_logging(SystemConfig().with_clients(1))
+
+        def op_maker(ci, ri, rng):
+            return Operation(OpKind.GET, key=ri), 100
+
+        stats = run_closed_loop(deployment, op_maker, 20, 2)
+        assert stats.completions_by_via == {"server": 20}
+
+
+class TestServerSideLogging:
+    def test_faster_than_baseline_slower_than_pmnet(self):
+        config = SystemConfig().with_clients(1)
+        base_us, _s = _mean_update_us(build_client_server(config))
+        slog_us, _s = _mean_update_us(build_server_logging(config))
+        pmnet_us, _s = _mean_update_us(build_pmnet_switch(config))
+        assert pmnet_us < slog_us < base_us
+
+    def test_replication_roughly_doubles(self):
+        config = SystemConfig().with_clients(1)
+        solo_us, _s = _mean_update_us(build_server_logging(config))
+        repl_us, _s = _mean_update_us(
+            build_server_logging(config, replication=3))
+        assert repl_us > 1.6 * solo_us
+
+    def test_requests_are_still_processed(self):
+        deployment = build_server_logging(SystemConfig().with_clients(1))
+        _mean, _stats = _mean_update_us(deployment)
+        assert int(deployment.server.processed) == 88
+
+
+class TestServerSideReplication:
+    def test_slower_than_plain_baseline(self):
+        config = SystemConfig().with_clients(1)
+        base_us, _s = _mean_update_us(build_client_server(config))
+        repl_us, _s = _mean_update_us(
+            build_server_replication(config, replicas=3))
+        assert repl_us > base_us + 20.0
+
+    def test_replicas_receive_every_update(self):
+        config = SystemConfig().with_clients(1)
+        deployment = build_server_replication(config, replicas=3)
+        _mean, _stats = _mean_update_us(deployment, requests=40)
+        replicas = [node for name, node in deployment.topology.nodes.items()
+                    if name.startswith("replica")]
+        assert len(replicas) == 2
+        for replica in replicas:
+            assert int(replica.endpoint.records_logged) == 48
+
+    def test_single_replica_means_no_replication(self):
+        config = SystemConfig().with_clients(1)
+        deployment = build_server_replication(config, replicas=1)
+        _mean, stats = _mean_update_us(deployment, requests=20)
+        assert stats.completions_by_via == {"server": 20}
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            build_server_replication(SystemConfig(), replicas=0)

@@ -1,0 +1,131 @@
+"""Unit tests for the read cache's Fig 11 state machine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.cache import CacheState, ReadCache
+
+
+class TestStateMachine:
+    def test_t1_update_on_invalid_becomes_pending(self):
+        cache = ReadCache()
+        cache.on_update_logged("k", "v1")
+        assert cache.state_of("k") is CacheState.PENDING
+        assert cache.lookup("k") == "v1"  # pending is servable
+
+    def test_t2_server_ack_persists(self):
+        cache = ReadCache()
+        cache.on_update_logged("k", "v1")
+        cache.on_server_ack("k")
+        assert cache.state_of("k") is CacheState.PERSISTED
+        assert cache.lookup("k") == "v1"
+
+    def test_t3_update_on_persisted_back_to_pending(self):
+        cache = ReadCache()
+        cache.on_update_logged("k", "v1")
+        cache.on_server_ack("k")
+        cache.on_update_logged("k", "v2")
+        assert cache.state_of("k") is CacheState.PENDING
+        assert cache.lookup("k") == "v2"
+
+    def test_t4_second_outstanding_update_goes_stale(self):
+        cache = ReadCache()
+        cache.on_update_logged("k", "v1")
+        cache.on_update_logged("k", "v2")
+        assert cache.state_of("k") is CacheState.STALE
+        assert cache.lookup("k") is None  # stale never serves
+
+    def test_t5_stale_stays_stale(self):
+        cache = ReadCache()
+        cache.on_update_logged("k", "v1")
+        cache.on_update_logged("k", "v2")
+        cache.on_update_logged("k", "v3")
+        assert cache.state_of("k") is CacheState.STALE
+
+    def test_t6_stale_plus_ack_invalidates(self):
+        cache = ReadCache()
+        cache.on_update_logged("k", "v1")
+        cache.on_update_logged("k", "v2")
+        cache.on_server_ack("k")
+        assert cache.state_of("k") is CacheState.INVALID
+        assert cache.lookup("k") is None
+
+    def test_bypassed_update_stops_serving(self):
+        cache = ReadCache()
+        cache.on_update_logged("k", "v1")
+        cache.on_update_bypassed("k")
+        assert cache.lookup("k") is None
+
+    def test_server_response_fills_empty_slot(self):
+        cache = ReadCache()
+        cache.on_server_response("k", "from-server")
+        assert cache.state_of("k") is CacheState.PERSISTED
+        assert cache.lookup("k") == "from-server"
+
+    def test_server_response_never_overwrites_pending(self):
+        """A read response is older than an in-flight logged update."""
+        cache = ReadCache()
+        cache.on_update_logged("k", "newer")
+        cache.on_server_response("k", "older")
+        assert cache.lookup("k") == "newer"
+
+
+class TestCapacity:
+    def test_evicts_persisted_lru_first(self):
+        cache = ReadCache(capacity_entries=2)
+        cache.on_server_response("a", 1)
+        cache.on_server_response("b", 2)
+        cache.on_server_response("c", 3)
+        assert len(cache) == 2
+        assert cache.state_of("a") is CacheState.INVALID  # evicted
+
+    def test_pending_entries_are_pinned(self):
+        cache = ReadCache(capacity_entries=2)
+        cache.on_update_logged("a", 1)   # PENDING: pinned
+        cache.on_update_logged("b", 2)   # PENDING: pinned
+        cache.on_server_response("c", 3)
+        assert cache.state_of("a") is CacheState.PENDING
+        assert cache.state_of("b") is CacheState.PENDING
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ReadCache(capacity_entries=0)
+
+    def test_hit_rate(self):
+        cache = ReadCache()
+        cache.on_server_response("k", 1)
+        cache.lookup("k")
+        cache.lookup("missing")
+        assert cache.hit_rate() == 0.5
+
+
+class TestCoherenceProperty:
+    @given(st.lists(st.sampled_from(["log", "ack", "bypass", "resp"]),
+                    max_size=40))
+    def test_served_value_is_newest_logged(self, events):
+        """The cache must never serve anything older than the newest
+        logged update for the key."""
+        cache = ReadCache()
+        version = 0
+        newest_logged = None
+        outstanding = 0
+        for event in events:
+            if event == "log":
+                version += 1
+                newest_logged = version
+                cache.on_update_logged("k", version)
+                outstanding += 1
+            elif event == "ack" and outstanding > 0:
+                cache.on_server_ack("k")
+                outstanding -= 1
+            elif event == "bypass":
+                version += 1
+                cache.on_update_bypassed("k")
+                newest_logged = None  # server now ahead of the cache
+            elif event == "resp":
+                # Server responses reflect some committed version; only
+                # fills INVALID slots, so staleness cannot regress.
+                cache.on_server_response("k", newest_logged or version)
+            served = cache.lookup("k")
+            if served is not None and newest_logged is not None:
+                assert served == newest_logged

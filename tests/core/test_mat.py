@@ -1,0 +1,58 @@
+"""Unit tests for MAT ingress classification (Fig 8 step 1-2)."""
+
+import pytest
+
+from repro.core.mat import MATAction, classify, pmnet_packet
+from repro.net.packet import Frame, RawPayload
+from repro.protocol.header import make_request_header
+from repro.protocol.packet import PMNetPacket
+from repro.protocol.types import PacketType
+
+
+def _frame(packet_type: PacketType) -> Frame:
+    header = make_request_header(packet_type, 1, 2)
+    packet = PMNetPacket(header=header, payload=None, payload_bytes=10,
+                         request_id=1, client="c", server="s")
+    return Frame("c", "s", packet, packet.wire_bytes, udp_port=51000)
+
+
+EXPECTED_ACTIONS = {
+    PacketType.UPDATE_REQ: MATAction.LOG_AND_FORWARD,
+    PacketType.BYPASS_REQ: MATAction.BYPASS,
+    PacketType.PMNET_ACK: MATAction.FORWARD_ACK,
+    PacketType.SERVER_ACK: MATAction.INVALIDATE_AND_FORWARD,
+    PacketType.RETRANS: MATAction.SERVE_RETRANS,
+    PacketType.SERVER_RESP: MATAction.CAPTURE_RESPONSE,
+    PacketType.CACHE_RESP: MATAction.FORWARD_ACK,
+    PacketType.RECOVERY_POLL: MATAction.RECOVERY,
+}
+
+
+class TestClassification:
+    @pytest.mark.parametrize("packet_type,action",
+                             sorted(EXPECTED_ACTIONS.items()))
+    def test_every_type_maps_to_its_action(self, packet_type, action):
+        assert classify(_frame(packet_type)) is action
+
+    def test_every_packet_type_is_classified(self):
+        """No PacketType may be missing from the ingress match table."""
+        assert set(EXPECTED_ACTIONS) == set(PacketType)
+
+    def test_non_pmnet_port_short_circuits(self):
+        frame = _frame(PacketType.UPDATE_REQ)
+        frame.udp_port = 9000
+        assert classify(frame) is MATAction.FORWARD_PLAIN
+
+    def test_raw_payload_on_pmnet_port_is_plain(self):
+        frame = Frame("a", "b", RawPayload("x", 4), 4, udp_port=51500)
+        assert classify(frame) is MATAction.FORWARD_PLAIN
+
+
+class TestPacketExtraction:
+    def test_pmnet_packet_returns_payload(self):
+        frame = _frame(PacketType.UPDATE_REQ)
+        assert pmnet_packet(frame) is frame.payload
+
+    def test_non_pmnet_returns_none(self):
+        frame = Frame("a", "b", RawPayload(), 0)
+        assert pmnet_packet(frame) is None

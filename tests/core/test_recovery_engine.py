@@ -1,0 +1,150 @@
+"""Unit tests for the resend engine and the redo scrubber."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments.deploy import build_pmnet_switch
+from repro.net.link import Impairments
+from repro.sim.clock import microseconds, milliseconds
+from repro.workloads.handlers import StructureHandler
+from repro.workloads.kv import OpKind, Operation
+from repro.workloads.pmdk.hashmap import PMHashmap
+
+
+def _loaded_deployment(requests=15, clients=2):
+    """A deployment whose server is down, so the log fills up.
+
+    The redo scrubber is pushed out of the way (huge timeout) so these
+    tests observe the poll-driven resend engine in isolation.
+    """
+    from dataclasses import replace
+    base = SystemConfig().with_clients(clients)
+    config = replace(base, log=replace(base.log,
+                                       redo_timeout_ns=10_000_000_000))
+    handler = StructureHandler(PMHashmap())
+    deployment = build_pmnet_switch(config, handler=handler)
+    deployment.server.crash()
+    acknowledged = []
+
+    def client_proc(index, client):
+        for i in range(requests):
+            completion = yield client.send_update(
+                Operation(OpKind.SET, key=(index, i), value=i))
+            if completion.result.ok:
+                acknowledged.append((index, i))
+
+    deployment.open_all_sessions()
+    for index, client in enumerate(deployment.clients):
+        deployment.sim.spawn(client_proc(index, client), f"c{index}")
+    return deployment, handler, acknowledged
+
+
+class TestResendEngine:
+    def test_window_one_is_stop_and_wait(self):
+        deployment, handler, acknowledged = _loaded_deployment()
+        engine = deployment.devices[0].resend_engine
+        assert engine.window == 1
+        recovery = None
+
+        def recover():
+            nonlocal recovery
+            recovery = deployment.server.recover(deployment.pmnet_names)
+
+        deployment.sim.schedule_at(milliseconds(1.5), recover)
+        deployment.sim.run()
+        assert recovery is not None and recovery.triggered
+        # Stop-and-wait: resends == acknowledged updates pending.
+        assert int(engine.resends) == 30
+        assert engine.pending == 0
+        assert not engine.active
+
+    def test_duration_reported(self):
+        deployment, _handler, _acked = _loaded_deployment()
+        engine = deployment.devices[0].resend_engine
+        deployment.sim.schedule_at(
+            milliseconds(1.5),
+            lambda: deployment.server.recover(deployment.pmnet_names))
+        deployment.sim.run()
+        duration = engine.duration_ns()
+        assert duration is not None
+        # 30 stop-and-wait resends at ~68 us each.
+        assert 30 * microseconds(40) < duration < 30 * microseconds(120)
+
+    def test_wider_window_drains_faster(self):
+        def drain_time(window):
+            deployment, _h, _a = _loaded_deployment()
+            engine = deployment.devices[0].resend_engine
+            engine.window = window
+            deployment.sim.schedule_at(
+                milliseconds(1.5),
+                lambda: deployment.server.recover(deployment.pmnet_names))
+            deployment.sim.run()
+            return engine.duration_ns()
+
+        assert drain_time(8) < drain_time(1)
+
+    def test_invalid_window_rejected(self):
+        from repro.core.recovery import ResendEngine
+        deployment, _h, _a = _loaded_deployment()
+        with pytest.raises(ValueError):
+            ResendEngine(deployment.devices[0], window=0)
+
+    def test_reset_abandons_resend(self):
+        deployment, _h, _a = _loaded_deployment()
+        engine = deployment.devices[0].resend_engine
+        deployment.sim.schedule_at(
+            milliseconds(1.5),
+            lambda: deployment.server.recover(deployment.pmnet_names))
+        # Reset immediately after the poll arrives.
+        deployment.sim.schedule_at(milliseconds(1.8), engine.reset)
+        deployment.sim.run(until=milliseconds(4))
+        assert not engine.active
+        assert engine.pending == 0
+
+
+class TestRedoScrubber:
+    def test_tail_loss_repaired_by_scrubber(self):
+        """Lose a forwarded update with no successors: only the device's
+        redo timer can get it to the server."""
+        config = SystemConfig(seed=2).with_clients(1)
+        handler = StructureHandler(PMHashmap())
+        deployment = build_pmnet_switch(config, handler=handler)
+        # Drop everything the device forwards for the first 300 us.
+        link = next(l for l in deployment.topology.links
+                    if l.forward.name == "pmnet1->server")
+        link.forward.impairments = Impairments(loss_probability=1.0)
+        deployment.sim.schedule_at(
+            microseconds(300),
+            lambda: setattr(link.forward, "impairments", Impairments()))
+        client = deployment.clients[0]
+        results = []
+
+        def proc():
+            completion = yield client.send_update(
+                Operation(OpKind.SET, key="k", value="v"))
+            results.append(completion)
+
+        deployment.open_all_sessions()
+        deployment.sim.spawn(proc())
+        deployment.sim.run()
+        device = deployment.devices[0]
+        assert results[0].via == "pmnet"  # client never waited on the server
+        assert int(device.redo_resends) >= 1
+        assert dict(handler.structure.items()) == {"k": "v"}
+        assert device.log.occupancy == 0  # server-ACK cleaned up
+
+    def test_scrubber_idle_when_log_empty(self):
+        """No periodic events linger after the log drains (the sim's
+        event queue must go quiet)."""
+        config = SystemConfig().with_clients(1)
+        deployment = build_pmnet_switch(config)
+        client = deployment.clients[0]
+
+        def proc():
+            yield client.send_update(Operation(OpKind.SET, key=1, value=2))
+
+        deployment.open_all_sessions()
+        deployment.sim.spawn(proc())
+        end_time = deployment.sim.run()
+        # The run must terminate well before a second redo period.
+        assert end_time < 2 * config.log.redo_timeout_ns

@@ -1,0 +1,185 @@
+"""Tests for the experiment harness: each figure's *shape* must hold.
+
+These are the reproduction's acceptance tests: they run each experiment
+at reduced scale and assert the qualitative claims of the paper (who
+wins, roughly by how much, where the curves bend).
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments import (
+    fig02_breakdown,
+    fig15_payload_latency,
+    fig18_alternatives,
+    fig19_app_throughput,
+    fig20_cdf_caching,
+    fig21_replication,
+    fig22_vma,
+    sec6b6_recovery,
+)
+from repro.experiments.registry import EXPERIMENTS, get
+
+
+class TestFig02:
+    def test_server_side_share_near_70_percent(self):
+        result = fig02_breakdown.run()
+        assert 0.60 < result.average_server_side_fraction < 0.85
+
+    def test_format_mentions_every_workload(self):
+        text = fig02_breakdown.run().format()
+        for name in ("ideal", "btree", "redis", "tpcc"):
+            assert name in text
+
+
+class TestFig15:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig15_payload_latency.run(quick=True, payloads=(50, 1000))
+
+    def test_speedup_between_2x_and_3x(self, result):
+        assert 2.0 < result.speedup("pmnet-switch", 50) < 3.3
+
+    def test_speedup_decays_with_payload(self, result):
+        assert (result.speedup("pmnet-switch", 1000)
+                < result.speedup("pmnet-switch", 50))
+
+    def test_switch_nic_gap_below_1us(self, result):
+        assert result.switch_nic_gap_us(50) < 1.0
+        assert result.switch_nic_gap_us(1000) < 1.0
+
+
+class TestFig18:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig18_alternatives.run(quick=True)
+
+    def test_unreplicated_ordering(self, result):
+        lat = result.latencies
+        assert (lat[("client-log", 1)] < lat[("pmnet", 1)]
+                < lat[("server-log", 1)])
+
+    def test_replicated_ordering_flips_for_client_log(self, result):
+        lat = result.latencies
+        assert (lat[("pmnet", 3)] < lat[("client-log", 3)]
+                < lat[("server-log", 3)])
+
+    def test_pmnet_replication_nearly_free(self, result):
+        lat = result.latencies
+        assert lat[("pmnet", 3)] < 1.35 * lat[("pmnet", 1)]
+
+    def test_magnitudes_near_paper(self, result):
+        """Within 30% of the published microseconds."""
+        from repro.experiments.fig18_alternatives import PAPER_US
+        for key, paper in PAPER_US.items():
+            measured = result.latencies[key]
+            assert abs(measured - paper) / paper < 0.30, (key, measured)
+
+
+class TestFig19:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig19_app_throughput.run(
+            quick=True, workloads=["btree", "hashmap", "redis"],
+            ratios=(1.0, 0.5))
+
+    def test_everything_speeds_up_at_100pct_updates(self, result):
+        for workload, ratios in result.normalized.items():
+            assert ratios[1.0] > 2.0, workload
+
+    def test_benefit_shrinks_with_reads(self, result):
+        for workload, ratios in result.normalized.items():
+            assert ratios[0.5] < ratios[1.0], workload
+
+    def test_average_speedup_in_paper_band(self, result):
+        assert 2.5 < result.average_speedup(1.0) < 6.0
+
+
+class TestFig20:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig20_cdf_caching.run(quick=True)
+
+    def test_p99_improvement_at_full_updates(self, result):
+        assert result.p99_ratio(1.0) > 2.0
+
+    def test_mean_improvement_with_cache(self, result):
+        assert result.mean_ratio(1.0) > 2.5
+
+    def test_knee_near_p50_without_cache(self, result):
+        assert 0.35 < result.knee_fraction(0.5, "pmnet") < 0.65
+
+    def test_cache_extends_past_the_knee(self, result):
+        """With the cache, more of the CDF stays sub-RTT than without."""
+        assert (result.knee_fraction(0.5, "pmnet+cache")
+                >= result.knee_fraction(0.5, "pmnet"))
+
+    def test_cache_hits_happen_at_mixed_ratio(self, result):
+        assert result.cache_hit_rate[0.5] > 0.2
+        assert result.cache_hit_rate[1.0] == 0.0
+
+
+class TestFig21:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig21_replication.run(quick=True, workloads=["ideal",
+                                                            "hashmap"])
+
+    def test_in_network_replication_wins_big(self, result):
+        assert result.average_speedup() > 3.0
+
+    def test_pmnet_overhead_moderate(self, result):
+        overhead = result.pmnet_replication_overhead("ideal")
+        assert 0.05 < overhead < 0.35  # paper: 16%
+
+
+class TestFig22:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig22_vma.run(quick=True)
+
+    def test_speedup_persists_with_vma(self, result):
+        assert result.speedup(False) > 2.0
+        assert result.speedup(True) > 2.0
+
+    def test_vma_speedup_not_smaller(self, result):
+        """The paper's point: PMNet still helps after stack optimization
+        (3.08x -> 3.56x)."""
+        assert result.speedup(True) > result.speedup(False) * 0.9
+
+
+class TestRecovery:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return sec6b6_recovery.run(quick=True)
+
+    def test_all_acked_updates_recovered(self, result):
+        assert result.durable
+
+    def test_per_request_resend_near_67us(self, result):
+        assert 40 < result.per_request_resend_us < 110
+
+    def test_full_log_extrapolation_in_seconds_band(self, result):
+        assert 2.5 < result.full_log_drain_seconds() < 8.0
+
+    def test_total_far_below_reboot(self, result):
+        # 2-3 minute reboot vs seconds of recovery.
+        assert result.total_recovery_ns < 30e9
+
+
+class TestRegistry:
+    def test_every_announced_experiment_exists(self):
+        expected = {"fig02", "fig07", "fig15", "fig16", "fig18", "fig19",
+                    "fig20",
+                    "fig21", "fig22", "sec6b6", "sec7", "multirack",
+                    "motivation", "bdp",
+                    "ablations"}
+        assert expected == set(EXPERIMENTS)
+
+    def test_unknown_id_raises_with_suggestions(self):
+        with pytest.raises(KeyError):
+            get("fig99")
+
+    def test_bdp_runs_instantly(self):
+        text = get("bdp").run()
+        assert "5.0" in text or "5,0" in text  # 5 Mbit row

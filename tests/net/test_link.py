@@ -1,0 +1,119 @@
+"""Unit tests for links: serialization, queueing, impairments."""
+
+import pytest
+
+from repro.config import NetworkProfile
+from repro.net.device import Node, Port
+from repro.net.link import Impairments, Link
+from repro.net.packet import Frame
+from repro.sim import Simulator
+
+
+class _Sink(Node):
+    """A node that records arrivals with timestamps."""
+
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.arrivals = []
+
+    def handle_frame(self, frame: Frame, in_port: Port) -> None:
+        self.arrivals.append((self.sim.now, frame))
+
+
+def _pair(sim, profile=None, **impair):
+    profile = profile or NetworkProfile()
+    a, b = _Sink(sim, "a"), _Sink(sim, "b")
+    link = Link(sim, profile, a.add_port(), b.add_port(),
+                impairments_ab=Impairments(**impair) if impair else None)
+    return a, b, link
+
+
+class TestTiming:
+    def test_delivery_time_is_serialization_plus_propagation(self):
+        sim = Simulator()
+        profile = NetworkProfile(bandwidth_bps=10e9, propagation_ns=100,
+                                 header_overhead_bytes=46)
+        a, b, _link = _pair(sim, profile)
+        a.ports[0].transmit(Frame("a", "b", None, 100))
+        sim.run()
+        # (100+46)*8 bits / 10 Gbps = 117 ns (rounded up), +100 ns wire.
+        assert b.arrivals[0][0] == 117 + 100
+
+    def test_back_to_back_frames_serialize_sequentially(self):
+        sim = Simulator()
+        profile = NetworkProfile(bandwidth_bps=10e9, propagation_ns=0,
+                                 header_overhead_bytes=0)
+        a, b, _link = _pair(sim, profile)
+        for _ in range(3):
+            a.ports[0].transmit(Frame("a", "b", None, 1250))  # 1 us each
+        sim.run()
+        times = [t for t, _f in b.arrivals]
+        assert times == [1000, 2000, 3000]
+
+    def test_duplex_is_independent(self):
+        sim = Simulator()
+        a, b, _link = _pair(sim)
+        a.ports[0].transmit(Frame("a", "b", None, 10))
+        b.ports[0].transmit(Frame("b", "a", None, 10))
+        sim.run()
+        assert len(a.arrivals) == 1
+        assert len(b.arrivals) == 1
+
+
+class TestQueueing:
+    def test_drop_tail_when_queue_full(self):
+        sim = Simulator()
+        profile = NetworkProfile(queue_capacity_packets=2)
+        a, b, link = _pair(sim, profile)
+        for _ in range(10):
+            a.ports[0].transmit(Frame("a", "b", None, 1000))
+        sim.run()
+        # 1 in flight + 2 queued survive the burst; later sends enqueue
+        # as the transmitter drains, so some drops must be recorded.
+        assert int(link.forward.dropped_full) > 0
+        assert len(b.arrivals) + int(link.forward.dropped_full) == 10
+
+
+class TestImpairments:
+    def test_loss_drops_frames(self):
+        sim = Simulator()
+        a, b, link = _pair(sim, loss_probability=1.0)
+        for _ in range(5):
+            a.ports[0].transmit(Frame("a", "b", None, 10))
+        sim.run()
+        assert b.arrivals == []
+        assert int(link.forward.dropped_loss) == 5
+
+    def test_duplication_delivers_twice(self):
+        sim = Simulator()
+        a, b, _link = _pair(sim, duplicate_probability=1.0)
+        a.ports[0].transmit(Frame("a", "b", None, 10))
+        sim.run()
+        assert len(b.arrivals) == 2
+
+    def test_reordering_delays_marked_frames(self):
+        sim = Simulator()
+        profile = NetworkProfile(propagation_ns=100)
+        a, b = _Sink(sim, "a"), _Sink(sim, "b")
+        Link(sim, profile, a.add_port(), b.add_port(),
+             impairments_ab=Impairments(reorder_probability=1.0,
+                                        reorder_extra_ns=5_000))
+        a.ports[0].transmit(Frame("a", "b", None, 10))
+        sim.run()
+        assert b.arrivals[0][0] > 5_000
+
+    def test_failed_node_blackholes(self):
+        sim = Simulator()
+        a, b, _link = _pair(sim)
+        b.fail()
+        a.ports[0].transmit(Frame("a", "b", None, 10))
+        sim.run()
+        assert b.arrivals == []
+
+    def test_disconnected_port_raises(self):
+        sim = Simulator()
+        node = _Sink(sim, "lonely")
+        port = node.add_port()
+        from repro.errors import NetworkError
+        with pytest.raises(NetworkError):
+            port.transmit(Frame("lonely", "x", None, 1))

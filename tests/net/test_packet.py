@@ -1,0 +1,55 @@
+"""Unit tests for frames and the PMNet port range."""
+
+import pytest
+
+from repro.net.packet import (
+    PLAIN_UDP_PORT,
+    PMNET_UDP_PORT_MAX,
+    PMNET_UDP_PORT_MIN,
+    Frame,
+    RawPayload,
+    is_pmnet_port,
+)
+
+
+class TestPortClassification:
+    def test_reserved_range_bounds(self):
+        assert is_pmnet_port(PMNET_UDP_PORT_MIN)
+        assert is_pmnet_port(PMNET_UDP_PORT_MAX)
+        assert not is_pmnet_port(PMNET_UDP_PORT_MIN - 1)
+        assert not is_pmnet_port(PMNET_UDP_PORT_MAX + 1)
+
+    def test_plain_port_is_not_pmnet(self):
+        assert not is_pmnet_port(PLAIN_UDP_PORT)
+
+
+class TestFrame:
+    def test_defaults(self):
+        frame = Frame("a", "b", RawPayload(), 100)
+        assert frame.hops == 0
+        assert not frame.is_pmnet
+
+    def test_pmnet_flag_follows_port(self):
+        frame = Frame("a", "b", None, 10, udp_port=51500)
+        assert frame.is_pmnet
+
+    def test_wire_size_adds_overhead(self):
+        frame = Frame("a", "b", None, 100)
+        assert frame.wire_size(46) == 146
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Frame("a", "b", None, -1)
+
+    def test_reply_swaps_endpoints(self):
+        frame = Frame("client", "server", None, 100, udp_port=51000)
+        reply = frame.reply_to("ack", 16)
+        assert reply.src == "server"
+        assert reply.dst == "client"
+        assert reply.udp_port == 51000
+        assert reply.payload_bytes == 16
+
+    def test_frame_ids_unique(self):
+        a = Frame("x", "y", None, 1)
+        b = Frame("x", "y", None, 1)
+        assert a.frame_id != b.frame_id

@@ -1,0 +1,87 @@
+"""Unit tests for the PM device timing model."""
+
+import pytest
+
+from repro.config import PMProfile
+from repro.errors import CrashedDeviceError
+from repro.pm.device import PMDevice
+from repro.sim import Simulator
+
+PROFILE = PMProfile(name="test-pm", write_latency_ns=273,
+                    read_latency_ns=150, bandwidth_bytes_per_s=2.5e9,
+                    capacity_bytes=1 << 30)
+
+
+class TestTiming:
+    def test_write_completion_time(self):
+        sim = Simulator()
+        device = PMDevice(sim, "pm", PROFILE)
+        done = []
+        device.submit_write(100, lambda: done.append(sim.now))
+        sim.run()
+        # 273 ns latency + 100 B / 2.5 GB/s = 40 ns media time.
+        assert done == [313]
+
+    def test_read_uses_read_latency(self):
+        sim = Simulator()
+        device = PMDevice(sim, "pm", PROFILE)
+        done = []
+        device.submit_read(100, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [190]
+
+    def test_streamed_accesses_pipeline(self):
+        """Back-to-back writes are spaced by transfer time only; each
+        completion still pays the fixed media latency (DMA pipelining)."""
+        sim = Simulator()
+        device = PMDevice(sim, "pm", PROFILE)
+        done = []
+        device.submit_write(100, lambda: done.append(sim.now))
+        device.submit_write(100, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [313, 353]  # 40 ns apart, not 313
+
+    def test_busy_for_reflects_initiation_backlog(self):
+        sim = Simulator()
+        device = PMDevice(sim, "pm", PROFILE)
+        device.submit_write(100, lambda: None)
+        assert device.busy_for() == 40  # next access may start then
+
+
+class TestCrashSemantics:
+    def test_inflight_write_lost_on_crash(self):
+        sim = Simulator()
+        device = PMDevice(sim, "pm", PROFILE)
+        done = []
+        device.submit_write(100, lambda: done.append("persisted"))
+        sim.schedule(100, device.crash)  # before the 313 ns completion
+        sim.run()
+        assert done == []
+
+    def test_completed_write_survives(self):
+        sim = Simulator()
+        device = PMDevice(sim, "pm", PROFILE)
+        done = []
+        device.submit_write(100, lambda: done.append("persisted"))
+        sim.schedule(1000, device.crash)
+        sim.run()
+        assert done == ["persisted"]
+        assert int(device.writes_completed) == 1
+
+    def test_crashed_device_rejects_access(self):
+        sim = Simulator()
+        device = PMDevice(sim, "pm", PROFILE)
+        device.crash()
+        with pytest.raises(CrashedDeviceError):
+            device.submit_write(10, lambda: None)
+
+    def test_recover_resets_busy_horizon(self):
+        sim = Simulator()
+        device = PMDevice(sim, "pm", PROFILE)
+        device.submit_write(10_000_000, lambda: None)
+        device.crash()
+        device.recover()
+        done = []
+        device.submit_write(100, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [313]

@@ -1,0 +1,137 @@
+"""Unit tests for log queues and the hash-indexed log region."""
+
+import pytest
+
+from repro.config import LogConfig, PMProfile
+from repro.pm.device import PMDevice
+from repro.pm.log import LogRegion
+from repro.pm.queues import LogQueue
+from repro.protocol.header import make_request_header
+from repro.protocol.packet import PMNetPacket
+from repro.protocol.types import PacketType
+from repro.sim import Simulator
+
+PROFILE = PMProfile(name="test-pm", write_latency_ns=273,
+                    read_latency_ns=150, bandwidth_bytes_per_s=2.5e9,
+                    capacity_bytes=1 << 30)
+
+
+def _setup(num_entries=16, write_queue=4096, read_queue=4096):
+    sim = Simulator()
+    device = PMDevice(sim, "pm", PROFILE)
+    wq = LogQueue(sim, "wq", write_queue, device, is_write=True)
+    rq = LogQueue(sim, "rq", read_queue, device, is_write=False)
+    config = LogConfig(num_entries=num_entries)
+    log = LogRegion(sim, "log", config, device, wq, rq)
+    return sim, device, wq, rq, log
+
+
+def _packet(seq: int, sid: int = 1,
+            ptype: PacketType = PacketType.UPDATE_REQ) -> PMNetPacket:
+    header = make_request_header(ptype, sid, seq)
+    return PMNetPacket(header=header, payload=None, payload_bytes=100,
+                       request_id=seq, client="c", server="s")
+
+
+class TestLogQueue:
+    def test_accepts_within_budget(self):
+        sim, device, wq, _rq, _log = _setup()
+        assert wq.try_enqueue(1000, lambda: None)
+        assert wq.occupancy_bytes == 1000
+
+    def test_rejects_over_budget(self):
+        sim, device, wq, _rq, _log = _setup(write_queue=1000)
+        assert wq.try_enqueue(800, lambda: None)
+        assert not wq.try_enqueue(300, lambda: None)
+        assert int(wq.rejected) == 1
+
+    def test_drains_in_order(self):
+        sim, device, wq, _rq, _log = _setup()
+        done = []
+        wq.try_enqueue(100, lambda: done.append("a"))
+        wq.try_enqueue(100, lambda: done.append("b"))
+        sim.run()
+        assert done == ["a", "b"]
+        assert wq.occupancy_bytes == 0
+
+    def test_high_water_mark(self):
+        sim, device, wq, _rq, _log = _setup()
+        wq.try_enqueue(100, lambda: None)
+        wq.try_enqueue(200, lambda: None)
+        assert wq.high_water_bytes == 300
+
+    def test_crash_discards_buffered(self):
+        sim, device, wq, _rq, _log = _setup()
+        wq.try_enqueue(100, lambda: None)
+        wq.try_enqueue(100, lambda: None)
+        lost = wq.crash()
+        assert lost >= 1
+        assert wq.occupancy_bytes == 0
+
+
+class TestLogRegion:
+    def test_entry_durable_after_pm_write(self):
+        sim, _device, _wq, _rq, log = _setup()
+        persisted = []
+        packet = _packet(0)
+        assert log.try_log(packet, persisted.append)
+        entry = log.lookup(packet.hash_val)
+        assert entry is not None and not entry.durable
+        sim.run()
+        assert entry.durable
+        assert len(persisted) == 1
+
+    def test_collision_bypasses(self):
+        sim, _device, _wq, _rq, log = _setup()
+        packet = _packet(0)
+        assert log.try_log(packet, lambda e: None)
+        assert not log.try_log(packet, lambda e: None)
+        assert int(log.bypassed_collision) == 1
+
+    def test_full_log_bypasses(self):
+        sim, _device, _wq, _rq, log = _setup(num_entries=2)
+        assert log.try_log(_packet(0), lambda e: None)
+        assert log.try_log(_packet(1), lambda e: None)
+        assert not log.try_log(_packet(2), lambda e: None)
+        assert int(log.bypassed_full) == 1
+
+    def test_busy_queue_bypasses_without_inserting(self):
+        sim, _device, _wq, _rq, log = _setup(write_queue=150)
+        assert log.try_log(_packet(0), lambda e: None)  # 111 B fits
+        assert not log.try_log(_packet(1), lambda e: None)
+        assert int(log.bypassed_queue_busy) == 1
+        assert log.lookup(_packet(1).hash_val) is None
+
+    def test_invalidate_removes_entry(self):
+        sim, _device, _wq, _rq, log = _setup()
+        packet = _packet(0)
+        log.try_log(packet, lambda e: None)
+        sim.run()
+        assert log.invalidate(packet.hash_val)
+        assert log.lookup(packet.hash_val) is None
+        assert not log.invalidate(packet.hash_val)
+
+    def test_durable_entries_in_insert_order(self):
+        sim, _device, _wq, _rq, log = _setup()
+        packets = [_packet(seq) for seq in (5, 2, 9)]
+        for packet in packets:
+            log.try_log(packet, lambda e: None)
+        sim.run()
+        order = [e.packet.seq_num for e in log.durable_entries_in_order()]
+        assert order == [5, 2, 9]  # insertion order, not seq order
+
+    def test_crash_drops_only_volatile_entries(self):
+        sim, _device, _wq, _rq, log = _setup()
+        log.try_log(_packet(0), lambda e: None)
+        sim.run()  # packet 0 becomes durable
+        log.try_log(_packet(1), lambda e: None)  # still in flight
+        lost = log.crash()
+        assert lost == 1
+        assert log.durable_count == 1
+
+    def test_wipe_erases_everything(self):
+        sim, _device, _wq, _rq, log = _setup()
+        log.try_log(_packet(0), lambda e: None)
+        sim.run()
+        assert log.wipe() == 1
+        assert log.occupancy == 0

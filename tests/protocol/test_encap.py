@@ -1,0 +1,128 @@
+"""Tests for the IPv4/UDP/VXLAN wire encapsulation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HeaderError
+from repro.protocol.encap import (
+    IPV4_BYTES,
+    UDP_BYTES,
+    VXLAN_BYTES,
+    VXLAN_PORT,
+    IPv4Header,
+    UDPHeader,
+    VXLANHeader,
+    bytes_to_ip,
+    decapsulate,
+    encapsulate,
+    internet_checksum,
+    ip_to_bytes,
+)
+from repro.protocol.header import HEADER_BYTES, make_request_header
+from repro.protocol.types import PacketType
+
+
+class TestPrimitives:
+    def test_ip_roundtrip(self):
+        assert bytes_to_ip(ip_to_bytes("10.0.1.255")) == "10.0.1.255"
+
+    def test_bad_ip_rejected(self):
+        for bad in ("10.0.1", "a.b.c.d", "1.2.3.400"):
+            with pytest.raises(HeaderError):
+                ip_to_bytes(bad)
+
+    def test_checksum_rfc1071_example(self):
+        # Classic example from RFC 1071 materials.
+        data = bytes.fromhex("0001f203f4f5f6f7")
+        assert internet_checksum(data) == 0x220D
+
+    def test_checksum_of_summed_packet_is_zero(self):
+        header = IPv4Header("192.168.0.1", "192.168.0.2", 100).pack()
+        assert internet_checksum(header) == 0
+
+
+class TestHeaders:
+    def test_ipv4_sizes_and_roundtrip(self):
+        header = IPv4Header("10.1.2.3", "10.4.5.6", total_length=200,
+                            ttl=17, identification=99)
+        raw = header.pack()
+        assert len(raw) == IPV4_BYTES
+        parsed = IPv4Header.parse(raw)
+        assert parsed == header
+
+    def test_corrupted_ipv4_rejected(self):
+        raw = bytearray(IPv4Header("10.0.0.1", "10.0.0.2", 64).pack())
+        raw[8] ^= 0xFF  # flip the TTL
+        with pytest.raises(HeaderError):
+            IPv4Header.parse(bytes(raw))
+
+    def test_udp_roundtrip(self):
+        header = UDPHeader(51000, 51001, 150)
+        assert UDPHeader.parse(header.pack()) == header
+        assert len(header.pack()) == UDP_BYTES
+
+    def test_vxlan_roundtrip(self):
+        header = VXLANHeader(vni=0xABCDEF)
+        raw = header.pack()
+        assert len(raw) == VXLAN_BYTES
+        assert VXLANHeader.parse(raw) == header
+
+    def test_vni_out_of_range(self):
+        with pytest.raises(HeaderError):
+            VXLANHeader(1 << 24).pack()
+
+    def test_vxlan_flag_required(self):
+        with pytest.raises(HeaderError):
+            VXLANHeader.parse(b"\x00" * 8)
+
+
+class TestEncapsulation:
+    def _pmnet_header(self):
+        return make_request_header(PacketType.UPDATE_REQ, 7, 42)
+
+    def test_plain_udp_roundtrip(self):
+        header = self._pmnet_header()
+        wire = encapsulate(header, b"hello world", "10.0.0.1", "10.0.0.2",
+                           51000, 51000)
+        assert len(wire) == IPV4_BYTES + UDP_BYTES + HEADER_BYTES + 11
+        parsed, payload, vni = decapsulate(wire)
+        assert parsed == header
+        assert payload == b"hello world"
+        assert vni is None
+
+    def test_vxlan_roundtrip(self):
+        header = self._pmnet_header()
+        wire = encapsulate(header, b"abc", "10.0.0.1", "10.0.0.2",
+                           51000, 51000, vni=1234)
+        expected = (IPV4_BYTES + UDP_BYTES + VXLAN_BYTES   # overlay
+                    + IPV4_BYTES + UDP_BYTES + HEADER_BYTES + 3)
+        assert len(wire) == expected
+        parsed, payload, vni = decapsulate(wire)
+        assert parsed == header
+        assert payload == b"abc"
+        assert vni == 1234
+
+    def test_outer_udp_port_is_vxlan(self):
+        wire = encapsulate(self._pmnet_header(), b"", "10.0.0.1",
+                           "10.0.0.2", 51000, 51000, vni=5)
+        outer_udp = UDPHeader.parse(wire[IPV4_BYTES:])
+        assert outer_udp.dst_port == VXLAN_PORT
+
+    def test_truncated_wire_rejected(self):
+        wire = encapsulate(self._pmnet_header(), b"payload", "10.0.0.1",
+                           "10.0.0.2", 51000, 51000)
+        with pytest.raises(HeaderError):
+            decapsulate(wire[:-3])
+
+    @given(st.binary(max_size=512),
+           st.integers(min_value=0, max_value=0xFFFF),
+           st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=(1 << 24) - 1))
+    def test_roundtrip_property(self, payload, sid, seq, vni):
+        header = make_request_header(PacketType.UPDATE_REQ, sid, seq)
+        wire = encapsulate(header, payload, "172.16.0.9", "172.16.0.10",
+                           51007, 51900, vni=vni)
+        parsed, out_payload, out_vni = decapsulate(wire)
+        assert parsed == header
+        assert out_payload == payload
+        assert out_vni == vni

@@ -1,0 +1,100 @@
+"""Unit tests for the PMNet header codec and CRC."""
+
+import zlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HeaderError
+from repro.protocol.crc import crc32
+from repro.protocol.header import (
+    HEADER_BYTES,
+    PMNetHeader,
+    make_request_header,
+)
+from repro.protocol.types import PacketType
+
+
+class TestCRC32:
+    def test_check_value(self):
+        # The classic CRC-32 check: "123456789" -> 0xCBF43926.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_empty_is_zero(self):
+        assert crc32(b"") == 0
+
+    @given(st.binary(max_size=256))
+    def test_matches_zlib(self, data):
+        assert crc32(data) == zlib.crc32(data)
+
+    @given(st.binary(min_size=1, max_size=64), st.binary(max_size=64))
+    def test_incremental(self, a, b):
+        whole = crc32(a + b)
+        # zlib-style incremental continuation must agree.
+        assert zlib.crc32(b, zlib.crc32(a)) == whole
+
+
+class TestHeaderCodec:
+    def test_wire_size_is_eleven_bytes(self):
+        assert HEADER_BYTES == 11
+
+    def test_pack_parse_roundtrip(self):
+        header = PMNetHeader(PacketType.UPDATE_REQ, 42, 1234, 0xDEADBEEF)
+        assert PMNetHeader.parse(header.pack()) == header
+
+    @given(st.sampled_from(list(PacketType)),
+           st.integers(min_value=0, max_value=0xFFFF),
+           st.integers(min_value=0, max_value=0xFFFFFFFF),
+           st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_roundtrip_property(self, ptype, sid, seq, hash_val):
+        header = PMNetHeader(ptype, sid, seq, hash_val)
+        assert PMNetHeader.parse(header.pack()) == header
+
+    def test_short_buffer_rejected(self):
+        with pytest.raises(HeaderError):
+            PMNetHeader.parse(b"\x01\x02")
+
+    def test_unknown_type_rejected(self):
+        raw = bytes([200]) + b"\x00" * 10
+        with pytest.raises(HeaderError):
+            PMNetHeader.parse(raw)
+
+    def test_session_id_range_enforced(self):
+        with pytest.raises(HeaderError):
+            PMNetHeader(PacketType.UPDATE_REQ, 0x10000, 0)
+
+    def test_seq_range_enforced(self):
+        with pytest.raises(HeaderError):
+            PMNetHeader(PacketType.UPDATE_REQ, 0, 0x1_0000_0000)
+
+
+class TestHashVal:
+    def test_sealed_header_verifies(self):
+        header = make_request_header(PacketType.UPDATE_REQ, 7, 99)
+        assert header.verify_hash()
+
+    def test_tampered_header_fails_verification(self):
+        header = make_request_header(PacketType.UPDATE_REQ, 7, 99)
+        import dataclasses
+        tampered = dataclasses.replace(header, seq_num=100)
+        assert not tampered.verify_hash()
+
+    def test_hash_depends_on_type(self):
+        update = make_request_header(PacketType.UPDATE_REQ, 1, 1)
+        bypass = make_request_header(PacketType.BYPASS_REQ, 1, 1)
+        assert update.hash_val != bypass.hash_val
+
+    def test_with_type_preserves_hash(self):
+        """ACKs keep the original HashVal (it indexes the log)."""
+        request = make_request_header(PacketType.UPDATE_REQ, 3, 5)
+        ack = request.with_type(PacketType.SERVER_ACK)
+        assert ack.hash_val == request.hash_val
+        assert ack.packet_type is PacketType.SERVER_ACK
+
+    @given(st.integers(min_value=0, max_value=0xFFFF),
+           st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_hash_distinct_across_sessions_and_seqs(self, sid, seq):
+        a = make_request_header(PacketType.UPDATE_REQ, sid, seq)
+        b = make_request_header(PacketType.UPDATE_REQ, sid,
+                                (seq + 1) & 0xFFFFFFFF)
+        assert a.hash_val != b.hash_val

@@ -1,0 +1,90 @@
+"""Unit tests for PMNetPacket and its derived packets."""
+
+import pytest
+
+from repro.protocol.header import HEADER_BYTES, make_request_header
+from repro.protocol.packet import PMNetPacket, next_request_id
+from repro.protocol.types import (
+    CLIENT_TO_SERVER,
+    TO_CLIENT,
+    PacketType,
+    is_request,
+)
+
+
+def _packet(**overrides):
+    defaults = dict(
+        header=make_request_header(PacketType.UPDATE_REQ, 4, 9),
+        payload="op", payload_bytes=100, request_id=next_request_id(),
+        client="client3", server="server")
+    defaults.update(overrides)
+    return PMNetPacket(**defaults)
+
+
+class TestPacketBasics:
+    def test_wire_bytes_includes_header(self):
+        assert _packet().wire_bytes == 100 + HEADER_BYTES
+
+    def test_property_accessors(self):
+        packet = _packet()
+        assert packet.packet_type is PacketType.UPDATE_REQ
+        assert packet.session_id == 4
+        assert packet.seq_num == 9
+        assert packet.hash_val == packet.header.hash_val
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            _packet(payload_bytes=-1)
+
+    def test_fragment_index_bounds(self):
+        with pytest.raises(ValueError):
+            _packet(frag_index=2, frag_count=2)
+
+    def test_request_ids_unique(self):
+        assert next_request_id() != next_request_id()
+
+
+class TestDerivedPackets:
+    def test_ack_keeps_identity_and_origin(self):
+        packet = _packet()
+        ack = packet.make_ack(PacketType.PMNET_ACK, origin_device="pmnet1")
+        assert ack.hash_val == packet.hash_val
+        assert ack.session_id == packet.session_id
+        assert ack.seq_num == packet.seq_num
+        assert ack.origin_device == "pmnet1"
+        assert ack.payload_bytes == 0
+        assert ack.client == packet.client
+
+    def test_ack_type_restricted(self):
+        with pytest.raises(ValueError):
+            _packet().make_ack(PacketType.RETRANS)
+
+    def test_response_carries_payload(self):
+        packet = _packet(header=make_request_header(
+            PacketType.BYPASS_REQ, 1, 1))
+        response = packet.make_response("value!", 64)
+        assert response.packet_type is PacketType.SERVER_RESP
+        assert response.payload == "value!"
+        assert response.payload_bytes == 64
+
+    def test_cache_response_type(self):
+        response = _packet().make_response("v", 16, from_cache=True,
+                                           origin_device="pmnet1")
+        assert response.packet_type is PacketType.CACHE_RESP
+        assert response.origin_device == "pmnet1"
+
+    def test_as_resent_marks_copy(self):
+        packet = _packet()
+        resent = packet.as_resent()
+        assert resent.resent and not packet.resent
+        assert resent.header == packet.header
+
+
+class TestTypeSets:
+    def test_request_predicate(self):
+        assert is_request(PacketType.UPDATE_REQ)
+        assert is_request(PacketType.BYPASS_REQ)
+        assert not is_request(PacketType.SERVER_ACK)
+
+    def test_direction_sets_disjoint(self):
+        assert not (CLIENT_TO_SERVER & TO_CLIENT)

@@ -1,0 +1,184 @@
+"""Unit tests for sessions, the reorder buffer, and fragmentation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FragmentationError, SessionError
+from repro.protocol.fragment import (
+    Reassembler,
+    fragment_request,
+    max_fragment_payload,
+)
+from repro.protocol.header import make_request_header
+from repro.protocol.ordering import ReorderBuffer
+from repro.protocol.packet import PMNetPacket
+from repro.protocol.session import Session, SessionAllocator
+from repro.protocol.types import PacketType
+
+
+def _packet(sid: int, seq: int,
+            ptype: PacketType = PacketType.UPDATE_REQ) -> PMNetPacket:
+    header = make_request_header(ptype, sid, seq)
+    return PMNetPacket(header=header, payload=None, payload_bytes=10,
+                       request_id=seq + 1000 * sid, client="c", server="s")
+
+
+class TestSession:
+    def test_update_seq_nums_monotonic(self):
+        session = Session(1, "c", "s")
+        assert [session.next_seq_num() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_read_stream_is_separate(self):
+        session = Session(1, "c", "s")
+        session.next_seq_num()
+        assert session.next_read_seq() == 0  # independent counter
+
+    def test_closed_session_rejects_send(self):
+        session = Session(1, "c", "s")
+        session.close()
+        with pytest.raises(SessionError):
+            session.next_seq_num()
+        with pytest.raises(SessionError):
+            session.next_read_seq()
+
+    def test_allocator_unique_ids(self):
+        allocator = SessionAllocator()
+        ids = {allocator.open("c", "s").session_id for _ in range(100)}
+        assert len(ids) == 100
+
+    def test_allocator_recycles_closed_ids(self):
+        allocator = SessionAllocator()
+        session = allocator.open("c", "s")
+        allocator.close(session)
+        assert allocator.live_count == 0
+        assert session.closed
+
+
+class TestReorderBuffer:
+    def test_in_order_delivery(self):
+        buffer = ReorderBuffer()
+        out = []
+        for seq in range(5):
+            out.extend(buffer.push(_packet(1, seq)))
+        assert [p.seq_num for p in out] == [0, 1, 2, 3, 4]
+
+    def test_out_of_order_buffers_until_gap_fills(self):
+        buffer = ReorderBuffer()
+        assert buffer.push(_packet(1, 1)) == []
+        assert buffer.push(_packet(1, 2)) == []
+        assert buffer.has_gap(1)
+        released = buffer.push(_packet(1, 0))
+        assert [p.seq_num for p in released] == [0, 1, 2]
+        assert not buffer.has_gap(1)
+
+    def test_duplicate_dropped(self):
+        buffer = ReorderBuffer()
+        buffer.push(_packet(1, 0))
+        assert buffer.push(_packet(1, 0)) == []
+        assert buffer.duplicates_dropped == 1
+
+    def test_missing_reports_gap_seqs(self):
+        buffer = ReorderBuffer()
+        buffer.push(_packet(1, 3))
+        buffer.push(_packet(1, 5))
+        assert buffer.missing(1) == [0, 1, 2, 4]
+
+    def test_sessions_independent(self):
+        buffer = ReorderBuffer()
+        assert buffer.push(_packet(1, 0)) != []
+        assert buffer.push(_packet(2, 1)) == []  # session 2 waits for 0
+
+    def test_restore_session_after_crash(self):
+        buffer = ReorderBuffer()
+        buffer.restore_session(9, expected_seq=42)
+        assert buffer.expected_seq(9) == 42
+        assert buffer.push(_packet(9, 41)) == []  # below horizon: dup
+        assert [p.seq_num for p in buffer.push(_packet(9, 42))] == [42]
+
+    @given(st.permutations(list(range(12))))
+    def test_any_permutation_delivers_in_order(self, order):
+        buffer = ReorderBuffer()
+        delivered = []
+        for seq in order:
+            delivered.extend(p.seq_num for p in buffer.push(_packet(1, seq)))
+        assert delivered == sorted(delivered)
+        assert len(delivered) == 12
+
+
+class TestFragmentation:
+    def test_small_request_single_fragment(self):
+        session = Session(1, "c", "s")
+        packets = fragment_request(session, PacketType.UPDATE_REQ, "op",
+                                   100, 1400)
+        assert len(packets) == 1
+        assert packets[0].payload == "op"
+
+    def test_large_request_fragments_and_sizes(self):
+        session = Session(1, "c", "s")
+        packets = fragment_request(session, PacketType.UPDATE_REQ, "op",
+                                   3000, 1400)
+        assert len(packets) == 3
+        assert [p.payload_bytes for p in packets] == [1400, 1400, 200]
+        assert [p.frag_index for p in packets] == [0, 1, 2]
+        assert all(p.frag_count == 3 for p in packets)
+        # Only the first fragment carries the payload object.
+        assert packets[0].payload == "op"
+        assert packets[1].payload is None
+
+    def test_fragments_have_consecutive_seq_nums(self):
+        session = Session(1, "c", "s")
+        packets = fragment_request(session, PacketType.UPDATE_REQ, "op",
+                                   3000, 1400)
+        assert [p.seq_num for p in packets] == [0, 1, 2]
+
+    def test_mtu_budget_subtracts_header(self):
+        assert max_fragment_payload(1500, 46) == 1500 - 46 - 11
+
+    def test_tiny_mtu_rejected(self):
+        with pytest.raises(FragmentationError):
+            max_fragment_payload(50, 46)
+
+    def test_zero_payload_rejected(self):
+        session = Session(1, "c", "s")
+        with pytest.raises(FragmentationError):
+            fragment_request(session, PacketType.UPDATE_REQ, "op", 0, 1400)
+
+
+class TestReassembler:
+    def _fragments(self, payload_bytes=3000, mtu=1400):
+        session = Session(1, "c", "s")
+        return fragment_request(session, PacketType.UPDATE_REQ, "op",
+                                payload_bytes, mtu)
+
+    def test_single_fragment_completes_immediately(self):
+        packets = self._fragments(100)
+        result = Reassembler().push(packets[0])
+        assert result == [packets[0]]
+
+    def test_all_fragments_required(self):
+        packets = self._fragments()
+        reassembler = Reassembler()
+        assert reassembler.push(packets[0]) is None
+        assert reassembler.push(packets[1]) is None
+        result = reassembler.push(packets[2])
+        assert result is not None
+        assert [p.frag_index for p in result] == [0, 1, 2]
+
+    def test_duplicate_fragment_ignored(self):
+        packets = self._fragments()
+        reassembler = Reassembler()
+        reassembler.push(packets[0])
+        assert reassembler.push(packets[0]) is None
+        assert reassembler.incomplete_requests == 1
+
+    @given(st.permutations([0, 1, 2, 3]))
+    def test_completion_order_independent(self, order):
+        session = Session(1, "c", "s")
+        packets = fragment_request(session, PacketType.UPDATE_REQ, "op",
+                                   5000, 1400)
+        assert len(packets) == 4
+        reassembler = Reassembler()
+        results = [reassembler.push(packets[i]) for i in order]
+        completed = [r for r in results if r is not None]
+        assert len(completed) == 1
+        assert [p.frag_index for p in completed[0]] == [0, 1, 2, 3]

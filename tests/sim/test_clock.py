@@ -1,0 +1,64 @@
+"""Unit tests for simulated-time units and helpers."""
+
+import pytest
+
+from repro.sim import clock
+
+
+class TestUnitConversions:
+    def test_microseconds_to_ns(self):
+        assert clock.microseconds(1) == 1_000
+        assert clock.microseconds(21.5) == 21_500
+
+    def test_milliseconds_to_ns(self):
+        assert clock.milliseconds(2) == 2_000_000
+
+    def test_seconds_to_ns(self):
+        assert clock.seconds(1.5) == 1_500_000_000
+
+    def test_nanoseconds_rounds(self):
+        assert clock.nanoseconds(1.6) == 2
+
+    def test_roundtrip_to_microseconds(self):
+        assert clock.to_microseconds(clock.microseconds(42.5)) == 42.5
+
+    def test_roundtrip_to_seconds(self):
+        assert clock.to_seconds(clock.seconds(3)) == 3.0
+
+    def test_roundtrip_to_milliseconds(self):
+        assert clock.to_milliseconds(clock.milliseconds(7)) == 7.0
+
+
+class TestFormatTime:
+    def test_nanoseconds(self):
+        assert clock.format_time(512) == "512ns"
+
+    def test_microseconds(self):
+        assert clock.format_time(1_500) == "1.500us"
+
+    def test_milliseconds(self):
+        assert clock.format_time(2_500_000) == "2.500ms"
+
+    def test_seconds(self):
+        assert clock.format_time(2_000_000_000) == "2.000s"
+
+
+class TestTransmissionDelay:
+    def test_zero_bytes_is_free(self):
+        assert clock.transmission_delay(0, 10e9) == 0
+
+    def test_100B_at_10gbps(self):
+        # 800 bits at 10 Gbps = 80 ns.
+        assert clock.transmission_delay(100, 10e9) == 80
+
+    def test_rounds_up(self):
+        # 8 bits at 10 Gbps = 0.8 ns -> at least 1 tick.
+        assert clock.transmission_delay(1, 10e9) == 1
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            clock.transmission_delay(100, 0)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            clock.transmission_delay(-1, 10e9)

@@ -1,0 +1,56 @@
+"""Unit tests for the raw event queue (heap discipline, cancellation)."""
+
+import pytest
+
+from repro.sim.event import EventQueue
+
+
+class TestEventQueue:
+    def test_pop_orders_by_time(self):
+        queue = EventQueue()
+        queue.push(30, lambda: None)
+        queue.push(10, lambda: None)
+        queue.push(20, lambda: None)
+        assert [queue.pop().time for _ in range(3)] == [10, 20, 30]
+
+    def test_fifo_within_same_time(self):
+        queue = EventQueue()
+        handles = [queue.push(5, lambda: None) for _ in range(4)]
+        popped = [queue.pop() for _ in range(4)]
+        assert popped == handles
+
+    def test_cancelled_entries_skipped(self):
+        queue = EventQueue()
+        keep = queue.push(10, lambda: None)
+        drop = queue.push(5, lambda: None)
+        drop.cancel()
+        assert queue.pop() is keep
+
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        queue.push(1, lambda: None)
+        victim = queue.push(2, lambda: None)
+        victim.cancel()
+        assert len(queue) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        victim = queue.push(1, lambda: None)
+        queue.push(9, lambda: None)
+        victim.cancel()
+        assert queue.peek_time() == 9
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_bool_reflects_pending_work(self):
+        queue = EventQueue()
+        assert not queue
+        handle = queue.push(1, lambda: None)
+        assert queue
+        handle.cancel()
+        assert not queue
+
+    def test_peek_empty_returns_none(self):
+        assert EventQueue().peek_time() is None

@@ -1,0 +1,164 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(30, order.append, "c")
+        sim.schedule(10, order.append, "a")
+        sim.schedule(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_run_in_schedule_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcd":
+            sim.schedule(5, order.append, tag)
+        sim.run()
+        assert order == list("abcd")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(100, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [100]
+        assert sim.now == 100
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(50, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [50]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_cancelled_event_does_not_run(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(10, seen.append, "x")
+        handle.cancel()
+        sim.run()
+        assert seen == []
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        times = []
+
+        def outer():
+            times.append(sim.now)
+            sim.schedule(7, inner)
+
+        def inner():
+            times.append(sim.now)
+
+        sim.schedule(3, outer)
+        sim.run()
+        assert times == [3, 10]
+
+
+class TestRunControls:
+    def test_run_until_stops_clock_at_bound(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, seen.append, "early")
+        sim.schedule(100, seen.append, "late")
+        sim.run(until=50)
+        assert seen == ["early"]
+        assert sim.now == 50
+
+    def test_until_is_inclusive(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(50, seen.append, "exact")
+        sim.run(until=50)
+        assert seen == ["exact"]
+
+    def test_stop_terminates_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(10, sim.stop)
+        sim.schedule(20, seen.append, "never")
+        sim.run()
+        assert seen == []
+        assert sim.pending_events() == 1
+
+    def test_max_events_budget(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i + 1, lambda: None)
+        sim.run(max_events=3)
+        assert sim.executed_events == 3
+
+    def test_empty_run_returns_current_time(self):
+        sim = Simulator()
+        assert sim.run() == 0
+
+
+class TestEvents:
+    def test_timeout_succeeds_with_value(self):
+        sim = Simulator()
+        ev = sim.timeout(25, "payload")
+        sim.run()
+        assert ev.ok
+        assert ev.value == "payload"
+
+    def test_event_value_before_trigger_raises(self):
+        sim = Simulator()
+        ev = sim.event("pending")
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_propagates_exception(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.fail(RuntimeError("boom"))
+        with pytest.raises(RuntimeError):
+            _ = ev.value
+
+    def test_callback_after_trigger_still_fires(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("done")
+        seen = []
+        ev.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == ["done"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_random_streams(self):
+        a = Simulator(seed=7).random.stream("x").random()
+        b = Simulator(seed=7).random.stream("x").random()
+        assert a == b
+
+    def test_different_streams_are_independent(self):
+        sim = Simulator(seed=7)
+        a = sim.random.stream("a")
+        b = sim.random.stream("b")
+        assert [a.random() for _ in range(4)] != [b.random() for _ in range(4)]

@@ -1,0 +1,113 @@
+"""Unit tests for counters, latency recorders, throughput meters."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.monitor import (
+    Counter,
+    LatencyRecorder,
+    ThroughputMeter,
+    TimeSeries,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(4)
+        assert int(counter) == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().increment(-1)
+
+
+class TestLatencyRecorder:
+    def test_mean_and_percentiles(self):
+        recorder = LatencyRecorder()
+        recorder.extend([10, 20, 30, 40, 50])
+        assert recorder.mean() == 30
+        assert recorder.median() == 30
+        assert recorder.minimum() == 10
+        assert recorder.maximum() == 50
+
+    def test_p99_on_hundred_samples(self):
+        recorder = LatencyRecorder()
+        recorder.extend(range(1, 101))
+        assert recorder.p99() == 99
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1)
+
+    def test_empty_recorder_raises(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().mean()
+
+    def test_cdf_is_monotonic(self):
+        recorder = LatencyRecorder()
+        recorder.extend([5, 1, 9, 3, 7, 2, 8])
+        curve = recorder.cdf()
+        values = [v for v, _f in curve]
+        fractions = [f for _v, f in curve]
+        assert values == sorted(values)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_cdf_downsamples(self):
+        recorder = LatencyRecorder()
+        recorder.extend(range(1000))
+        assert len(recorder.cdf(points=50)) == 50
+
+    def test_summary_keys(self):
+        recorder = LatencyRecorder()
+        recorder.extend([1, 2, 3])
+        summary = recorder.summary()
+        assert set(summary) == {"count", "mean", "p50", "p99", "min", "max"}
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1))
+    def test_percentile_bounds_property(self, samples):
+        recorder = LatencyRecorder()
+        recorder.extend(samples)
+        assert recorder.minimum() == min(samples)
+        assert recorder.maximum() == max(samples)
+        assert min(samples) <= recorder.median() <= max(samples)
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=2),
+           st.floats(min_value=0, max_value=100))
+    def test_percentile_monotone_in_pct(self, samples, pct):
+        recorder = LatencyRecorder()
+        recorder.extend(samples)
+        assert recorder.percentile(pct) <= recorder.percentile(100.0)
+        assert recorder.percentile(0.0) <= recorder.percentile(pct)
+
+
+class TestThroughputMeter:
+    def test_ops_per_second(self):
+        meter = ThroughputMeter()
+        # 11 completions over 1 ms -> 10 intervals -> 10k ops/s.
+        for i in range(11):
+            meter.record(i * 100_000)
+        assert meter.ops_per_second() == pytest.approx(10_000)
+
+    def test_single_completion_rejected(self):
+        meter = ThroughputMeter()
+        meter.record(0)
+        with pytest.raises(ValueError):
+            meter.ops_per_second()
+
+
+class TestTimeSeries:
+    def test_records_points(self):
+        series = TimeSeries()
+        series.record(0, 1.0)
+        series.record(10, 2.0)
+        assert series.values() == [1.0, 2.0]
+        assert len(series) == 2
+
+    def test_rejects_time_going_backwards(self):
+        series = TimeSeries()
+        series.record(10, 1.0)
+        with pytest.raises(ValueError):
+            series.record(5, 2.0)

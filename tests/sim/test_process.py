@@ -1,0 +1,162 @@
+"""Unit tests for coroutine processes."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim import AllOf, AnyOf, Interrupted, Simulator
+
+
+class TestBasicProcesses:
+    def test_yield_int_sleeps(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            marks.append(sim.now)
+            yield 100
+            marks.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert marks == [0, 100]
+
+    def test_return_value_lands_on_completion(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1
+            return 42
+
+        p = sim.spawn(proc())
+        sim.run()
+        assert p.completion.value == 42
+
+    def test_yield_event_gets_value(self):
+        sim = Simulator()
+        results = []
+
+        def proc():
+            value = yield sim.timeout(10, "hello")
+            results.append(value)
+
+        sim.spawn(proc())
+        sim.run()
+        assert results == ["hello"]
+
+    def test_join_another_process(self):
+        sim = Simulator()
+        order = []
+
+        def worker():
+            yield 50
+            order.append("worker")
+            return "w-result"
+
+        def waiter(worker_proc):
+            value = yield worker_proc.completion
+            order.append(("waiter", value))
+
+        w = sim.spawn(worker())
+        sim.spawn(waiter(w))
+        sim.run()
+        assert order == ["worker", ("waiter", "w-result")]
+
+    def test_spawn_requires_generator(self):
+        sim = Simulator()
+        with pytest.raises(ProcessError):
+            sim.spawn(lambda: None)  # type: ignore[arg-type]
+
+    def test_event_failure_raises_inside_process(self):
+        sim = Simulator()
+        caught = []
+
+        def proc():
+            ev = sim.event()
+            sim.schedule(5, ev.fail, RuntimeError("boom"))
+            try:
+                yield ev
+            except RuntimeError as error:
+                caught.append(str(error))
+
+        sim.spawn(proc())
+        sim.run()
+        assert caught == ["boom"]
+
+
+class TestComposites:
+    def test_all_of_waits_for_every_event(self):
+        sim = Simulator()
+        results = []
+
+        def proc():
+            values = yield AllOf([sim.timeout(10, "a"), sim.timeout(30, "b")])
+            results.append((sim.now, values))
+
+        sim.spawn(proc())
+        sim.run()
+        assert results == [(30, ["a", "b"])]
+
+    def test_any_of_returns_first(self):
+        sim = Simulator()
+        results = []
+
+        def proc():
+            index, value = yield AnyOf([sim.timeout(50, "slow"),
+                                        sim.timeout(5, "fast")])
+            results.append((sim.now, index, value))
+
+        sim.spawn(proc())
+        sim.run()
+        assert results == [(5, 1, "fast")]
+
+    def test_all_of_empty_completes_immediately(self):
+        sim = Simulator()
+        results = []
+
+        def proc():
+            values = yield AllOf([])
+            results.append((sim.now, values))
+
+        sim.spawn(proc())
+        sim.run()
+        assert results == [(0, [])]
+
+
+class TestInterrupts:
+    def test_interrupt_raises_at_wait_point(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            try:
+                yield 1000
+            except Interrupted as interrupt:
+                marks.append((sim.now, interrupt.cause))
+
+        p = sim.spawn(proc())
+        sim.schedule(10, p.interrupt, "power cut")
+        sim.run()
+        assert marks == [(10, "power cut")]
+
+    def test_uncaught_interrupt_terminates_quietly(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1000
+
+        p = sim.spawn(proc())
+        sim.schedule(10, p.interrupt)
+        sim.run()
+        assert not p.alive
+        assert isinstance(p.completion.value, Interrupted)
+
+    def test_interrupt_dead_process_is_noop(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1
+
+        p = sim.spawn(proc())
+        sim.run()
+        p.interrupt("too late")  # must not raise
+        assert not p.alive

@@ -1,0 +1,106 @@
+"""Unit tests for seeded random streams and distributions."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rand import (
+    LatencyJitter,
+    RandomStreams,
+    choose_weighted,
+    exponential_delay,
+    zipfian_ranks,
+)
+
+
+class TestRandomStreams:
+    def test_same_name_returns_same_stream(self):
+        streams = RandomStreams(1)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_deterministic_across_instances(self):
+        a = RandomStreams(5).stream("net").random()
+        b = RandomStreams(5).stream("net").random()
+        assert a == b
+
+    def test_contains(self):
+        streams = RandomStreams(0)
+        assert "x" not in streams
+        streams.stream("x")
+        assert "x" in streams
+
+
+class TestLatencyJitter:
+    def test_zero_sigma_is_identity(self):
+        jitter = LatencyJitter(random.Random(0), sigma=0.0)
+        assert jitter.sample(1000) == 1000
+
+    def test_mean_preserving(self):
+        jitter = LatencyJitter(random.Random(0), sigma=0.2)
+        samples = [jitter.sample(10_000) for _ in range(20_000)]
+        mean = sum(samples) / len(samples)
+        assert abs(mean - 10_000) / 10_000 < 0.02
+
+    def test_floor_at_half_base(self):
+        jitter = LatencyJitter(random.Random(0), sigma=2.0)
+        assert all(jitter.sample(1000) >= 500 for _ in range(2000))
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyJitter(random.Random(0), sigma=-0.1)
+
+
+class TestZipfian:
+    def test_ranks_in_range(self):
+        rng = random.Random(3)
+        ranks = zipfian_ranks(rng, 1000, 0.9, 5000)
+        assert all(0 <= r < 1000 for r in ranks)
+
+    def test_skew_favors_low_ranks(self):
+        rng = random.Random(3)
+        ranks = zipfian_ranks(rng, 1000, 0.99, 10_000)
+        hot = sum(1 for r in ranks if r < 10)
+        assert hot > 2000  # the head dominates under heavy skew
+
+    def test_theta_zero_is_uniform(self):
+        rng = random.Random(3)
+        ranks = zipfian_ranks(rng, 100, 0.0, 10_000)
+        hot = sum(1 for r in ranks if r < 10)
+        assert 700 < hot < 1300  # ~10%
+
+    def test_invalid_theta_rejected(self):
+        with pytest.raises(ValueError):
+            zipfian_ranks(random.Random(0), 10, 1.0, 1)
+
+    def test_invalid_population_rejected(self):
+        with pytest.raises(ValueError):
+            zipfian_ranks(random.Random(0), 0, 0.5, 1)
+
+    @given(st.integers(min_value=1, max_value=10_000),
+           st.floats(min_value=0.0, max_value=0.99))
+    def test_rank_bounds_property(self, population, theta):
+        rng = random.Random(1)
+        ranks = zipfian_ranks(rng, population, theta, 50)
+        assert all(0 <= r < population for r in ranks)
+
+
+class TestHelpers:
+    def test_exponential_delay_nonnegative(self):
+        rng = random.Random(0)
+        assert all(exponential_delay(rng, 1000) >= 0 for _ in range(1000))
+
+    def test_exponential_zero_mean_is_zero(self):
+        assert exponential_delay(random.Random(0), 0) == 0
+
+    def test_choose_weighted_respects_weights(self):
+        rng = random.Random(0)
+        picks = [choose_weighted(rng, ["a", "b"], [0.99, 0.01])
+                 for _ in range(1000)]
+        assert picks.count("a") > 900
+
+    def test_choose_weighted_validates(self):
+        with pytest.raises(ValueError):
+            choose_weighted(random.Random(0), ["a"], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            choose_weighted(random.Random(0), ["a"], [0.0])

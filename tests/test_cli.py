@@ -1,0 +1,35 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for eid in ("fig02", "fig15", "fig18", "sec6b6", "sec7", "bdp"):
+            assert eid in out
+
+
+class TestRun:
+    def test_run_instant_experiments(self, capsys):
+        assert main(["run", "bdp", "fig02"]) == 0
+        out = capsys.readouterr().out
+        assert "BDP sizing" in out
+        assert "latency breakdown" in out
+        assert out.count("done in") == 2
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        err = capsys.readouterr().err
+        assert "fig99" in err and "fig02" in err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_run_requires_at_least_one_id(self):
+        with pytest.raises(SystemExit):
+            main(["run"])

@@ -1,0 +1,105 @@
+"""Unit tests for configuration validation and the RTT estimates."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import (
+    DEFAULT_CONFIG,
+    FPGA_PM,
+    LogConfig,
+    NetworkProfile,
+    PipelineProfile,
+    ServerProfile,
+    StackProfile,
+    SystemConfig,
+    baseline_rtt_estimate,
+    pmnet_rtt_estimate,
+)
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_default_config_is_valid(self):
+        DEFAULT_CONFIG.validate()
+
+    def test_negative_stack_latency_rejected(self):
+        bad = StackProfile("bad", send_ns=-1, recv_ns=1,
+                           copy_ns_per_byte=1.0, dispatch_ns=1)
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+
+    def test_bad_hiccup_probability_rejected(self):
+        bad = StackProfile("bad", send_ns=1, recv_ns=1,
+                           copy_ns_per_byte=1.0, dispatch_ns=1,
+                           hiccup_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            bad.validate()
+
+    def test_mtu_must_exceed_framing(self):
+        with pytest.raises(ConfigurationError):
+            NetworkProfile(mtu_bytes=40).validate()
+
+    def test_log_must_fit_in_device_pm(self):
+        huge_log = LogConfig(entry_bytes=1 << 20, num_entries=1 << 16)
+        config = replace(SystemConfig(), log=huge_log)
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_server_needs_workers(self):
+        with pytest.raises(ConfigurationError):
+            ServerProfile(worker_cores=0).validate()
+
+    def test_pipeline_stage_costs_nonnegative(self):
+        with pytest.raises(ConfigurationError):
+            PipelineProfile(ingress_ns=-1).validate()
+
+    def test_payload_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(payload_bytes=0).validate()
+
+
+class TestConvenienceConstructors:
+    def test_with_vma_swaps_both_stacks(self):
+        vma = SystemConfig().with_vma()
+        assert vma.client_stack.name == "vma-client"
+        assert vma.server_stack.name == "vma-server"
+
+    def test_with_clients(self):
+        assert SystemConfig().with_clients(3).num_clients == 3
+
+    def test_with_payload(self):
+        assert SystemConfig().with_payload(999).payload_bytes == 999
+
+    def test_with_seed(self):
+        assert SystemConfig().with_seed(42).seed == 42
+
+    def test_original_config_untouched(self):
+        base = SystemConfig()
+        base.with_clients(99)
+        assert base.num_clients == 64
+
+
+class TestCalibration:
+    """The analytic estimates must stay near the paper's Fig 18 points."""
+
+    def test_pmnet_rtt_near_21_5us(self):
+        assert pmnet_rtt_estimate(SystemConfig()) == pytest.approx(
+            21_500, rel=0.08)
+
+    def test_baseline_rtt_near_2_7x_pmnet(self):
+        config = SystemConfig()
+        ratio = baseline_rtt_estimate(config) / pmnet_rtt_estimate(config)
+        assert 2.3 < ratio < 3.1
+
+    def test_rtt_grows_with_payload(self):
+        config = SystemConfig()
+        assert (baseline_rtt_estimate(config, payload_bytes=1000)
+                > baseline_rtt_estimate(config, payload_bytes=50))
+
+    def test_fpga_pm_matches_paper_constants(self):
+        assert FPGA_PM.write_latency_ns == 273  # Sec V-A
+        assert FPGA_PM.capacity_bytes == 2 * 1024 ** 3
+
+    def test_log_queue_is_4kb(self):
+        assert LogConfig().write_queue_bytes == 4096  # Sec V-A

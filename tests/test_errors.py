@@ -1,0 +1,42 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if (isinstance(obj, type) and issubclass(obj, Exception)
+                    and obj.__module__ == "repro.errors"):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_family_groupings(self):
+        assert issubclass(errors.AddressError, errors.NetworkError)
+        assert issubclass(errors.RoutingError, errors.NetworkError)
+        assert issubclass(errors.HeaderError, errors.ProtocolError)
+        assert issubclass(errors.SessionError, errors.ProtocolError)
+        assert issubclass(errors.LogFull, errors.PMError)
+        assert issubclass(errors.KeyNotFound, errors.WorkloadError)
+
+    def test_single_catch_all(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.FragmentationError("x")
+
+    def test_payload_carrying_errors(self):
+        error = errors.KeyNotFound(("a", 1))
+        assert error.key == ("a", 1)
+        assert "('a', 1)" in str(error)
+        addr = errors.AddressError("10.9.9.9")
+        assert addr.address == "10.9.9.9"
+
+    def test_library_raises_its_own_types(self):
+        """A sampler: common misuses surface as ReproError subclasses."""
+        from repro.config import SystemConfig
+        from repro.sim import Simulator
+        with pytest.raises(errors.SimulationError):
+            Simulator().schedule(-5, lambda: None)
+        with pytest.raises(errors.ConfigurationError):
+            SystemConfig(num_clients=0).validate()

@@ -1,0 +1,108 @@
+"""Tests for the handler adapters and the ideal handler."""
+
+import pytest
+
+from repro.host.handler import IdealHandler, LockTable
+from repro.workloads.handlers import StructureHandler
+from repro.workloads.kv import OpKind, Operation
+from repro.workloads.pmdk.btree import PMBTree
+from repro.workloads.pmdk.hashmap import PMHashmap
+
+
+class TestStructureHandler:
+    def test_set_then_get(self):
+        handler = StructureHandler(PMHashmap())
+        out = handler.process(Operation(OpKind.SET, key="k", value="v"))
+        assert out.result.ok and out.cost_ns > 0
+        out = handler.process(Operation(OpKind.GET, key="k"))
+        assert out.result.value == "v"
+
+    def test_get_missing_reports_error(self):
+        handler = StructureHandler(PMHashmap())
+        out = handler.process(Operation(OpKind.GET, key="nope"))
+        assert not out.result.ok
+        assert out.result.error == "not_found"
+
+    def test_delete(self):
+        handler = StructureHandler(PMBTree())
+        handler.process(Operation(OpKind.SET, key=1, value=2))
+        out = handler.process(Operation(OpKind.DELETE, key=1))
+        assert out.result.ok
+        out = handler.process(Operation(OpKind.DELETE, key=1))
+        assert not out.result.ok
+
+    def test_unsupported_kind_fails_cleanly(self):
+        handler = StructureHandler(PMHashmap())
+        out = handler.process(Operation(OpKind.PROC_UPDATE, proc="wat"))
+        assert not out.result.ok
+
+    def test_handler_name_tracks_structure(self):
+        assert StructureHandler(PMBTree()).name == "btree"
+        assert StructureHandler(PMHashmap()).name == "hashmap"
+
+    def test_recovery_cost_grows_with_store(self):
+        small = StructureHandler(PMHashmap())
+        big = StructureHandler(PMHashmap())
+        for i in range(500):
+            big.process(Operation(OpKind.SET, key=i, value=i))
+        assert big.recovery_cost_ns() > small.recovery_cost_ns()
+
+    def test_digest_and_snapshot(self):
+        handler = StructureHandler(PMHashmap())
+        handler.process(Operation(OpKind.SET, key="a", value=1))
+        assert handler.digest() != 0
+        assert handler.snapshot() == [("a", 1)]
+
+    def test_crash_preserves_committed_state(self):
+        handler = StructureHandler(PMHashmap())
+        handler.process(Operation(OpKind.SET, key="k", value="v"))
+        handler.crash()
+        out = handler.process(Operation(OpKind.GET, key="k"))
+        assert out.result.value == "v"
+
+
+class TestIdealHandler:
+    def test_fixed_cost_and_count(self):
+        handler = IdealHandler(cost_ns=2_400)
+        for _ in range(3):
+            out = handler.process(Operation(OpKind.SET, key=1, value=1))
+            assert out.cost_ns == 2_400
+            assert out.result.ok
+        assert handler.processed == 3
+
+    def test_tiny_recovery(self):
+        assert IdealHandler().recovery_cost_ns() < 1_000_000
+
+
+class TestLockTable:
+    def test_mutual_exclusion(self):
+        locks = LockTable()
+        assert locks.acquire("L", session_id=1)
+        assert not locks.acquire("L", session_id=2)
+        assert locks.conflicts == 1
+
+    def test_reentrant_for_same_session(self):
+        locks = LockTable()
+        assert locks.acquire("L", 1)
+        assert locks.acquire("L", 1)
+
+    def test_release_by_holder_only(self):
+        locks = LockTable()
+        locks.acquire("L", 1)
+        assert not locks.release("L", 2)
+        assert locks.release("L", 1)
+        assert locks.acquire("L", 2)
+
+    def test_release_all_on_crash(self):
+        locks = LockTable()
+        locks.acquire("A", 1)
+        locks.acquire("B", 2)
+        locks.release_all()
+        assert locks.acquire("A", 3)
+        assert locks.acquire("B", 3)
+
+    def test_holder_query(self):
+        locks = LockTable()
+        locks.acquire("L", 9)
+        assert locks.holder("L") == 9
+        assert locks.holder("M") is None

@@ -1,0 +1,95 @@
+"""Unit tests for the PM cost model (the libpmemobj analog)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.pmdk.pmobj import (
+    DEFAULT_PM_COSTS,
+    PMCostProfile,
+    PMMeter,
+)
+
+
+class TestPMMeter:
+    def test_empty_meter_charges_only_request_overhead(self):
+        meter = PMMeter()
+        assert meter.total_ns() == DEFAULT_PM_COSTS.request_overhead_ns
+        assert meter.total_ns(include_request_overhead=False) == 0
+
+    def test_actions_accumulate(self):
+        meter = PMMeter()
+        meter.begin_tx()
+        meter.snapshot(2)
+        meter.alloc()
+        meter.flush(3)
+        expected = (DEFAULT_PM_COSTS.tx_overhead_ns
+                    + 2 * DEFAULT_PM_COSTS.snapshot_ns
+                    + DEFAULT_PM_COSTS.alloc_ns
+                    + 3 * DEFAULT_PM_COSTS.flush_ns
+                    + DEFAULT_PM_COSTS.request_overhead_ns)
+        assert meter.total_ns() == expected
+
+    def test_take_resets(self):
+        meter = PMMeter()
+        meter.begin_tx()
+        first = meter.take_ns()
+        second = meter.take_ns()
+        assert first > second  # the second op saw a clean slate
+        assert second == DEFAULT_PM_COSTS.request_overhead_ns
+
+    def test_custom_profile(self):
+        profile = PMCostProfile(tx_overhead_ns=1, snapshot_ns=1,
+                                alloc_ns=1, free_ns=1, flush_ns=1,
+                                pm_read_ns=1, node_visit_ns=1,
+                                request_overhead_ns=0)
+        meter = PMMeter(profile)
+        meter.begin_tx()
+        meter.snapshot()
+        meter.alloc()
+        meter.free()
+        meter.flush()
+        meter.read()
+        meter.visit()
+        assert meter.total_ns() == 7
+
+    @given(st.integers(min_value=0, max_value=50),
+           st.integers(min_value=0, max_value=50),
+           st.integers(min_value=0, max_value=50))
+    def test_total_is_linear_in_actions(self, snaps, allocs, flushes):
+        meter = PMMeter()
+        meter.snapshot(snaps)
+        meter.alloc(allocs)
+        meter.flush(flushes)
+        expected = (snaps * DEFAULT_PM_COSTS.snapshot_ns
+                    + allocs * DEFAULT_PM_COSTS.alloc_ns
+                    + flushes * DEFAULT_PM_COSTS.flush_ns
+                    + DEFAULT_PM_COSTS.request_overhead_ns)
+        assert meter.total_ns() == expected
+
+
+class TestCalibrationSanity:
+    """The constants must keep the relative magnitudes the calibration
+    note (docs/calibration.md) relies on."""
+
+    def test_tx_dominates_single_actions(self):
+        costs = DEFAULT_PM_COSTS
+        assert costs.tx_overhead_ns > costs.snapshot_ns
+        assert costs.tx_overhead_ns > costs.alloc_ns
+
+    def test_reads_are_cheap(self):
+        costs = DEFAULT_PM_COSTS
+        assert costs.pm_read_ns < costs.flush_ns
+        assert costs.node_visit_ns < costs.snapshot_ns
+
+    def test_transactional_set_lands_in_pmdk_band(self):
+        """A typical overwrite (tx + snapshot + alloc + free + flush +
+        a few visits) must land in the 25-45 us band the Fig 19
+        calibration assumes."""
+        meter = PMMeter()
+        meter.begin_tx()
+        meter.snapshot()
+        meter.alloc()
+        meter.free()
+        meter.flush()
+        meter.visit(4)
+        assert 25_000 < meter.total_ns() < 45_000
