@@ -14,6 +14,12 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ carries the ``bench`` marker."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture
 def regenerate(benchmark, capsys):
     """Run an experiment once, print its formatted figure, return it."""

@@ -6,6 +6,7 @@ Usage::
     pmnet-repro run fig18             # regenerate one figure (quick)
     pmnet-repro run fig19 --full      # testbed-scale run (64 clients)
     pmnet-repro run all               # everything, quick sizes
+    pmnet-repro bench-kernel          # events/sec -> BENCH_kernel.json
 """
 
 from __future__ import annotations
@@ -46,6 +47,21 @@ def _cmd_run(experiment_ids: List[str], quick: bool) -> int:
     return status
 
 
+def _cmd_bench_kernel(num_events: int, repeats: int,
+                      output: Optional[str]) -> int:
+    from repro.sim.benchmark import (format_result, run_kernel_benchmark,
+                                     write_result)
+    try:
+        result = run_kernel_benchmark(num_events=num_events, repeats=repeats)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    path = write_result(result, output)
+    print(format_result(result))
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="pmnet-repro",
@@ -57,9 +73,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="experiment ids (or 'all')")
     run_parser.add_argument("--full", action="store_true",
                             help="testbed-scale sizes (64 clients; slow)")
+    bench_parser = sub.add_parser(
+        "bench-kernel",
+        help="measure raw simulator events/sec, write BENCH_kernel.json")
+    bench_parser.add_argument("--events", type=int, default=300_000,
+                              help="events per run (default 300000)")
+    bench_parser.add_argument("--repeats", type=int, default=3,
+                              help="runs to take the best of (default 3)")
+    bench_parser.add_argument("--output", default=None,
+                              help="result path (default BENCH_kernel.json)")
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
+    if args.command == "bench-kernel":
+        return _cmd_bench_kernel(args.events, args.repeats, args.output)
     return _cmd_run(args.experiments, quick=not args.full)
 
 

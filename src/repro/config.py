@@ -342,6 +342,25 @@ class SystemConfig:
     def with_clients(self, num_clients: int) -> "SystemConfig":
         return replace(self, num_clients=num_clients)
 
+    def quick_scale(self) -> "SystemConfig":
+        """A calibrated small-scale variant for tests and quick runs.
+
+        Shrinks only the *load* (client count) — never the latency
+        constants — so every per-request number and every qualitative
+        shape claim survives unchanged while integration fixtures run
+        in seconds instead of minutes.  ``Scale.pick`` in
+        :mod:`repro.experiments.common` derives its quick sizes from
+        the same constant, and ``REPRO_FULL=1`` restores testbed scale
+        there.
+        """
+        return replace(self, num_clients=QUICK_SCALE_CLIENTS)
+
+
+#: Client count of the quick (test) profile.  8 clients is the smallest
+#: load that still exercises multi-client queueing at the device and the
+#: server worker pool (20 cores never saturate, exactly as at low load
+#: on the testbed).
+QUICK_SCALE_CLIENTS = 8
 
 DEFAULT_CONFIG = SystemConfig()
 

@@ -171,19 +171,20 @@ class PMNetDevice(Node):
         """Serve a read hit: one PM read, then answer the client."""
         result = Result(ok=True, value=value, from_cache=True)
         size = max(16, packet.payload_bytes)
-
-        def respond() -> None:
-            if self.failed:
-                return
-            response = packet.make_response(result, size, from_cache=True,
-                                            origin_device=self.name)
-            self.cache_responses.increment()
-            self.sim.schedule(self.config.pipeline.ack_generation_ns,
-                              self._transmit_packet, response, packet.client)
-
-        if not self.read_queue.try_enqueue(size, respond):
+        if not self.read_queue.try_enqueue(size, self._cache_respond,
+                                           packet, result, size):
             # Cache read port busy: fall back to the server path.
             self._transmit_packet(packet, packet.server)
+
+    def _cache_respond(self, packet: PMNetPacket, result: Result,
+                       size: int) -> None:
+        if self.failed:
+            return
+        response = packet.make_response(result, size, from_cache=True,
+                                        origin_device=self.name)
+        self.cache_responses.increment()
+        self.sim.schedule(self.config.pipeline.ack_generation_ns,
+                          self._transmit_packet, response, packet.client)
 
     # ------------------------------------------------------------------
     # server-ACK: invalidate + forward (Fig 8 step 4)
@@ -218,10 +219,7 @@ class PMNetDevice(Node):
             entry = self.log.lookup(hash_val)
             if entry is not None and entry.durable:
                 self.retrans_served.increment()
-                self.log.read_entry(
-                    entry,
-                    lambda e=entry: self._transmit_packet(
-                        e.packet.as_resent(), e.packet.server))
+                self.log.read_entry(entry, self._resend_to_server, entry)
             else:
                 leftover_seqs.append(seq)
                 leftover_hashes.append(hash_val)
@@ -294,13 +292,14 @@ class PMNetDevice(Node):
             if now - entry.inserted_at_ns < self.config.log.redo_timeout_ns:
                 break  # insertion order == age order
             self.redo_resends.increment()
-            self.log.read_entry(
-                entry,
-                lambda e=entry: self._transmit_packet(
-                    e.packet.as_resent(), e.packet.server))
+            self.log.read_entry(entry, self._resend_to_server, entry)
             redone += 1
         if self.log.occupancy:
             self._arm_scrubber()
+
+    def _resend_to_server(self, entry: LogEntry) -> None:
+        """Redo one durable log entry toward the server (log read done)."""
+        self._transmit_packet(entry.packet.as_resent(), entry.packet.server)
 
     # ------------------------------------------------------------------
     # Egress stage: stage cost + transmit via the forwarding table

@@ -11,6 +11,13 @@ next resend.  The default window of 1 (stop-and-wait) keeps the replay
 trivially ordered and matches the paper's measured ~67 us per resent
 request (Sec VI-B6); larger windows pipeline the drain at the cost of
 burstier replay, and would overrun switch queues if unbounded.
+
+Stop-and-wait needs its own loss repair: while any resend is
+outstanding the device's log scrubber stands down (the replay is
+already redoing everything), so a resent request lost on the way to
+the server would stall the drain forever.  A retry timer re-reads and
+resends every still-outstanding entry after the redo timeout; the
+server make-up-ACKs duplicates, so retries always converge.
 """
 
 from __future__ import annotations
@@ -36,7 +43,9 @@ class ResendEngine:
         self._outstanding: Set[int] = set()
         self._target_server: Optional[str] = None
         self.active = False
+        self._retry_armed = False
         self.resends = Counter(f"{device.name}.resends")
+        self.retries = Counter(f"{device.name}.resend_retries")
         self.skipped_committed = Counter(f"{device.name}.resend_skipped")
         self.started_at_ns: Optional[int] = None
         self.finished_at_ns: Optional[int] = None
@@ -49,7 +58,14 @@ class ResendEngine:
         expects; entries below that are already committed — the device
         invalidates them locally instead of resending (the make-up-ACK
         shortcut of Sec IV-E1 case 3, taken eagerly).
+
+        A duplicate poll (the server re-polls devices that stay silent)
+        is ignored while a replay to the same server is in progress:
+        the retry timer guarantees that replay cannot stall, and
+        ``resend_done`` goes out when it finishes.
         """
+        if self.active and server == self._target_server:
+            return
         entries = self.device.log.durable_entries_in_order()
         self._queue = []
         for entry in entries:
@@ -88,15 +104,41 @@ class ResendEngine:
             self._send_next()
             return
         self._outstanding.add(entry.packet.hash_val)
+        self.device.log.read_entry(entry, self._transmit_resend, entry)
+        self._arm_retry()
 
-        def transmit() -> None:
-            if not self.active:
-                return
-            self.resends.increment()
-            self.device._transmit_packet(entry.packet.as_resent(),
-                                         self._target_server)
+    def _transmit_resend(self, entry: LogEntry) -> None:
+        if not self.active:
+            return
+        self.resends.increment()
+        self.device._transmit_packet(entry.packet.as_resent(),
+                                     self._target_server)
 
-        self.device.log.read_entry(entry, transmit)
+    def _arm_retry(self) -> None:
+        """Schedule one loss-repair pass while resends are outstanding."""
+        if self._retry_armed or not self.active:
+            return
+        self._retry_armed = True
+        self.device.sim.schedule(self.device.config.log.redo_timeout_ns,
+                                 self._retry_tick)
+
+    def _retry_tick(self) -> None:
+        self._retry_armed = False
+        if not self.active or not self._outstanding:
+            return
+        for hash_val in list(self._outstanding):
+            entry = self.device.log.lookup(hash_val)
+            if entry is None:
+                # Invalidated by a path that bypassed on_server_ack
+                # (e.g. device recovery); count it as drained.
+                self._outstanding.discard(hash_val)
+                self._send_next()
+            else:
+                self.retries.increment()
+                self.device.log.read_entry(entry, self._transmit_resend,
+                                           entry)
+        if self._outstanding:
+            self._arm_retry()
 
     # ------------------------------------------------------------------
     def on_server_ack(self, hash_val: int) -> None:

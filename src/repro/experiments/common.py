@@ -6,7 +6,7 @@ import os
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from repro.config import SystemConfig
+from repro.config import QUICK_SCALE_CLIENTS, SystemConfig
 from repro.experiments.deploy import (
     Deployment,
     build_client_server,
@@ -35,8 +35,13 @@ class Scale:
         if os.environ.get("REPRO_FULL"):
             quick = False
         if quick:
-            return Scale(clients=8, requests_per_client=80, warmup=8)
+            return Scale(clients=QUICK_SCALE_CLIENTS,
+                         requests_per_client=80, warmup=8)
         return Scale(clients=64, requests_per_client=250, warmup=25)
+
+    def apply(self, config: SystemConfig) -> SystemConfig:
+        """Size ``config`` for this scale (client count only)."""
+        return config.with_clients(self.clients)
 
 
 #: The paper's three design points (Sec VI-A4) by name.
@@ -54,7 +59,7 @@ def run_design_point(design: str, config: SystemConfig, op_maker: OpMaker,
                      **builder_kwargs) -> RunStats:
     """Build one design point, drive it closed-loop, return its stats."""
     builder = DESIGN_POINTS[design]
-    deployment = builder(config.with_clients(scale.clients),
+    deployment = builder(scale.apply(config),
                          handler=handler, transport=transport,
                          **builder_kwargs)
     return run_closed_loop(deployment, op_maker,

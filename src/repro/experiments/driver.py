@@ -40,7 +40,12 @@ class RunStats:
         default_factory=lambda: LatencyRecorder("reads"))
     throughput = None  # type: Optional[ThroughputMeter]
     completions_by_via: Dict[str, int] = field(default_factory=dict)
+    #: Genuine failures (bad requests, lock conflicts, server errors).
     errors: int = 0
+    #: Well-formed lookups that found nothing (GET/DELETE on an absent
+    #: key) — correct store behaviour under a read-heavy mix, reported
+    #: separately so ``errors == 0`` means what it says.
+    misses: int = 0
     requests: int = 0
 
     def __post_init__(self) -> None:
@@ -57,8 +62,12 @@ class RunStats:
         self.throughput.record(now_ns)
         via = completion.via
         self.completions_by_via[via] = self.completions_by_via.get(via, 0) + 1
-        if not completion.result.ok:
-            self.errors += 1
+        result = completion.result
+        if not result.ok:
+            if result.is_miss:
+                self.misses += 1
+            else:
+                self.errors += 1
 
     def ops_per_second(self) -> float:
         return self.throughput.ops_per_second()

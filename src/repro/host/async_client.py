@@ -94,8 +94,7 @@ class AsyncPMNetClient(PMNetClient):
                 completion = self.send_update(op, payload_bytes)
             else:
                 completion = self.bypass(op, payload_bytes)
-            completion.add_callback(
-                lambda event, t0=submitted_at: self._on_done(event, t0))
+            completion.add_callback(self._on_done, submitted_at)
 
     def _on_done(self, event: SimEvent, submitted_at: int) -> None:
         self._in_flight -= 1

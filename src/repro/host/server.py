@@ -84,6 +84,8 @@ class PMNetServer:
         self.recovered_event: Optional[SimEvent] = None
         self._recovery_started_ns = 0
         self._awaiting_resends: set = set()
+        self._repoll_armed = False
+        self.recovery_repolls = Counter(f"{host.name}.recovery_repolls")
         #: False between a crash and the end of application recovery:
         #: the machine may answer pings (it has rebooted) but the
         #: application drops PMNet traffic until its PM pools are open.
@@ -364,6 +366,7 @@ class PMNetServer:
 
     def _send_recovery_polls(self, pmnet_devices: List[str]) -> None:
         poll_payload = RecoveryPoll(dict(self.persistent_applied))
+        self._arm_repoll()
         for device in pmnet_devices:
             header = PMNetHeader(PacketType.RECOVERY_POLL, 0, 0)
             packet = PMNetPacket(header=header, payload=poll_payload,
@@ -372,6 +375,31 @@ class PMNetServer:
                                  request_id=next_request_id(),
                                  client=self.host.name, server=self.host.name)
             self.host.send_frame(device, packet, packet.wire_bytes, 51000)
+
+    def _arm_repoll(self) -> None:
+        """Re-poll devices that stay silent past the redo timeout.
+
+        The recovery conversation crosses a lossy network in both
+        directions: the poll, every replayed request, and the final
+        ``resend_done`` control message can each be dropped, and none
+        of them carries its own retransmission.  The server owns the
+        recovery end to end, so it is the one to retry — a device whose
+        replay already drained answers a duplicate poll with an
+        immediate ``resend_done``.
+        """
+        if self._repoll_armed:
+            return
+        self._repoll_armed = True
+        self.sim.schedule(self.config.log.redo_timeout_ns, self._repoll_tick)
+
+    def _repoll_tick(self) -> None:
+        self._repoll_armed = False
+        if not self._app_ready or not self._awaiting_resends:
+            return
+        if self.recovered_event is not None and self.recovered_event.triggered:
+            return
+        self.recovery_repolls.increment()
+        self._send_recovery_polls(sorted(self._awaiting_resends))
 
     def _on_resend_done(self, device: str) -> None:
         self._awaiting_resends.discard(device)

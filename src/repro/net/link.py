@@ -13,8 +13,9 @@ A :class:`Link` is full duplex: it is built from two independent directed
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Deque, Optional
 
 from repro.net.device import Port
 from repro.net.packet import Frame
@@ -54,7 +55,7 @@ class Channel:
         self.sink = sink
         self.impairments = impairments or Impairments()
         self._rng = sim.random.stream(f"channel:{name}")
-        self._queue: list[Frame] = []
+        self._queue: Deque[Frame] = deque()
         self._busy = False
         self.delivered = Counter(f"{name}.delivered")
         self.dropped_full = Counter(f"{name}.dropped_full")
@@ -76,7 +77,7 @@ class Channel:
             self._busy = False
             return
         self._busy = True
-        frame = self._queue.pop(0)
+        frame = self._queue.popleft()
         wire_bytes = frame.wire_size(self.profile.header_overhead_bytes)
         serialize = transmission_delay(wire_bytes, self.profile.bandwidth_bps)
         self.bytes_sent.increment(wire_bytes)

@@ -6,11 +6,16 @@ plus size/bandwidth, and accesses queue behind each other.  Durability is
 explicit: a write's data is persistent only when its completion fires.
 On a crash, in-flight accesses are discarded — exactly the volatile
 window the paper's log queues create (Sec V-A).
+
+The submit path runs once per logged packet, so it is allocation-lean:
+completions are dispatched through one bound method carrying its state
+as scheduled-call arguments (no closure per access), and crash discard
+is an epoch bump rather than a token list scan.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Tuple
 
 from repro.errors import CrashedDeviceError
 from repro.sim.monitor import Counter
@@ -29,7 +34,10 @@ class PMDevice:
         self.name = name
         self.profile = profile
         self._busy_until = 0
-        self._inflight: List[object] = []
+        self._inflight = 0
+        #: Bumped on every crash; completions from an older epoch were
+        #: in flight when the power failed and are silently discarded.
+        self._epoch = 0
         self.crashed = False
         self.writes_completed = Counter(f"{name}.writes")
         self.reads_completed = Counter(f"{name}.reads")
@@ -39,8 +47,9 @@ class PMDevice:
     def _media_time(self, nbytes: int) -> int:
         return round(nbytes / self.profile.bandwidth_bytes_per_s * 1e9)
 
-    def _submit(self, latency_ns: int, nbytes: int,
-                on_complete: Callable[[], None]) -> int:
+    def _submit(self, latency_ns: int, is_write: bool, nbytes: int,
+                on_complete: Callable[..., None],
+                args: Tuple[Any, ...]) -> int:
         """Pipelined access model: the DMA engine initiates accesses at
         the media bandwidth (back-to-back accesses are spaced by their
         transfer time), while each access's *completion* additionally
@@ -52,45 +61,44 @@ class PMDevice:
         media = self._media_time(nbytes)
         self._busy_until = start + media
         finish = start + latency_ns + media
-        token = object()
-        self._inflight.append(token)
-
-        def complete() -> None:
-            if token not in self._inflight:
-                return  # discarded by a crash
-            self._inflight.remove(token)
-            on_complete()
-
-        self.sim.schedule_at(finish, complete)
+        self._inflight += 1
+        self.sim.schedule_at(finish, self._complete, self._epoch, is_write,
+                             nbytes, on_complete, args)
         return finish
 
-    def submit_write(self, nbytes: int,
-                     on_persisted: Callable[[], None]) -> int:
-        """Start persisting ``nbytes``; returns the completion time.
-
-        ``on_persisted`` fires when the data is durable.  If the device
-        crashes first, the callback never fires (the write is lost).
-        """
-        def done() -> None:
+    def _complete(self, epoch: int, is_write: bool, nbytes: int,
+                  on_complete: Callable[..., None],
+                  args: Tuple[Any, ...]) -> None:
+        if epoch != self._epoch:
+            return  # discarded by a crash
+        self._inflight -= 1
+        if is_write:
             self.writes_completed.increment()
             self.bytes_written.increment(nbytes)
-            on_persisted()
-
-        return self._submit(self.profile.write_latency_ns, nbytes, done)
-
-    def submit_read(self, nbytes: int,
-                    on_complete: Callable[[], None]) -> int:
-        """Start reading ``nbytes``; returns the completion time."""
-        def done() -> None:
+        else:
             self.reads_completed.increment()
-            on_complete()
+        on_complete(*args)
 
-        return self._submit(self.profile.read_latency_ns, nbytes, done)
+    def submit_write(self, nbytes: int, on_persisted: Callable[..., None],
+                     *args: Any) -> int:
+        """Start persisting ``nbytes``; returns the completion time.
+
+        ``on_persisted(*args)`` fires when the data is durable.  If the
+        device crashes first, the callback never fires (the write is lost).
+        """
+        return self._submit(self.profile.write_latency_ns, True, nbytes,
+                            on_persisted, args)
+
+    def submit_read(self, nbytes: int, on_complete: Callable[..., None],
+                    *args: Any) -> int:
+        """Start reading ``nbytes``; returns the completion time."""
+        return self._submit(self.profile.read_latency_ns, False, nbytes,
+                            on_complete, args)
 
     # ------------------------------------------------------------------
     @property
     def pending_accesses(self) -> int:
-        return len(self._inflight)
+        return self._inflight
 
     def busy_for(self) -> int:
         """Nanoseconds until the media port goes idle (0 if idle now)."""
@@ -101,8 +109,9 @@ class PMDevice:
 
         Returns ``(discarded_accesses, completed_writes)`` for assertions.
         """
-        discarded = len(self._inflight)
-        self._inflight.clear()
+        discarded = self._inflight
+        self._inflight = 0
+        self._epoch += 1
         self.crashed = True
         return discarded, int(self.writes_completed)
 

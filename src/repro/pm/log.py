@@ -74,23 +74,24 @@ class LogRegion:
             return False
         entry = LogEntry(packet=packet, inserted_at_ns=self.sim.now,
                          insert_order=self._insert_counter)
-
-        def persisted() -> None:
-            # The crash path removes the entry; only mark it durable if it
-            # is still the one we inserted.
-            current = self._entries.get(hash_val)
-            if current is entry:
-                entry.durable = True
-                self.logged.increment()
-                on_persisted(entry)
-
         nbytes = min(packet.wire_bytes, self.config.entry_bytes)
-        if not self.write_queue.try_enqueue(nbytes, persisted):
+        if not self.write_queue.try_enqueue(nbytes, self._persisted,
+                                            hash_val, entry, on_persisted):
             self.bypassed_queue_busy.increment()
             return False
         self._insert_counter += 1
         self._entries[hash_val] = entry
         return True
+
+    def _persisted(self, hash_val: int, entry: LogEntry,
+                   on_persisted: Callable[[LogEntry], None]) -> None:
+        # The crash path removes the entry; only mark it durable if it
+        # is still the one we inserted.
+        current = self._entries.get(hash_val)
+        if current is entry:
+            entry.durable = True
+            self.logged.increment()
+            on_persisted(entry)
 
     def invalidate(self, hash_val: int) -> bool:
         """Remove the entry for a committed request (server-ACK path)."""
@@ -112,15 +113,18 @@ class LogRegion:
         durable.sort(key=lambda entry: entry.insert_order)
         return durable
 
-    def read_entry(self, entry: LogEntry,
-                   on_complete: Callable[[], None]) -> None:
-        """Charge the PM read of one entry during recovery resend."""
+    def read_entry(self, entry: LogEntry, on_complete: Callable[..., None],
+                   *args: object) -> None:
+        """Charge the PM read of one entry during recovery resend.
+
+        ``on_complete(*args)`` fires when the read finishes.
+        """
         nbytes = min(entry.packet.wire_bytes, self.config.entry_bytes)
-        if not self.read_queue.try_enqueue(nbytes, on_complete):
+        if not self.read_queue.try_enqueue(nbytes, on_complete, *args):
             # Recovery is not latency critical: retry when the queue has
             # drained a bit rather than dropping the read.
             self.sim.schedule(self.device.profile.read_latency_ns,
-                              self.read_entry, entry, on_complete)
+                              self.read_entry, entry, on_complete, *args)
 
     # ------------------------------------------------------------------
     # Failure semantics

@@ -15,7 +15,7 @@ and the rejection count is what the log-queue-sizing ablation measures.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Any, Callable, Tuple
 
 from repro.sim.monitor import Counter
 
@@ -48,8 +48,14 @@ class LogQueue:
         self.high_water_bytes = 0
 
     # ------------------------------------------------------------------
-    def try_enqueue(self, nbytes: int, on_complete: Callable[[], None]) -> bool:
-        """Offer an access; returns False (rejected) when SRAM is short."""
+    def try_enqueue(self, nbytes: int, on_complete: Callable[..., None],
+                    *args: Any) -> bool:
+        """Offer an access; returns False (rejected) when SRAM is short.
+
+        ``on_complete(*args)`` fires when the PM access finishes.  The
+        completion plumbing runs through one bound method with its state
+        passed as arguments — per-packet path, so no closure per access.
+        """
         if nbytes <= 0:
             raise ValueError("access size must be positive")
         if self.device.crashed:
@@ -59,20 +65,20 @@ class LogQueue:
             self.rejected.increment()
             return False
         self._occupied_bytes += nbytes
-        self.high_water_bytes = max(self.high_water_bytes,
-                                    self._occupied_bytes)
+        if self._occupied_bytes > self.high_water_bytes:
+            self.high_water_bytes = self._occupied_bytes
         self.accepted.increment()
-        epoch = self._epoch
-
-        def finished() -> None:
-            if epoch == self._epoch:
-                self._occupied_bytes -= nbytes
-            on_complete()
-
         submit = (self.device.submit_write if self.is_write
                   else self.device.submit_read)
-        submit(nbytes, finished)
+        submit(nbytes, self._finished, nbytes, self._epoch, on_complete, args)
         return True
+
+    def _finished(self, nbytes: int, epoch: int,
+                  on_complete: Callable[..., None],
+                  args: Tuple[Any, ...]) -> None:
+        if epoch == self._epoch:
+            self._occupied_bytes -= nbytes
+        on_complete(*args)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,125 @@
+"""Raw kernel events/sec microbenchmark.
+
+This measures the scheduling hot path in isolation — no packets, no PM
+model, just the cost of pushing a callback onto the event queue and
+executing it.  Every simulated packet costs a handful of these, so the
+number here bounds whole-experiment wall time.
+
+The workload mirrors the shape of the simulator's real traffic:
+self-rescheduling tickers that carry *state as positional arguments*
+(components hand their context to ``schedule`` on every packet) plus
+coroutine processes sleeping on integer delays (the driver/client
+pattern).  Co-prime ticker periods keep the heap genuinely ordered
+rather than degenerate.
+
+Two entry points use this module: ``pmnet-repro bench-kernel`` (writes
+``BENCH_kernel.json``) and ``benchmarks/test_kernel_events.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Optional
+
+from repro.sim.kernel import Simulator
+
+#: Concurrent actors (half tickers, half sleeping processes).  A loaded
+#: run keeps hundreds of events pending — e.g. 64 closed-loop clients
+#: each with a request, a retransmit timer, and device/PM completions in
+#: flight — so the heap must be exercised at that depth, where ordering
+#: cost dominates.
+_NUM_ACTORS = 192
+
+#: Actor periods in ns — odd and varied so event times interleave and
+#: the heap stays genuinely ordered rather than degenerate.
+_PERIODS = tuple(3 + 2 * i for i in range(_NUM_ACTORS))
+
+#: Result file emitted by ``pmnet-repro bench-kernel``.
+BENCH_RESULT_FILE = "BENCH_kernel.json"
+
+
+class _Ticker:
+    """A callback that rearms itself, passing state as arguments.
+
+    Real components never schedule bare thunks: a packet arrival carries
+    the packet, a PM completion carries the access record.  Passing
+    ``hop``/``payload`` through ``schedule`` exercises exactly that path.
+    """
+
+    __slots__ = ("sim", "period", "hops")
+
+    def __init__(self, sim: Simulator, period: int) -> None:
+        self.sim = sim
+        self.period = period
+        self.hops = 0
+
+    def fire(self, hop: int, payload: object) -> None:
+        self.hops = hop
+        self.sim.schedule(self.period, self.fire, hop + 1, payload)
+
+
+def _sleeper(period: int):
+    """A coroutine process sleeping on integer delays (driver pattern)."""
+    while True:
+        yield period
+
+
+def run_once(num_events: int = 300_000) -> Dict[str, float]:
+    """Execute ``num_events`` hot-path events; return timing for one run."""
+    if num_events <= 0:
+        raise ValueError("num_events must be positive")
+    sim = Simulator(seed=0)
+    for index, period in enumerate(_PERIODS):
+        if index % 2:
+            sim.spawn(_sleeper(period), f"sleeper{index}")
+        else:
+            ticker = _Ticker(sim, period)
+            sim.schedule(period, ticker.fire, 0, ("state", index))
+    started = time.perf_counter()
+    sim.run(max_events=num_events)
+    elapsed = time.perf_counter() - started
+    executed = sim.executed_events
+    return {
+        "events": float(executed),
+        "seconds": elapsed,
+        "events_per_second": executed / elapsed if elapsed > 0 else 0.0,
+    }
+
+
+def run_kernel_benchmark(num_events: int = 300_000,
+                         repeats: int = 3) -> Dict[str, object]:
+    """Run the microbenchmark ``repeats`` times; report the best rate.
+
+    Best-of-N is the standard microbenchmark reduction: the minimum wall
+    time is the run least disturbed by the OS, and the quantity being
+    measured (pure CPU work) has no legitimate variance of its own.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    runs = [run_once(num_events) for _ in range(repeats)]
+    best = max(runs, key=lambda r: r["events_per_second"])
+    return {
+        "benchmark": "kernel_events",
+        "num_events": num_events,
+        "repeats": repeats,
+        "events_per_second": best["events_per_second"],
+        "seconds": best["seconds"],
+        "all_events_per_second": [r["events_per_second"] for r in runs],
+    }
+
+
+def write_result(result: Dict[str, object],
+                 path: Optional[str] = None) -> str:
+    """Write a benchmark result as JSON; return the path written."""
+    target = path or BENCH_RESULT_FILE
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def format_result(result: Dict[str, object]) -> str:
+    rate = result["events_per_second"]
+    return (f"kernel events/sec: {rate:,.0f} "
+            f"({result['num_events']} events, best of {result['repeats']})")

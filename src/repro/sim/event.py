@@ -3,33 +3,43 @@
 Two kinds of "event" exist and are deliberately distinct:
 
 * :class:`ScheduledCall` — an internal queue record: *at time T, invoke this
-  callback*.  Users normally never touch these directly.
+  callback with these args*.  Users normally never touch these directly.
 * :class:`SimEvent` — a one-shot synchronization object (in the style of
   simpy events or asyncio futures): processes wait on it; someone succeeds
   or fails it exactly once, waking all waiters with a value or an error.
+
+The queue is the hottest data structure in the simulator, so it is built
+for allocation economy: callbacks and their positional arguments are
+stored directly on the :class:`ScheduledCall` (no binding lambda per
+event), and the heap holds ``(time, seq, call)`` tuples so every sift
+comparison is a C-level tuple compare instead of a Python ``__lt__``
+call.  ``seq`` is unique, so the ``call`` field never participates in a
+comparison and FIFO order among same-time events is preserved.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional, Tuple
 
 from repro.errors import SimulationError
 
 
 class ScheduledCall:
-    """A callback registered to run at a fixed simulated time.
+    """A callback (plus positional args) registered to run at a fixed time.
 
     Instances are ordered by ``(time, seq)`` so that simultaneous events
     run in scheduling order, which keeps runs deterministic.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
 
-    def __init__(self, time: int, seq: int, callback: Callable[[], None]) -> None:
+    def __init__(self, time: int, seq: int, callback: Callable[..., None],
+                 args: Tuple[Any, ...] = ()) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
+        self.args = args
         self.cancelled = False
 
     def cancel(self) -> None:
@@ -47,15 +57,29 @@ class ScheduledCall:
 class EventQueue:
     """Min-heap of :class:`ScheduledCall` records ordered by time."""
 
-    def __init__(self) -> None:
-        self._heap: list[ScheduledCall] = []
-        self._seq = 0
+    __slots__ = ("_heap", "_seq")
 
-    def push(self, time: int, callback: Callable[[], None]) -> ScheduledCall:
-        """Enqueue ``callback`` to run at ``time``; returns a cancellable handle."""
-        call = ScheduledCall(time, self._seq, callback)
-        self._seq += 1
-        heapq.heappush(self._heap, call)
+    def __init__(self, initial: Optional[Iterable[Tuple[int, Callable[..., None],
+                                                        Tuple[Any, ...]]]] = None
+                 ) -> None:
+        self._heap: list[Tuple[int, int, ScheduledCall]] = []
+        self._seq = 0
+        if initial:
+            # Bulk load: one O(n) heapify instead of n O(log n) pushes.
+            for time, callback, args in initial:
+                call = ScheduledCall(time, self._seq, callback, args)
+                self._heap.append((time, self._seq, call))
+                self._seq += 1
+            heapq.heapify(self._heap)
+
+    def push(self, time: int, callback: Callable[..., None],
+             args: Tuple[Any, ...] = ()) -> ScheduledCall:
+        """Enqueue ``callback(*args)`` to run at ``time``; returns a
+        cancellable handle."""
+        seq = self._seq
+        self._seq = seq + 1
+        call = ScheduledCall(time, seq, callback, args)
+        heapq.heappush(self._heap, (time, seq, call))
         return call
 
     def pop(self) -> ScheduledCall:
@@ -64,20 +88,22 @@ class EventQueue:
         Raises :class:`IndexError` if the queue is empty (after dropping
         cancelled entries).
         """
-        while self._heap:
-            call = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            call = heapq.heappop(heap)[2]
             if not call.cancelled:
                 return call
         raise IndexError("pop from empty EventQueue")
 
     def peek_time(self) -> Optional[int]:
         """Time of the earliest pending call, or ``None`` if empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def __len__(self) -> int:
-        return sum(1 for call in self._heap if not call.cancelled)
+        return sum(1 for _, _, call in self._heap if not call.cancelled)
 
     def __bool__(self) -> bool:
         return self.peek_time() is not None
@@ -95,7 +121,7 @@ class SimEvent:
 
     def __init__(self, sim: Any, name: str = "") -> None:
         self._sim = sim
-        self._callbacks: list[Callable[["SimEvent"], None]] = []
+        self._callbacks: list[Tuple[Callable[..., None], Tuple[Any, ...]]] = []
         self._triggered = False
         self._value: Any = None
         self._exception: Optional[BaseException] = None
@@ -144,17 +170,18 @@ class SimEvent:
         self._value = value
         self._exception = exception
         callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
+        for callback, args in callbacks:
             # Callbacks run through the kernel "now" so that waiter wakeups
             # interleave with other same-time events deterministically.
-            self._sim.call_soon(callback, self)
+            self._sim.call_soon(callback, self, *args)
 
-    def add_callback(self, callback: Callable[["SimEvent"], None]) -> None:
-        """Run ``callback(event)`` once triggered (immediately if already)."""
+    def add_callback(self, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(event, *args)`` once triggered (immediately if
+        already)."""
         if self._triggered:
-            self._sim.call_soon(callback, self)
+            self._sim.call_soon(callback, self, *args)
         else:
-            self._callbacks.append(callback)
+            self._callbacks.append((callback, args))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "pending"

@@ -5,10 +5,19 @@ schedule plain callbacks (``schedule``/``call_soon``) or spawn coroutine
 processes (see :mod:`repro.sim.process`).  The kernel is single-threaded
 and deterministic: given the same seed and the same scheduling order, a run
 is bit-for-bit reproducible.
+
+The scheduling path is the hottest code in the repository: every packet,
+pipeline stage, PM access, and stack crossing becomes at least one event.
+``schedule`` therefore stores ``(callback, args)`` directly on the queue
+record — no binding lambda per event — and :meth:`Simulator.run` drives
+the heap with a tight loop that pops each event exactly once instead of
+peeking and re-popping.  ``benchmarks/test_kernel_events.py`` and the
+``pmnet-repro bench-kernel`` subcommand track the events/sec this yields.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import SimulationError
@@ -47,10 +56,7 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule {delay}ns into the past")
-        if args:
-            bound = callback
-            callback = lambda: bound(*args)  # noqa: E731 - tiny binding shim
-        return self._queue.push(self._now + delay, callback)
+        return self._queue.push(self._now + delay, callback, args)
 
     def schedule_at(self, time: int, callback: Callable[..., None],
                     *args: Any) -> ScheduledCall:
@@ -59,11 +65,11 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {format_time(time)}, now is "
                 f"{format_time(self._now)}")
-        return self.schedule(time - self._now, callback, *args)
+        return self._queue.push(time, callback, args)
 
     def call_soon(self, callback: Callable[..., None], *args: Any) -> ScheduledCall:
         """Run ``callback(*args)`` at the current time, after pending events."""
-        return self.schedule(0, callback, *args)
+        return self._queue.push(self._now, callback, args)
 
     # ------------------------------------------------------------------
     # Events and processes
@@ -98,7 +104,7 @@ class Simulator:
             raise SimulationError("event queue returned a past event")
         self._now = call.time
         self.executed_events += 1
-        call.callback()
+        call.callback(*call.args)
         return True
 
     def run(self, until: Optional[int] = None,
@@ -112,20 +118,30 @@ class Simulator:
             raise SimulationError("simulator is already running (reentrant run)")
         self._running = True
         self._stopped = False
+        # Hot loop: operate on the heap directly so each event costs one
+        # pop (not a peek + a pop) and cancelled entries are skipped once.
+        heap = self._queue._heap
+        heappop = heapq.heappop
         executed = 0
         try:
             while not self._stopped:
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                if not heap:
                     break
-                if until is not None and next_time > until:
+                time, _seq, call = heap[0]
+                if call.cancelled:
+                    heappop(heap)
+                    continue
+                if until is not None and time > until:
                     self._now = until
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                self.step()
+                heappop(heap)
+                self._now = time
                 executed += 1
+                call.callback(*call.args)
         finally:
+            self.executed_events += executed
             self._running = False
         return self._now
 

@@ -82,6 +82,7 @@ class Process:
         #: Triggers when the process returns (value) or raises (exception).
         self.completion = SimEvent(sim, f"completion:{self.name}")
         self._waiting_on: Optional[SimEvent] = None
+        self._sleep_handle = None
         self._interrupt_pending: Optional[Interrupted] = None
         # First resume happens "now" so spawn order controls run order.
         sim.call_soon(self._resume, None, None)
@@ -97,7 +98,13 @@ class Process:
         if not self.alive:
             return
         exc = Interrupted(cause)
-        if self._waiting_on is not None:
+        if self._sleep_handle is not None:
+            # Sleeping on a plain delay: cancel the wakeup and resume with
+            # the interrupt instead.
+            self._sleep_handle.cancel()
+            self._sleep_handle = None
+            self._sim.call_soon(self._resume, None, exc)
+        elif self._waiting_on is not None:
             waited, self._waiting_on = self._waiting_on, None
             # Detach by resuming with the interrupt instead of the event.
             self._sim.call_soon(self._resume, None, exc)
@@ -133,7 +140,11 @@ class Process:
 
     def _wait_for(self, target: Any) -> None:
         if isinstance(target, int):
-            target = self._sim.timeout(target)
+            # Plain delay: schedule the resume directly instead of minting
+            # a timeout SimEvent (saves an event and two allocations on
+            # the most common wait in the system).
+            self._sleep_handle = self._sim.schedule(target, self._end_sleep)
+            return
         if isinstance(target, Process):
             target = target.completion
         if isinstance(target, AllOf):
@@ -146,6 +157,10 @@ class Process:
             return
         self._waiting_on = target
         target.add_callback(self._on_event)
+
+    def _end_sleep(self) -> None:
+        self._sleep_handle = None
+        self._resume(None, None)
 
     def _on_event(self, event: SimEvent) -> None:
         if self._waiting_on is not event:

@@ -80,7 +80,14 @@ def zipfian_ranks(rng: random.Random, population: int, theta: float,
     zetan = _zeta(population, theta)
     zeta2 = _zeta(2, theta)
     alpha = 1.0 / (1.0 - theta)
-    eta = (1.0 - (2.0 / population) ** (1.0 - theta)) / (1.0 - zeta2 / zetan)
+    # For population <= 2 every draw lands in the first two branches
+    # (u * zetan < zetan = zeta2), so eta is never used; guarding the
+    # division avoids the 0/0 at population == 2.
+    denominator = 1.0 - zeta2 / zetan
+    if denominator == 0.0:
+        eta = 0.0
+    else:
+        eta = (1.0 - (2.0 / population) ** (1.0 - theta)) / denominator
     ranks = []
     for _ in range(count):
         u = rng.random()
@@ -90,13 +97,25 @@ def zipfian_ranks(rng: random.Random, population: int, theta: float,
         elif uz < 1.0 + 0.5 ** theta:
             ranks.append(1)
         else:
-            ranks.append(int(population * (eta * u - eta + 1.0) ** alpha))
+            ranks.append(min(population - 1,
+                             int(population * (eta * u - eta + 1.0) ** alpha)))
     return ranks
+
+
+#: Memoized Zipf normalizers.  ``_zeta`` is O(n) and the YCSB generator
+#: needs the same ``(population, theta)`` constant for *every* operation,
+#: so recomputing it per draw used to dominate whole experiment runs.
+_ZETA_CACHE: Dict[tuple[int, float], float] = {}
 
 
 def _zeta(n: int, theta: float) -> float:
     """Generalized harmonic number H_{n,theta} (the Zipf normalizer)."""
-    return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+    key = (n, theta)
+    value = _ZETA_CACHE.get(key)
+    if value is None:
+        value = sum(1.0 / (i ** theta) for i in range(1, n + 1))
+        _ZETA_CACHE[key] = value
+    return value
 
 
 def exponential_delay(rng: random.Random, mean_ns: int) -> int:

@@ -42,7 +42,9 @@ class StructureHandler(RequestHandler):
                 cost)
         if op.kind is OpKind.DELETE:
             found, cost = self.structure.delete(op.key)
-            return HandlerOutcome(Result(ok=found), cost, 16)
+            return HandlerOutcome(
+                Result(ok=found, error=None if found else "not_found"),
+                cost, 16)
         return HandlerOutcome(Result(ok=False, error="unsupported"),
                               microseconds(1), 16)
 

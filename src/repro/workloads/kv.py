@@ -70,6 +70,12 @@ class Operation:
         return f"<Op {label} key={self.key!r}>"
 
 
+#: Error codes that are legitimate application outcomes, not failures:
+#: a GET or DELETE aimed at a key that was never written behaves exactly
+#: as a store should, so drivers count these as *misses*, not errors.
+MISS_ERRORS = frozenset({"not_found"})
+
+
 @dataclass
 class Result:
     """One application response."""
@@ -79,6 +85,11 @@ class Result:
     error: Optional[str] = None
     #: True when the value was served by the in-network cache.
     from_cache: bool = False
+
+    @property
+    def is_miss(self) -> bool:
+        """A well-formed lookup that found nothing (not a failure)."""
+        return not self.ok and self.error in MISS_ERRORS
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "ok" if self.ok else f"error={self.error!r}"

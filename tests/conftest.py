@@ -1,0 +1,61 @@
+"""Suite-wide fixtures: the per-test wall-clock guard.
+
+A discrete-event simulator's favourite failure mode is the silent
+infinite loop (an event that reschedules itself forever, a driver
+process that never finishes).  Without a guard, one such bug turns the
+suite into a hang instead of a failure.  pytest-timeout is not part of
+the baked-in toolchain, so the guard is a SIGALRM alarm armed around
+every test — same effect, no dependency.
+
+Knobs (environment variables):
+
+* ``REPRO_TEST_TIMEOUT`` — seconds per test (default 120; ``0``
+  disables the guard entirely).
+* Tests marked ``slow`` get 5x the budget: they run whole Hypothesis
+  crash sweeps and full-scale experiments by design.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+_DEFAULT_TIMEOUT_S = 120
+_SLOW_MULTIPLIER = 5
+
+
+def _budget_for(item: pytest.Item) -> int:
+    try:
+        budget = int(os.environ.get("REPRO_TEST_TIMEOUT",
+                                    _DEFAULT_TIMEOUT_S))
+    except ValueError:
+        budget = _DEFAULT_TIMEOUT_S
+    if budget <= 0:
+        return 0
+    if item.get_closest_marker("slow") is not None:
+        budget *= _SLOW_MULTIPLIER
+    return budget
+
+
+@pytest.fixture(autouse=True)
+def _per_test_timeout(request):
+    """Fail (don't hang) any test that exceeds its wall-clock budget."""
+    budget = _budget_for(request.node)
+    if budget <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _expired(signum, frame):
+        pytest.fail(f"test exceeded {budget}s wall-clock budget "
+                    "(likely a simulation that never drains); "
+                    "set REPRO_TEST_TIMEOUT to adjust", pytrace=False)
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(budget)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)

@@ -102,6 +102,82 @@ class TestResendEngine:
         assert engine.pending == 0
 
 
+class TestLossRepair:
+    """Regression tests for the recovery-under-loss livelock.
+
+    The seed implementation deadlocked whenever any packet of the
+    recovery conversation was dropped: a lost replayed request stalled
+    the stop-and-wait resend engine forever (with the scrubber standing
+    down in deference to it, re-arming eternally), and a lost
+    ``resend_done`` left the server waiting for a completion that would
+    never come.  These tests drop each packet deterministically.
+    """
+
+    def _recover_under_loss(self, drop) -> tuple:
+        """Recover the server while deterministically dropping the
+        ``drop``-indexed frames the device sends after recovery starts
+        (with stop-and-wait, frame k < 10 is the k-th replayed request
+        and frame 10 is the ``resend_done`` control message)."""
+        deployment, handler, acknowledged = _loaded_deployment(requests=5)
+        channel = next(l for l in deployment.topology.links
+                       if l.forward.name == "pmnet1->server").forward
+        recovery = None
+
+        def recover():
+            nonlocal recovery
+            original_launch = channel._launch
+            sent = iter(range(10_000))
+
+            def launch_with_drops(frame):
+                if next(sent) in drop:
+                    channel.dropped_loss.increment()
+                    return
+                original_launch(frame)
+
+            channel._launch = launch_with_drops
+            recovery = deployment.server.recover(deployment.pmnet_names)
+
+        deployment.sim.schedule_at(milliseconds(1.5), recover)
+        # The retry and re-poll timers tick at the redo timeout, which
+        # _loaded_deployment stretches to 10 s to sideline the scrubber
+        # — so one repair cycle lands at ~10.2 s of (cheap) sim time.
+        # A livelock, by contrast, would never drain at any bound.
+        deployment.sim.run(until=milliseconds(15_000))
+        return deployment, handler, acknowledged, recovery
+
+    def test_lost_replayed_request_is_retried(self):
+        """Drop the first replayed request: the engine must retry it
+        rather than wait forever for the ack."""
+        deployment, handler, acknowledged, recovery = (
+            self._recover_under_loss(drop={0}))
+        engine = deployment.devices[0].resend_engine
+        assert recovery is not None and recovery.triggered
+        assert not engine.active
+        assert int(engine.retries) >= 1
+        assert set(dict(handler.structure.items())) == set(acknowledged)
+
+    def test_lost_resend_done_is_repolled(self):
+        """Drop the last frame of the replay (the resend_done control
+        message): the server must re-poll instead of waiting forever."""
+        # 5 requests x 2 clients = 10 replayed entries; frame 10 (0-based)
+        # from the device is the resend_done.
+        deployment, handler, acknowledged, recovery = (
+            self._recover_under_loss(drop={10}))
+        server = deployment.server
+        assert recovery is not None and recovery.triggered
+        assert int(server.recovery_repolls) >= 1
+        assert set(dict(handler.structure.items())) == set(acknowledged)
+
+    def test_duplicate_poll_ignored_mid_replay(self):
+        """A re-poll during a healthy replay must not restart it."""
+        deployment, _h, _acked, recovery = self._recover_under_loss(drop=set())
+        engine = deployment.devices[0].resend_engine
+        assert recovery is not None and recovery.triggered
+        # Clean network: exactly one resend per pending entry, no retries.
+        assert int(engine.retries) == 0
+        assert int(engine.resends) == 10
+
+
 class TestRedoScrubber:
     def test_tail_loss_repaired_by_scrubber(self):
         """Lose a forwarded update with no successors: only the device's

@@ -7,6 +7,7 @@ order, exactly once.  Hypothesis drives crash instants, seeds, client
 counts, and packet loss.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import SystemConfig
@@ -17,6 +18,10 @@ from repro.sim.clock import microseconds, milliseconds
 from repro.workloads.handlers import StructureHandler
 from repro.workloads.kv import OpKind, Operation
 from repro.workloads.pmdk.hashmap import PMHashmap
+
+#: Hypothesis sweeps dozens of full crash/recovery runs — minutes of
+#: work, so tier 2 only.
+pytestmark = pytest.mark.slow
 
 
 def _run_crash_scenario(seed: int, crash_us: int, clients: int,

@@ -1,0 +1,74 @@
+"""Unit tests for the SRAM log queues, focused on occupancy accounting.
+
+The byte budget is the whole point of a log queue (Eq 2 sizes it), so
+the boundary cases — exactly full, one byte over, space freed on
+completion — must be exact, not approximate.
+"""
+
+from repro.config import PMProfile
+from repro.pm.device import PMDevice
+from repro.pm.queues import LogQueue
+from repro.sim import Simulator
+
+PROFILE = PMProfile(name="test-pm", write_latency_ns=273,
+                    read_latency_ns=150, bandwidth_bytes_per_s=2.5e9,
+                    capacity_bytes=1 << 30)
+
+
+def _make(capacity_bytes=4096):
+    sim = Simulator()
+    device = PMDevice(sim, "pm", PROFILE)
+    queue = LogQueue(sim, "wq", capacity_bytes, device, is_write=True)
+    return sim, queue
+
+
+class TestExactOccupancy:
+    def test_exactly_full_is_accepted(self):
+        sim, queue = _make(4096)
+        done = []
+        assert queue.try_enqueue(4096, done.append, "full")
+        assert queue.occupancy_bytes == 4096
+        sim.run()
+        assert done == ["full"]
+        assert queue.occupancy_bytes == 0
+
+    def test_one_byte_over_is_rejected_not_blocked(self):
+        sim, queue = _make(4096)
+        assert queue.try_enqueue(4096, lambda: None)
+        assert not queue.try_enqueue(1, lambda: None)
+        assert int(queue.rejected) == 1
+        assert queue.occupancy_bytes == 4096  # rejection charges nothing
+
+    def test_two_halves_fill_exactly(self):
+        sim, queue = _make(4096)
+        assert queue.try_enqueue(2048, lambda: None)
+        assert queue.try_enqueue(2048, lambda: None)
+        assert queue.occupancy_bytes == 4096
+        assert not queue.try_enqueue(2048, lambda: None)
+        assert queue.high_water_bytes == 4096
+
+    def test_completion_frees_space_for_reuse(self):
+        sim, queue = _make(4096)
+        assert queue.try_enqueue(4096, lambda: None)
+        assert not queue.try_enqueue(4096, lambda: None)
+        sim.run()
+        assert queue.try_enqueue(4096, lambda: None)
+
+    def test_completion_forwards_positional_args(self):
+        sim, queue = _make(4096)
+        seen = []
+        assert queue.try_enqueue(64, lambda a, b: seen.append((a, b)),
+                                 "hash", 17)
+        sim.run()
+        assert seen == [("hash", 17)]
+
+    def test_crash_resets_occupancy_and_mutes_stale_frees(self):
+        sim, queue = _make(4096)
+        assert queue.try_enqueue(2048, lambda: None)
+        lost = queue.crash()
+        assert lost == 2048
+        assert queue.occupancy_bytes == 0
+        queue.recover()
+        # A straggler completion from the old epoch must not go negative.
+        sim.run()
+        assert queue.occupancy_bytes == 0

@@ -151,6 +151,62 @@ class TestEvents:
         assert seen == ["done"]
 
 
+class TestFastPath:
+    """The allocation-lean scheduling path: args ride on the queue record."""
+
+    def test_schedule_passes_positional_args(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5, lambda *a: seen.append(a), 1, "two", 3.0)
+        sim.run()
+        assert seen == [(1, "two", 3.0)]
+
+    def test_call_soon_runs_at_current_time_with_args(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42, lambda: sim.call_soon(seen.append, sim.now))
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 42
+
+    def test_cancel_from_earlier_event_skips_victim(self):
+        sim = Simulator()
+        seen = []
+        victim = sim.schedule(10, seen.append, "victim")
+        sim.schedule(5, victim.cancel)
+        sim.run()
+        assert seen == []
+
+    def test_cancel_at_same_timestamp(self):
+        """Cancelling an already-heaped event at the current instant."""
+        sim = Simulator()
+        seen = []
+        sim.schedule(5, lambda: victim.cancel())
+        victim = sim.schedule(5, seen.append, "x")
+        sim.run()
+        assert seen == []
+        assert sim.pending_events() == 0
+
+    def test_event_callback_receives_extra_args(self):
+        sim = Simulator()
+        ev = sim.event()
+        seen = []
+        ev.add_callback(lambda e, tag: seen.append((e.value, tag)), "tag")
+        ev.succeed("v")
+        sim.run()
+        assert seen == [("v", "tag")]
+
+    def test_cancelled_events_leave_counters_consistent(self):
+        sim = Simulator()
+        live = sim.schedule(1, lambda: None)
+        dead = sim.schedule(2, lambda: None)
+        dead.cancel()
+        assert sim.pending_events() == 1
+        sim.run()
+        assert sim.executed_events == 1
+        assert not live.cancelled
+
+
 class TestDeterminism:
     def test_same_seed_same_random_streams(self):
         a = Simulator(seed=7).random.stream("x").random()

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -33,3 +35,19 @@ class TestRun:
     def test_run_requires_at_least_one_id(self):
         with pytest.raises(SystemExit):
             main(["run"])
+
+
+class TestBenchKernel:
+    def test_writes_result_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_kernel.json"
+        assert main(["bench-kernel", "--events", "5000", "--repeats", "1",
+                     "--output", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "kernel events/sec" in printed
+        result = json.loads(out.read_text())
+        assert result["benchmark"] == "kernel_events"
+        assert result["num_events"] == 5000
+        assert result["events_per_second"] > 0
+
+    def test_rejects_nonpositive_events(self, capsys):
+        assert main(["bench-kernel", "--events", "0"]) == 2

@@ -7,6 +7,7 @@ import pytest
 from repro.config import (
     DEFAULT_CONFIG,
     FPGA_PM,
+    QUICK_SCALE_CLIENTS,
     LogConfig,
     NetworkProfile,
     PipelineProfile,
@@ -78,6 +79,45 @@ class TestConvenienceConstructors:
         base = SystemConfig()
         base.with_clients(99)
         assert base.num_clients == 64
+
+
+class TestQuickScale:
+    def test_quick_scale_shrinks_only_clients(self):
+        quick = DEFAULT_CONFIG.quick_scale()
+        quick.validate()
+        assert quick.num_clients == QUICK_SCALE_CLIENTS
+        assert quick.num_clients < DEFAULT_CONFIG.num_clients
+        # Everything that shapes per-request latency is untouched.
+        assert quick.client_stack == DEFAULT_CONFIG.client_stack
+        assert quick.server_stack == DEFAULT_CONFIG.server_stack
+        assert quick.pipeline == DEFAULT_CONFIG.pipeline
+        assert quick.network_pm == DEFAULT_CONFIG.network_pm
+        assert quick.log == DEFAULT_CONFIG.log
+        assert quick.payload_bytes == DEFAULT_CONFIG.payload_bytes
+
+    def test_round_trip_restores_full_scale(self):
+        restored = DEFAULT_CONFIG.quick_scale().with_clients(
+            DEFAULT_CONFIG.num_clients)
+        assert restored == DEFAULT_CONFIG
+
+    def test_quick_scale_composes_with_other_constructors(self):
+        quick_vma = DEFAULT_CONFIG.with_vma().quick_scale().with_seed(9)
+        assert quick_vma.num_clients == QUICK_SCALE_CLIENTS
+        assert quick_vma.client_stack.name == "vma-client"
+        assert quick_vma.seed == 9
+
+    def test_scale_pick_quick_matches_quick_scale(self, monkeypatch):
+        from repro.experiments.common import Scale
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        scale = Scale.pick(quick=True)
+        assert scale.clients == QUICK_SCALE_CLIENTS
+        assert scale.apply(DEFAULT_CONFIG) == DEFAULT_CONFIG.quick_scale()
+
+    def test_repro_full_restores_paper_scale(self, monkeypatch):
+        from repro.experiments.common import Scale
+        monkeypatch.setenv("REPRO_FULL", "1")
+        scale = Scale.pick(quick=True)
+        assert scale.clients == DEFAULT_CONFIG.num_clients
 
 
 class TestCalibration:
