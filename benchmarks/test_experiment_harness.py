@@ -1,0 +1,57 @@
+"""End-to-end benchmark of the parallel experiment harness.
+
+Two guards:
+
+* **byte-identity** — the parallel path must reassemble exactly the
+  report text the serial path produces, on any machine (this is the
+  harness's core contract, so it runs unconditionally);
+* **speedup floor** — on a multi-core runner, fanning the sweep across
+  4 workers must beat the serial pass by a healthy margin.  Skipped on
+  boxes with fewer than 4 cores, where a process pool can only add
+  overhead.
+
+Run with:  pytest benchmarks/test_experiment_harness.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.benchmark import run_experiment_benchmark
+
+#: Cheap experiments for the identity check — enough jobs to exercise
+#: the pool scheduling paths without minutes of simulation.
+IDENTITY_EXPERIMENTS = ("fig02", "bdp", "fig18")
+
+#: 4 workers on >=4 cores should approach 4x on these embarrassingly
+#: parallel sweeps; 1.5x trips only on a harness regression (serialized
+#: execution, pickle storms), not on scheduling noise.
+MIN_SPEEDUP = 1.5
+
+
+class TestExperimentHarness:
+    def test_parallel_output_is_byte_identical(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment_benchmark,
+            kwargs={"experiment_ids": IDENTITY_EXPERIMENTS, "jobs": 2},
+            rounds=1, iterations=1)
+        benchmark.extra_info["speedup"] = result["speedup"]
+        assert result["outputs_identical"]
+        assert result["job_count"] > 0
+
+    @pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                        reason="speedup floor needs >=4 cores; a process "
+                               "pool on fewer cores only adds overhead")
+    def test_multicore_speedup_floor(self, benchmark):
+        result = benchmark.pedantic(
+            run_experiment_benchmark, kwargs={"jobs": 4},
+            rounds=1, iterations=1)
+        benchmark.extra_info["speedup"] = result["speedup"]
+        assert result["outputs_identical"]
+        assert result["speedup"] >= MIN_SPEEDUP, (
+            f"4-worker speedup {result['speedup']:.2f}x below the "
+            f"{MIN_SPEEDUP}x floor "
+            f"(serial {result['serial_seconds']:.1f}s, "
+            f"parallel {result['parallel_seconds']:.1f}s)")

@@ -6,15 +6,28 @@ Usage::
     pmnet-repro run fig18             # regenerate one figure (quick)
     pmnet-repro run fig19 --full      # testbed-scale run (64 clients)
     pmnet-repro run all               # everything, quick sizes
+    pmnet-repro run all --jobs 8      # fan sweep points across 8 cores
+    pmnet-repro run all --json out.json   # machine-readable results too
     pmnet-repro bench-kernel          # events/sec -> BENCH_kernel.json
+    pmnet-repro bench-experiments     # serial-vs-parallel wall clock
+                                      #   -> BENCH_experiments.json
+
+``run`` executes every sweep point of every selected experiment as an
+independent job (see ``repro.experiments.jobs``): points fan out over
+``--jobs`` worker processes and completed points land in an on-disk
+cache (``.pmnet-cache/`` by default), so re-running after editing one
+experiment only re-simulates that experiment's points.  The formatted
+tables are reassembled from the collected points and are byte-identical
+to a serial run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.experiments.registry import EXPERIMENTS, get
 
@@ -26,24 +39,99 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(experiment_ids: List[str], quick: bool) -> int:
+def _cmd_run(experiment_ids: List[str], quick: bool, jobs: Optional[int],
+             json_path: Optional[str], use_cache: bool,
+             cache_dir: Optional[str]) -> int:
+    from repro.experiments.cache import ResultCache
+    from repro.experiments.parallel import default_jobs, run_jobs
+
     if experiment_ids == ["all"]:
         experiment_ids = sorted(EXPERIMENTS)
-    status = 0
+    # Validate every id up front: a typo at position N must not cost the
+    # wall-clock of positions 0..N-1 before failing.
+    entries = {}
     for eid in experiment_ids:
         try:
-            experiment = get(eid)
+            entries[eid] = get(eid)
         except KeyError as error:
             print(error, file=sys.stderr)
             return 2
-        started = time.time()
-        print(f"=== {eid}: {experiment.description} ===")
+
+    workers = jobs if jobs is not None else default_jobs()
+    cache = ResultCache(cache_dir) if use_cache else None
+    status = 0
+    specs = []
+    for eid in experiment_ids:
         try:
-            print(experiment.run(quick=quick))
+            specs.extend(entries[eid].jobs(quick=quick))
         except Exception as error:  # surface, keep going
             print(f"experiment {eid} failed: {error!r}", file=sys.stderr)
             status = 1
-        print(f"--- {eid} done in {time.time() - started:.1f}s\n")
+            entries.pop(eid)
+
+    total = len(specs)
+    done = {"count": 0}
+
+    def progress(result) -> None:
+        done["count"] += 1
+        suffix = " (cached)" if result.cached else ""
+        label = f"{result.spec.experiment}/{result.spec.point}"
+        print(f"[job {done['count']}/{total}] {label}: "
+              f"{result.elapsed_s:.2f}s{suffix}", file=sys.stderr)
+
+    wall_started = time.time()
+    results = run_jobs(specs, jobs=workers, cache=cache, progress=progress)
+    wall_seconds = time.time() - wall_started
+
+    report: Dict[str, dict] = {}
+    for eid in experiment_ids:
+        if eid not in entries:
+            continue
+        experiment = entries[eid]
+        chunk = [r for r in results if r.spec.experiment == eid]
+        elapsed = sum(r.elapsed_s for r in chunk)
+        record = {
+            "description": experiment.description,
+            "seconds": round(elapsed, 3),
+            "jobs": [{"point": r.spec.point,
+                      "elapsed_s": round(r.elapsed_s, 3),
+                      "cached": r.cached, "error": r.error}
+                     for r in chunk],
+        }
+        print(f"=== {eid}: {experiment.description} ===")
+        errors = [r for r in chunk if r.error is not None]
+        if errors:
+            for r in errors:
+                print(f"experiment {eid} failed at {r.spec.point}: "
+                      f"{r.error}", file=sys.stderr)
+            status = 1
+        else:
+            try:
+                record["output"] = experiment.assemble(chunk)
+                print(record["output"])
+            except Exception as error:  # surface, keep going
+                print(f"experiment {eid} failed: {error!r}",
+                      file=sys.stderr)
+                status = 1
+        print(f"--- {eid} done in {elapsed:.1f}s\n")
+        report[eid] = record
+
+    if cache is not None and (cache.hits or cache.stores):
+        print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es), "
+              f"{cache.stores} store(s) under {cache.root}",
+              file=sys.stderr)
+    if json_path:
+        payload = {
+            "schema": "pmnet-repro-run/1",
+            "quick": quick,
+            "jobs": workers,
+            "wall_seconds": round(wall_seconds, 3),
+            "experiments": report,
+        }
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {json_path}", file=sys.stderr)
     return status
 
 
@@ -62,6 +150,31 @@ def _cmd_bench_kernel(num_events: int, repeats: int,
     return 0
 
 
+def _cmd_bench_experiments(experiment_ids: Optional[List[str]],
+                           jobs: Optional[int],
+                           output: Optional[str]) -> int:
+    from repro.experiments.benchmark import (ExperimentError, format_result,
+                                             run_experiment_benchmark,
+                                             write_result)
+    if experiment_ids:
+        for eid in experiment_ids:
+            try:
+                get(eid)
+            except KeyError as error:
+                print(error, file=sys.stderr)
+                return 2
+    try:
+        result = run_experiment_benchmark(experiment_ids=experiment_ids,
+                                          jobs=jobs)
+    except ExperimentError as error:
+        print(error, file=sys.stderr)
+        return 1
+    path = write_result(result, output)
+    print(format_result(result))
+    print(f"wrote {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="pmnet-repro",
@@ -73,6 +186,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="experiment ids (or 'all')")
     run_parser.add_argument("--full", action="store_true",
                             help="testbed-scale sizes (64 clients; slow)")
+    run_parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                            help="worker processes for sweep points "
+                                 "(default: all cores; 1 = serial)")
+    run_parser.add_argument("--json", default=None, metavar="PATH",
+                            dest="json_path",
+                            help="also write results as JSON to PATH")
+    run_parser.add_argument("--no-cache", action="store_true",
+                            help="skip the on-disk result cache")
+    run_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="result cache root (default .pmnet-cache, "
+                                 "or $PMNET_CACHE_DIR)")
     bench_parser = sub.add_parser(
         "bench-kernel",
         help="measure raw simulator events/sec, write BENCH_kernel.json")
@@ -82,12 +206,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="runs to take the best of (default 3)")
     bench_parser.add_argument("--output", default=None,
                               help="result path (default BENCH_kernel.json)")
+    bench_exp = sub.add_parser(
+        "bench-experiments",
+        help="time serial vs parallel experiment sweeps, write "
+             "BENCH_experiments.json")
+    bench_exp.add_argument("--experiments", nargs="+", default=None,
+                           metavar="ID",
+                           help="experiment ids to benchmark (default: a "
+                                "representative subset)")
+    bench_exp.add_argument("--jobs", type=int, default=None, metavar="N",
+                           help="worker processes for the parallel pass "
+                                "(default: all cores)")
+    bench_exp.add_argument("--output", default=None,
+                           help="result path "
+                                "(default BENCH_experiments.json)")
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
     if args.command == "bench-kernel":
         return _cmd_bench_kernel(args.events, args.repeats, args.output)
-    return _cmd_run(args.experiments, quick=not args.full)
+    if args.command == "bench-experiments":
+        return _cmd_bench_experiments(args.experiments, args.jobs,
+                                      args.output)
+    return _cmd_run(args.experiments, quick=not args.full, jobs=args.jobs,
+                    json_path=args.json_path, use_cache=not args.no_cache,
+                    cache_dir=args.cache_dir)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -16,13 +16,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
 from repro.config import TCP_TO_UDP_CONVERSION_OVERHEAD, SystemConfig
 from repro.experiments.common import Scale
 from repro.experiments.deploy import build_client_server, build_pmnet_switch
 from repro.experiments.driver import run_closed_loop
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.host.stackmodel import TCP
 from repro.workloads.handlers import StructureHandler
 from repro.workloads.kv import OpKind, Operation
@@ -49,34 +50,46 @@ class AblationResult:
         return f"{body}\n{self.notes}" if self.notes else body
 
 
+def _log_queue_sizing_point(spec: JobSpec) -> List[object]:
+    """One queue size under load -> a bypass-accounting table row."""
+    cfg = spec.resolved_config()
+    scale = Scale.exact(spec.quick)
+    cfg = cfg.with_clients(max(scale.clients, 16)).with_payload(1000)
+    size = spec.params["queue_bytes"]
+    sized = replace(cfg, log=replace(cfg.log, write_queue_bytes=size))
+    deployment = build_pmnet_switch(sized)
+    stats = run_closed_loop(deployment, _set_op_maker(1000),
+                            scale.requests_per_client, scale.warmup)
+    device = deployment.devices[0]
+    bypassed = int(device.log.bypassed_queue_busy)
+    logged = int(device.log.logged)
+    total = bypassed + logged
+    return [size, logged, bypassed,
+            round(100.0 * bypassed / total, 1) if total else 0.0,
+            round(stats.update_latencies.mean() / 1000.0, 2)]
+
+
 def log_queue_sizing(config: SystemConfig = None,  # type: ignore[assignment]
                      quick: bool = True,
                      queue_bytes: Tuple[int, ...] = (256, 1024, 4096, 16384)
                      ) -> AblationResult:
     """Shrinking the write log queue forces line-rate bypasses."""
-    cfg = config if config is not None else SystemConfig()
-    scale = Scale.pick(quick)
-    cfg = cfg.with_clients(max(scale.clients, 16)).with_payload(1000)
-    rows = []
-    for size in queue_bytes:
-        sized = replace(cfg, log=replace(cfg.log, write_queue_bytes=size))
-        deployment = build_pmnet_switch(sized)
-        stats = run_closed_loop(deployment, _set_op_maker(1000),
-                                scale.requests_per_client, scale.warmup)
-        device = deployment.devices[0]
-        bypassed = int(device.log.bypassed_queue_busy)
-        logged = int(device.log.logged)
-        total = bypassed + logged
-        rows.append([size, logged, bypassed,
-                     round(100.0 * bypassed / total, 1) if total else 0.0,
-                     round(stats.update_latencies.mean() / 1000.0, 2)])
-    return AblationResult(
-        title="Ablation — log queue sizing (1000 B updates, loaded)",
-        headers=["queue bytes", "logged", "bypassed(queue)", "bypass %",
-                 "mean latency us"],
-        rows=rows,
-        notes="Sec V-A sizes the queue at the PM-latency BDP (4 KB); "
-              "smaller queues push requests onto the slow server path.")
+    specs = jobs(config, quick, kinds=("log_queue_sizing",),
+                 points={"log_queue_sizing": queue_bytes})
+    return assemble(execute_serial(specs, run_point))["log_queue_sizing"]
+
+
+def _pm_latency_point(spec: JobSpec) -> List[object]:
+    """One PM write latency -> (write ns, client RTT us) row."""
+    cfg = spec.resolved_config().with_clients(1)
+    requests = 80 if spec.quick else 300
+    write_ns = spec.params["write_latency_ns"]
+    sized = replace(cfg, network_pm=replace(cfg.network_pm,
+                                            write_latency_ns=write_ns))
+    deployment = build_pmnet_switch(sized)
+    stats = run_closed_loop(deployment, _set_op_maker(cfg.payload_bytes),
+                            requests, 8)
+    return [write_ns, round(stats.update_latencies.mean() / 1000.0, 2)]
 
 
 def pm_latency_sensitivity(config: SystemConfig = None,  # type: ignore[assignment]
@@ -84,24 +97,33 @@ def pm_latency_sensitivity(config: SystemConfig = None,  # type: ignore[assignme
                            latencies_ns: Tuple[int, ...] = (
                                100, 273, 500, 1000, 5000)) -> AblationResult:
     """Client-visible RTT vs the in-network PM write latency."""
-    cfg = (config if config is not None else SystemConfig()).with_clients(1)
-    requests = 80 if quick else 300
-    rows = []
-    for write_ns in latencies_ns:
-        sized = replace(cfg, network_pm=replace(cfg.network_pm,
-                                                write_latency_ns=write_ns))
-        deployment = build_pmnet_switch(sized)
-        stats = run_closed_loop(deployment, _set_op_maker(cfg.payload_bytes),
-                                requests, 8)
-        rows.append([write_ns,
-                     round(stats.update_latencies.mean() / 1000.0, 2)])
-    return AblationResult(
-        title="Ablation — in-network PM write latency sensitivity",
-        headers=["PM write ns", "PMNet RTT us"],
-        rows=rows,
-        notes="The FPGA's 273 ns DRAM write (Sec V-A) adds <2% of the "
-              "RTT; even 5 us media would keep PMNet well under the "
-              "baseline.")
+    specs = jobs(config, quick, kinds=("pm_latency_sensitivity",),
+                 points={"pm_latency_sensitivity": latencies_ns})
+    return assemble(execute_serial(specs,
+                                   run_point))["pm_latency_sensitivity"]
+
+
+def _log_capacity_point(spec: JobSpec) -> List[object]:
+    """One log capacity -> full-log bypass-accounting table row."""
+    cfg = spec.resolved_config()
+    scale = Scale.exact(spec.quick)
+    cfg = cfg.with_clients(max(scale.clients, 8))
+    # A deliberately slow handler keeps entries alive in the log.
+    capacity = spec.params["num_entries"]
+    sized = replace(cfg, log=replace(cfg.log, num_entries=capacity))
+    deployment = build_pmnet_switch(
+        sized, handler=StructureHandler(PMHashmap()))
+    stats = run_closed_loop(deployment, _set_op_maker(cfg.payload_bytes),
+                            scale.requests_per_client, scale.warmup)
+    device = deployment.devices[0]
+    via = stats.completions_by_via
+    return [
+        capacity,
+        int(device.log.bypassed_full),
+        via.get("pmnet", 0),
+        via.get("server", 0),
+        round(stats.update_latencies.mean() / 1000.0, 2),
+    ]
 
 
 def log_capacity(config: SystemConfig = None,  # type: ignore[assignment]
@@ -109,34 +131,9 @@ def log_capacity(config: SystemConfig = None,  # type: ignore[assignment]
                  capacities: Tuple[int, ...] = (8, 64, 1024, 65536)
                  ) -> AblationResult:
     """A (nearly) full log bypasses silently; clients fall back."""
-    cfg = config if config is not None else SystemConfig()
-    scale = Scale.pick(quick)
-    cfg = cfg.with_clients(max(scale.clients, 8))
-    # A deliberately slow handler keeps entries alive in the log.
-    rows = []
-    for capacity in capacities:
-        sized = replace(cfg, log=replace(cfg.log, num_entries=capacity))
-        deployment = build_pmnet_switch(
-            sized, handler=StructureHandler(PMHashmap()))
-        stats = run_closed_loop(deployment, _set_op_maker(cfg.payload_bytes),
-                                scale.requests_per_client, scale.warmup)
-        device = deployment.devices[0]
-        via = stats.completions_by_via
-        rows.append([
-            capacity,
-            int(device.log.bypassed_full),
-            via.get("pmnet", 0),
-            via.get("server", 0),
-            round(stats.update_latencies.mean() / 1000.0, 2),
-        ])
-    return AblationResult(
-        title="Ablation — log capacity (full-log bypass policy)",
-        headers=["entries", "bypassed(full)", "via pmnet", "via server",
-                 "mean latency us"],
-        rows=rows,
-        notes="Sec IV-B1: when the log is full PMNet forwards without "
-              "acknowledging; correctness holds, latency degrades "
-              "toward the baseline.")
+    specs = jobs(config, quick, kinds=("log_capacity",),
+                 points={"log_capacity": capacities})
+    return assemble(execute_serial(specs, run_point))["log_capacity"]
 
 
 def tcp_conversion(config: SystemConfig = None,  # type: ignore[assignment]
@@ -150,33 +147,114 @@ def tcp_conversion(config: SystemConfig = None,  # type: ignore[assignment]
     why the paper measured the conversion as a net ~9% slowdown and
     kept native TCP as the stronger baseline.
     """
-    cfg = config if config is not None else SystemConfig()
-    scale = Scale.pick(quick)
+    specs = jobs(config, quick, kinds=("tcp_conversion",))
+    return assemble(execute_serial(specs, run_point))["tcp_conversion"]
+
+
+def _tcp_conversion_point(spec: JobSpec) -> float:
+    """Throughput (ops/s) of the native or the converted Redis stack."""
+    cfg = spec.resolved_config()
+    scale = Scale.exact(spec.quick)
     op_maker = make_op_maker(YCSBConfig(update_ratio=1.0,
                                         payload_bytes=cfg.payload_bytes))
     sized = cfg.with_clients(scale.clients)
-    tcp_stats = run_closed_loop(
+    if spec.params["variant"] == "udp":
+        # Converted stack: TCP-equivalent reliability work still happens
+        # (we keep the TCP per-side cost) and the shim inflates
+        # per-packet stack time by the measured conversion overhead on
+        # both hosts.
+        inflation = 1 + 1.5 * TCP_TO_UDP_CONVERSION_OVERHEAD
+        sized = replace(
+            sized,
+            client_stack=replace(
+                sized.client_stack,
+                send_ns=round(sized.client_stack.send_ns * inflation),
+                recv_ns=round(sized.client_stack.recv_ns * inflation)),
+            server_stack=replace(
+                sized.server_stack,
+                send_ns=round(sized.server_stack.send_ns * inflation),
+                recv_ns=round(sized.server_stack.recv_ns * inflation)))
+    stats = run_closed_loop(
         build_client_server(sized, handler=RedisHandler(), transport=TCP),
         op_maker, scale.requests_per_client, scale.warmup)
-    # Converted stack: TCP-equivalent reliability work still happens (we
-    # keep the TCP per-side cost) and the shim inflates per-packet stack
-    # time by the measured conversion overhead on both hosts.
-    inflation = 1 + 1.5 * TCP_TO_UDP_CONVERSION_OVERHEAD
-    shim = replace(
-        sized,
-        client_stack=replace(
-            sized.client_stack,
-            send_ns=round(sized.client_stack.send_ns * inflation),
-            recv_ns=round(sized.client_stack.recv_ns * inflation)),
-        server_stack=replace(
-            sized.server_stack,
-            send_ns=round(sized.server_stack.send_ns * inflation),
-            recv_ns=round(sized.server_stack.recv_ns * inflation)))
-    udp_stats = run_closed_loop(
-        build_client_server(shim, handler=RedisHandler(), transport=TCP),
-        op_maker, scale.requests_per_client, scale.warmup)
-    tcp_ops = tcp_stats.ops_per_second()
-    udp_ops = udp_stats.ops_per_second()
+    return stats.ops_per_second()
+
+
+#: Default sweep points per ablation kind, in the run_all order.
+DEFAULT_POINTS: Dict[str, Tuple] = {
+    "log_queue_sizing": (256, 1024, 4096, 16384),
+    "pm_latency_sensitivity": (100, 273, 500, 1000, 5000),
+    "log_capacity": (8, 64, 1024, 65536),
+    "tcp_conversion": ("tcp", "udp"),
+}
+
+#: kind -> the JobSpec param name its sweep value lands in.
+_PARAM_NAMES = {
+    "log_queue_sizing": "queue_bytes",
+    "pm_latency_sensitivity": "write_latency_ns",
+    "log_capacity": "num_entries",
+    "tcp_conversion": "variant",
+}
+
+_POINT_RUNNERS = {
+    "log_queue_sizing": _log_queue_sizing_point,
+    "pm_latency_sensitivity": _pm_latency_point,
+    "log_capacity": _log_capacity_point,
+    "tcp_conversion": _tcp_conversion_point,
+}
+
+
+def jobs(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+         kinds: Optional[Sequence[str]] = None,
+         points: Optional[Dict[str, Tuple]] = None) -> List[JobSpec]:
+    """One job per (ablation kind, sweep value) point."""
+    cfg = config if config is not None else SystemConfig()
+    quick = Scale.resolve_quick(quick)
+    selected = kinds if kinds is not None else tuple(DEFAULT_POINTS)
+    overrides = points or {}
+    specs = []
+    for kind in selected:
+        param = _PARAM_NAMES[kind]
+        for value in overrides.get(kind, DEFAULT_POINTS[kind]):
+            specs.append(JobSpec(
+                experiment="ablations", point=f"{kind}/{param}={value}",
+                params={"kind": kind, param: value},
+                seed=cfg.seed, quick=quick, config=config))
+    return specs
+
+
+def run_point(spec: JobSpec):
+    return _POINT_RUNNERS[spec.params["kind"]](spec)
+
+
+def _assemble_kind(kind: str, values: List) -> AblationResult:
+    if kind == "log_queue_sizing":
+        return AblationResult(
+            title="Ablation — log queue sizing (1000 B updates, loaded)",
+            headers=["queue bytes", "logged", "bypassed(queue)", "bypass %",
+                     "mean latency us"],
+            rows=values,
+            notes="Sec V-A sizes the queue at the PM-latency BDP (4 KB); "
+                  "smaller queues push requests onto the slow server path.")
+    if kind == "pm_latency_sensitivity":
+        return AblationResult(
+            title="Ablation — in-network PM write latency sensitivity",
+            headers=["PM write ns", "PMNet RTT us"],
+            rows=values,
+            notes="The FPGA's 273 ns DRAM write (Sec V-A) adds <2% of the "
+                  "RTT; even 5 us media would keep PMNet well under the "
+                  "baseline.")
+    if kind == "log_capacity":
+        return AblationResult(
+            title="Ablation — log capacity (full-log bypass policy)",
+            headers=["entries", "bypassed(full)", "via pmnet", "via server",
+                     "mean latency us"],
+            rows=values,
+            notes="Sec IV-B1: when the log is full PMNet forwards without "
+                  "acknowledging; correctness holds, latency degrades "
+                  "toward the baseline.")
+    # tcp_conversion: values are [tcp_ops, udp_ops] in jobs() order.
+    tcp_ops, udp_ops = values
     rows = [
         ["tcp (native)", round(tcp_ops)],
         ["udp (converted)", round(udp_ops)],
@@ -190,10 +268,14 @@ def tcp_conversion(config: SystemConfig = None,  # type: ignore[assignment]
               "the best-performing baseline for Redis/Twitter/TPCC.")
 
 
+def assemble(results: Sequence[JobResult]) -> Dict[str, AblationResult]:
+    grouped: Dict[str, List] = {}
+    for result in results:
+        grouped.setdefault(result.spec.params["kind"],
+                           []).append(result.value)
+    return {kind: _assemble_kind(kind, values)
+            for kind, values in grouped.items()}
+
+
 def run_all(quick: bool = True) -> Dict[str, AblationResult]:
-    return {
-        "log_queue_sizing": log_queue_sizing(quick=quick),
-        "pm_latency_sensitivity": pm_latency_sensitivity(quick=quick),
-        "log_capacity": log_capacity(quick=quick),
-        "tcp_conversion": tcp_conversion(quick=quick),
-    }
+    return assemble(execute_serial(jobs(quick=quick), run_point))

@@ -1,0 +1,128 @@
+"""End-to-end wall-clock benchmark of the parallel experiment harness.
+
+The sweep points of the evaluation are embarrassingly parallel (see
+:mod:`repro.experiments.jobs`); this module measures how much of that
+parallelism the harness actually converts into wall-clock speedup on
+the current machine.  It flattens the selected experiments into one job
+list, runs it twice — once with ``jobs=1`` (the serial reference path)
+and once with the requested worker count — verifies the assembled
+report text is byte-identical between the two, and reports both times
+plus the speedup.
+
+Two entry points use this module: ``pmnet-repro bench-experiments``
+(writes ``BENCH_experiments.json``) and
+``benchmarks/test_experiment_harness.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments import registry
+from repro.experiments.jobs import JobResult, JobSpec
+from repro.experiments.parallel import default_jobs, failed, run_jobs
+
+#: Result file emitted by ``pmnet-repro bench-experiments``.
+BENCH_RESULT_FILE = "BENCH_experiments.json"
+
+#: Default subset: the experiments that dominate ``run all`` wall time,
+#: plus cheap ones so the job list has realistically uneven grain.
+DEFAULT_EXPERIMENT_IDS = ("fig02", "fig15", "fig16", "fig18", "fig21",
+                         "sec7", "ablations")
+
+
+class ExperimentError(RuntimeError):
+    """A benchmark run had failing jobs — timings would be meaningless."""
+
+
+def _assemble_all(experiment_ids: Sequence[str],
+                  results: Sequence[JobResult]) -> Dict[str, str]:
+    """Per-experiment formatted text from one flattened result list."""
+    errors = failed(results)
+    if errors:
+        summary = "; ".join(f"{r.spec.experiment}/{r.spec.point}: {r.error}"
+                            for r in errors[:3])
+        raise ExperimentError(
+            f"{len(errors)} job(s) failed during benchmark: {summary}")
+    outputs: Dict[str, str] = {}
+    for experiment_id in experiment_ids:
+        chunk = [r for r in results if r.spec.experiment == experiment_id]
+        outputs[experiment_id] = registry.get(
+            experiment_id).assemble(chunk)
+    return outputs
+
+
+def run_experiment_benchmark(
+        experiment_ids: Optional[Sequence[str]] = None,
+        jobs: Optional[int] = None,
+        quick: bool = True) -> Dict[str, object]:
+    """Serial-vs-parallel wall clock over the selected experiments.
+
+    Both passes run uncached — the point is to time the simulations,
+    not the pickle loader.  ``quick`` is accepted for symmetry with the
+    experiment modules but the benchmark always uses the quick profile
+    unless REPRO_FULL resolves otherwise inside ``jobs()``.
+    """
+    selected = list(experiment_ids or DEFAULT_EXPERIMENT_IDS)
+    workers = jobs if jobs is not None else default_jobs()
+    specs: List[JobSpec] = []
+    for experiment_id in selected:
+        specs.extend(registry.get(experiment_id).jobs(quick=quick))
+
+    started = time.perf_counter()
+    serial_results = run_jobs(specs, jobs=1)
+    serial_seconds = time.perf_counter() - started
+    serial_outputs = _assemble_all(selected, serial_results)
+
+    started = time.perf_counter()
+    parallel_results = run_jobs(specs, jobs=workers)
+    parallel_seconds = time.perf_counter() - started
+    parallel_outputs = _assemble_all(selected, parallel_results)
+
+    identical = serial_outputs == parallel_outputs
+    per_experiment = {
+        experiment_id: {
+            "jobs": sum(1 for s in specs
+                        if s.experiment == experiment_id),
+            "serial_seconds": round(sum(
+                r.elapsed_s for r in serial_results
+                if r.spec.experiment == experiment_id), 3),
+        }
+        for experiment_id in selected
+    }
+    return {
+        "benchmark": "experiment_harness",
+        "experiments": selected,
+        "quick": quick,
+        "jobs": workers,
+        "job_count": len(specs),
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": (serial_seconds / parallel_seconds
+                    if parallel_seconds > 0 else 0.0),
+        "outputs_identical": identical,
+        "per_experiment": per_experiment,
+    }
+
+
+def write_result(result: Dict[str, object],
+                 path: Optional[str] = None) -> str:
+    """Write a benchmark result as JSON; return the path written."""
+    target = path or BENCH_RESULT_FILE
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def format_result(result: Dict[str, object]) -> str:
+    return (f"experiment harness: {result['job_count']} jobs, "
+            f"serial {result['serial_seconds']:.1f}s, "
+            f"parallel(x{result['jobs']}) "
+            f"{result['parallel_seconds']:.1f}s, "
+            f"speedup {result['speedup']:.2f}x, "
+            f"outputs identical: {result['outputs_identical']}")

@@ -38,7 +38,8 @@ class RunStats:
         default_factory=lambda: LatencyRecorder("updates"))
     read_latencies: LatencyRecorder = field(
         default_factory=lambda: LatencyRecorder("reads"))
-    throughput = None  # type: Optional[ThroughputMeter]
+    throughput: ThroughputMeter = field(
+        default_factory=lambda: ThroughputMeter("completions"))
     completions_by_via: Dict[str, int] = field(default_factory=dict)
     #: Genuine failures (bad requests, lock conflicts, server errors).
     errors: int = 0
@@ -47,9 +48,6 @@ class RunStats:
     #: separately so ``errors == 0`` means what it says.
     misses: int = 0
     requests: int = 0
-
-    def __post_init__(self) -> None:
-        self.throughput = ThroughputMeter("completions")
 
     def record(self, now_ns: int, latency_ns: int, op: Operation,
                completion: Completion) -> None:

@@ -10,11 +10,12 @@ handler costs, and report the average server-side share.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.breakdown import Breakdown, update_request_breakdown
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.sim.clock import microseconds
 
 #: Representative per-request server processing times (ns) spanning the
@@ -60,9 +61,25 @@ class Fig02Result:
                 f"{100 * avg:.1f}%  (paper: ~70%)")
 
 
-def run(config: SystemConfig = None) -> Fig02Result:  # type: ignore[assignment]
+def jobs(config: Optional[SystemConfig] = None,
+         quick: bool = True) -> List[JobSpec]:
+    """One job per handler point (pure stage arithmetic, no simulation)."""
     cfg = config if config is not None else SystemConfig()
-    rows = {}
-    for name, handler_ns in HANDLER_POINTS.items():
-        rows[name] = update_request_breakdown(cfg, handler_ns=handler_ns)
-    return Fig02Result(rows)
+    return [JobSpec(experiment="fig02", point=f"handler={name}",
+                    params={"handler": name, "handler_ns": handler_ns},
+                    seed=cfg.seed, quick=quick, config=config)
+            for name, handler_ns in HANDLER_POINTS.items()]
+
+
+def run_point(spec: JobSpec) -> Breakdown:
+    return update_request_breakdown(spec.resolved_config(),
+                                    handler_ns=spec.params["handler_ns"])
+
+
+def assemble(results: Sequence[JobResult]) -> Fig02Result:
+    return Fig02Result({result.spec.params["handler"]: result.value
+                        for result in results})
+
+
+def run(config: SystemConfig = None) -> Fig02Result:  # type: ignore[assignment]
+    return assemble(execute_serial(jobs(config), run_point))

@@ -18,12 +18,14 @@ doubled — verified with the PMTest-style checker over the run's trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.persistcheck import PersistenceChecker
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
+from repro.experiments.common import Scale
 from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.failure.injector import FailureInjector
 from repro.net.link import Impairments
 from repro.sim.clock import microseconds, milliseconds
@@ -126,15 +128,48 @@ def _run_scenario(name: str, quick: bool,
     )
 
 
+#: The design figure's scenarios as JSON-safe job parameters (the
+#: impairment dicts become ``Impairments(**...)`` at execution time).
+SCENARIOS = (
+    {"name": "(a) reordering",
+     "impair_client_side": {"reorder_probability": 0.3,
+                            "reorder_extra_ns": 8_000},
+     "impair_server_side": None, "crash": False},
+    {"name": "(b) packet loss",
+     "impair_client_side": None,
+     "impair_server_side": {"loss_probability": 0.25}, "crash": False},
+    {"name": "(c) server failure",
+     "impair_client_side": None,
+     "impair_server_side": None, "crash": True},
+)
+
+#: Every scenario builds its own SystemConfig from this seed.
+SCENARIO_SEED = 5
+
+
+def jobs(config: SystemConfig = None,  # type: ignore[assignment]
+         quick: bool = True) -> List[JobSpec]:
+    """One job per adversity scenario (config is scenario-built)."""
+    quick = Scale.resolve_quick(quick)
+    return [JobSpec(experiment="fig07", point=params["name"],
+                    params=dict(params), seed=SCENARIO_SEED, quick=quick)
+            for params in SCENARIOS]
+
+
+def run_point(spec: JobSpec) -> ScenarioRow:
+    params = spec.params
+    client = params["impair_client_side"]
+    server = params["impair_server_side"]
+    return _run_scenario(
+        params["name"], spec.quick,
+        impair_client_side=Impairments(**client) if client else None,
+        impair_server_side=Impairments(**server) if server else None,
+        crash=params["crash"], seed=spec.seed)
+
+
+def assemble(results: Sequence[JobResult]) -> Fig07Result:
+    return Fig07Result(rows=[result.value for result in results])
+
+
 def run(config: SystemConfig = None, quick: bool = True) -> Fig07Result:  # type: ignore[assignment]
-    result = Fig07Result()
-    result.rows.append(_run_scenario(
-        "(a) reordering", quick,
-        impair_client_side=Impairments(reorder_probability=0.3,
-                                       reorder_extra_ns=8_000)))
-    result.rows.append(_run_scenario(
-        "(b) packet loss", quick,
-        impair_server_side=Impairments(loss_probability=0.25)))
-    result.rows.append(_run_scenario("(c) server failure", quick,
-                                     crash=True))
-    return result
+    return assemble(execute_serial(jobs(config, quick), run_point))

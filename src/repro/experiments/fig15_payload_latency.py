@@ -11,7 +11,7 @@ Paper observations to reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
@@ -22,9 +22,16 @@ from repro.experiments.deploy import (
     build_pmnet_switch,
 )
 from repro.experiments.driver import run_closed_loop
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.workloads.kv import OpKind, Operation
 
 PAYLOAD_SIZES = (50, 100, 250, 500, 1000)
+
+DESIGNS = {
+    "client-server": build_client_server,
+    "pmnet-switch": build_pmnet_switch,
+    "pmnet-nic": build_pmnet_nic,
+}
 
 
 @dataclass
@@ -58,29 +65,45 @@ class Fig15Result:
             title="Fig 15 — ideal-handler update latency vs payload size")
 
 
-def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
-        payloads=PAYLOAD_SIZES) -> Fig15Result:
+def jobs(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+         payloads=PAYLOAD_SIZES) -> List[JobSpec]:
+    """One job per (payload, design) point."""
     cfg = config if config is not None else SystemConfig()
-    scale = Scale.pick(quick)
+    quick = Scale.resolve_quick(quick)
+    return [JobSpec(experiment="fig15",
+                    point=f"payload={payload}/design={design}",
+                    params={"payload": payload, "design": design},
+                    seed=cfg.seed, quick=quick, config=config)
+            for payload in payloads for design in DESIGNS]
+
+
+def run_point(spec: JobSpec) -> float:
+    """Mean update latency (us) of one design at one payload size."""
+    cfg = spec.resolved_config()
+    scale = Scale.exact(spec.quick)
     # Latency microbenchmark: a single client, like the paper's Fig 15.
     requests = scale.requests_per_client * 2
-    builders = {
-        "client-server": build_client_server,
-        "pmnet-switch": build_pmnet_switch,
-        "pmnet-nic": build_pmnet_nic,
-    }
-    latencies: Dict[str, Dict[int, float]] = {name: {} for name in builders}
-    for payload in payloads:
-        payload_cfg = cfg.with_payload(payload).with_clients(1)
+    payload = spec.params["payload"]
+    payload_cfg = cfg.with_payload(payload).with_clients(1)
 
-        def op_maker(ci: int, ri: int, rng, _size=payload):
-            return (Operation(OpKind.SET, key=ri, value=b"x"), _size)
+    def op_maker(ci: int, ri: int, rng, _size=payload):
+        return (Operation(OpKind.SET, key=ri, value=b"x"), _size)
 
-        for name, builder in builders.items():
-            deployment = builder(payload_cfg)
-            stats = run_closed_loop(deployment, op_maker,
-                                    requests_per_client=requests,
-                                    warmup_requests=scale.warmup)
-            latencies[name][payload] = \
-                stats.update_latencies.mean() / 1000.0
+    deployment = DESIGNS[spec.params["design"]](payload_cfg)
+    stats = run_closed_loop(deployment, op_maker,
+                            requests_per_client=requests,
+                            warmup_requests=scale.warmup)
+    return stats.update_latencies.mean() / 1000.0
+
+
+def assemble(results: Sequence[JobResult]) -> Fig15Result:
+    latencies: Dict[str, Dict[int, float]] = {name: {} for name in DESIGNS}
+    for result in results:
+        params = result.spec.params
+        latencies[params["design"]][params["payload"]] = result.value
     return Fig15Result(latencies)
+
+
+def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+        payloads=PAYLOAD_SIZES) -> Fig15Result:
+    return assemble(execute_serial(jobs(config, quick, payloads), run_point))

@@ -9,16 +9,23 @@ PMNet placements sit below the baseline throughout.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
+from repro.experiments.common import Scale
 from repro.experiments.deploy import build_client_server, build_pmnet_switch
 from repro.experiments.driver import run_closed_loop
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.workloads.kv import OpKind, Operation
 
 PAYLOAD = 1000
 CLIENT_COUNTS = (1, 2, 4, 8, 16, 32, 48, 64)
+
+DESIGNS = {
+    "client-server": build_client_server,
+    "pmnet-switch": build_pmnet_switch,
+}
 
 
 @dataclass
@@ -47,31 +54,46 @@ class Fig16Result:
                             title="Fig 16 — bandwidth vs latency stress test")
 
 
-def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
-        client_counts=CLIENT_COUNTS) -> Fig16Result:
-    cfg = (config if config is not None else SystemConfig()).with_payload(
-        PAYLOAD)
-    requests = 60 if quick else 200
-    builders = {
-        "client-server": build_client_server,
-        "pmnet-switch": build_pmnet_switch,
-    }
+def jobs(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+         client_counts=CLIENT_COUNTS) -> List[JobSpec]:
+    """One job per (client count, design) point."""
+    cfg = config if config is not None else SystemConfig()
+    quick = Scale.resolve_quick(quick)
+    return [JobSpec(experiment="fig16",
+                    point=f"clients={clients}/design={design}",
+                    params={"clients": clients, "design": design},
+                    seed=cfg.seed, quick=quick, config=config)
+            for clients in client_counts for design in DESIGNS]
+
+
+def run_point(spec: JobSpec) -> Tuple[float, float]:
+    """(offered bandwidth Gbps, mean update latency us) for one point."""
+    cfg = spec.resolved_config().with_payload(PAYLOAD)
+    requests = 60 if spec.quick else 200
 
     def op_maker(ci: int, ri: int, rng):
         return Operation(OpKind.SET, key=(ci, ri), value=b"x"), PAYLOAD
 
-    curves: Dict[str, List[Tuple[float, float]]] = {
-        name: [] for name in builders}
     wire_bits = 8 * (PAYLOAD + cfg.network.header_overhead_bytes
                      + 11)  # PMNet header rides in the payload
-    for clients in client_counts:
-        for name, builder in builders.items():
-            deployment = builder(cfg.with_clients(clients))
-            stats = run_closed_loop(deployment, op_maker,
-                                    requests_per_client=requests,
-                                    warmup_requests=5)
-            ops = stats.ops_per_second()
-            bandwidth_gbps = ops * wire_bits / 1e9
-            latency_us = stats.update_latencies.mean() / 1000.0
-            curves[name].append((bandwidth_gbps, latency_us))
+    builder = DESIGNS[spec.params["design"]]
+    deployment = builder(cfg.with_clients(spec.params["clients"]))
+    stats = run_closed_loop(deployment, op_maker,
+                            requests_per_client=requests,
+                            warmup_requests=5)
+    ops = stats.ops_per_second()
+    return ops * wire_bits / 1e9, stats.update_latencies.mean() / 1000.0
+
+
+def assemble(results: Sequence[JobResult]) -> Fig16Result:
+    curves: Dict[str, List[Tuple[float, float]]] = {
+        name: [] for name in DESIGNS}
+    for result in results:
+        curves[result.spec.params["design"]].append(result.value)
     return Fig16Result(curves)
+
+
+def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+        client_counts=CLIENT_COUNTS) -> Fig16Result:
+    return assemble(execute_serial(jobs(config, quick, client_counts),
+                                   run_point))

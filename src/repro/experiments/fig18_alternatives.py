@@ -18,13 +18,15 @@ replication-free; server-side logging is worst in both columns.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Sequence
 
 from repro.analysis.report import format_table
 from repro.baselines.deploy import build_client_logging, build_server_logging
 from repro.config import SystemConfig
+from repro.experiments.common import Scale
 from repro.experiments.deploy import build_pmnet_switch
 from repro.experiments.driver import run_closed_loop
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.workloads.kv import OpKind, Operation
 
 #: Paper's reference numbers in microseconds, for the report.
@@ -51,29 +53,55 @@ class Fig18Result:
             title="Fig 18 — alternative logging designs (ideal handler)")
 
 
-def run(config: SystemConfig = None, quick: bool = True) -> Fig18Result:  # type: ignore[assignment]
+#: (design, replication) points, in the serial execution order.
+POINTS = (("client-log", 1), ("client-log", 3), ("pmnet", 1), ("pmnet", 3),
+          ("server-log", 1), ("server-log", 3))
+
+_BUILDERS = {
+    "client-log": build_client_logging,
+    "pmnet": build_pmnet_switch,
+    "server-log": build_server_logging,
+}
+
+
+def jobs(config: SystemConfig = None,  # type: ignore[assignment]
+         quick: bool = True) -> List[JobSpec]:
+    """One job per (design, replication) point."""
     cfg = config if config is not None else SystemConfig()
-    requests = 120 if quick else 400
+    quick = Scale.resolve_quick(quick)
+    return [JobSpec(experiment="fig18",
+                    point=f"design={design}/replication={replication}",
+                    params={"design": design, "replication": replication},
+                    seed=cfg.seed, quick=quick, config=config)
+            for design, replication in POINTS]
+
+
+def run_point(spec: JobSpec) -> float:
+    """Mean update latency (us) of one logging design."""
     # Latency microbenchmark: few clients (replication needs 3 for the
     # client-side peers).
-    cfg = cfg.with_clients(3)
+    cfg = spec.resolved_config().with_clients(3)
+    requests = 120 if spec.quick else 400
 
     def op_maker(ci: int, ri: int, rng):
         return (Operation(OpKind.SET, key=(ci, ri), value=b"x"),
                 cfg.payload_bytes)
 
-    points = {
-        ("client-log", 1): lambda: build_client_logging(cfg),
-        ("client-log", 3): lambda: build_client_logging(cfg, replication=3),
-        ("pmnet", 1): lambda: build_pmnet_switch(cfg),
-        ("pmnet", 3): lambda: build_pmnet_switch(cfg, replication=3),
-        ("server-log", 1): lambda: build_server_logging(cfg),
-        ("server-log", 3): lambda: build_server_logging(cfg, replication=3),
-    }
-    latencies = {}
-    for key, build in points.items():
-        stats = run_closed_loop(build(), op_maker,
-                                requests_per_client=requests,
-                                warmup_requests=10)
-        latencies[key] = stats.update_latencies.mean() / 1000.0
-    return Fig18Result(latencies)
+    builder = _BUILDERS[spec.params["design"]]
+    replication = spec.params["replication"]
+    deployment = builder(cfg) if replication == 1 else builder(
+        cfg, replication=replication)
+    stats = run_closed_loop(deployment, op_maker,
+                            requests_per_client=requests,
+                            warmup_requests=10)
+    return stats.update_latencies.mean() / 1000.0
+
+
+def assemble(results: Sequence[JobResult]) -> Fig18Result:
+    return Fig18Result({
+        (result.spec.params["design"], result.spec.params["replication"]):
+        result.value for result in results})
+
+
+def run(config: SystemConfig = None, quick: bool = True) -> Fig18Result:  # type: ignore[assignment]
+    return assemble(execute_serial(jobs(config, quick), run_point))

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Sequence
 
 from repro.analysis.report import format_table
 from repro.analysis.stats import geometric_mean
@@ -19,6 +19,7 @@ from repro.config import SystemConfig
 from repro.experiments.common import Scale
 from repro.experiments.deploy import build_client_server, build_pmnet_switch
 from repro.experiments.driver import run_closed_loop, run_sessions
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.host.stackmodel import TCP, UDP
 from repro.workloads import tpcc, twitter
 from repro.workloads.handlers import StructureHandler
@@ -109,31 +110,64 @@ def _session_wrapper(session_fn, scale: Scale, update_ratio: float,
                       update_ratio=update_ratio, payload_bytes=payload)
 
 
-def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
-        workloads=None, ratios=None) -> Fig19Result:
+def jobs(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+         workloads=None, ratios=None) -> List[JobSpec]:
+    """One job per (workload, update ratio, design) point.
+
+    Splitting the baseline and the PMNet run into separate jobs doubles
+    the fan-out; each builds its own deployment, exactly as the serial
+    loop did, so the normalized ratio is unchanged.
+    """
     cfg = config if config is not None else SystemConfig()
-    scale = Scale.pick(quick)
+    quick = Scale.resolve_quick(quick)
     selected = workloads or list(WORKLOADS)
     selected_ratios = ratios or (QUICK_RATIOS if quick else UPDATE_RATIOS)
+    return [JobSpec(experiment="fig19",
+                    point=f"workload={name}/ratio={ratio}/design={design}",
+                    params={"workload": name, "ratio": ratio,
+                            "design": design},
+                    seed=cfg.seed, quick=quick, config=config)
+            for name in selected for ratio in selected_ratios
+            for design in ("client-server", "pmnet-switch")]
+
+
+def run_point(spec: JobSpec) -> float:
+    """Absolute throughput (ops/s) of one workload/ratio/design point."""
+    cfg = spec.resolved_config()
+    scale = Scale.exact(spec.quick)
+    workload = WORKLOADS[spec.params["workload"]]
+    ratio = spec.params["ratio"]
+    if spec.params["design"] == "client-server":
+        deployment = build_client_server(
+            cfg.with_clients(scale.clients), handler=workload["handler"](),
+            transport=workload["baseline_transport"])
+    else:
+        deployment = build_pmnet_switch(
+            cfg.with_clients(scale.clients), handler=workload["handler"]())
+    stats = _drive(deployment, workload, scale, ratio, cfg.payload_bytes)
+    return stats.ops_per_second()
+
+
+def assemble(results: Sequence[JobResult]) -> Fig19Result:
+    ops: Dict[tuple, float] = {}
+    order: Dict[tuple, None] = {}
+    for result in results:
+        params = result.spec.params
+        order[(params["workload"], params["ratio"])] = None
+        ops[(params["workload"], params["ratio"],
+             params["design"])] = result.value
     normalized: Dict[str, Dict[float, float]] = {}
     absolute: Dict[str, Dict[float, Dict[str, float]]] = {}
-    for name in selected:
-        spec = WORKLOADS[name]
-        normalized[name] = {}
-        absolute[name] = {}
-        for ratio in selected_ratios:
-            baseline = build_client_server(
-                cfg.with_clients(scale.clients), handler=spec["handler"](),
-                transport=spec["baseline_transport"])
-            base_stats = _drive(baseline, spec, scale, ratio,
-                                cfg.payload_bytes)
-            pmnet = build_pmnet_switch(
-                cfg.with_clients(scale.clients), handler=spec["handler"]())
-            pmnet_stats = _drive(pmnet, spec, scale, ratio,
-                                 cfg.payload_bytes)
-            base_ops = base_stats.ops_per_second()
-            pmnet_ops = pmnet_stats.ops_per_second()
-            normalized[name][ratio] = pmnet_ops / base_ops
-            absolute[name][ratio] = {"client-server": base_ops,
-                                     "pmnet-switch": pmnet_ops}
+    for name, ratio in order:
+        base_ops = ops[(name, ratio, "client-server")]
+        pmnet_ops = ops[(name, ratio, "pmnet-switch")]
+        normalized.setdefault(name, {})[ratio] = pmnet_ops / base_ops
+        absolute.setdefault(name, {})[ratio] = {
+            "client-server": base_ops, "pmnet-switch": pmnet_ops}
     return Fig19Result(normalized, absolute)
+
+
+def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+        workloads=None, ratios=None) -> Fig19Result:
+    return assemble(execute_serial(jobs(config, quick, workloads, ratios),
+                                   run_point))

@@ -14,13 +14,14 @@ GET/SET mix at 100 % and 50 % update ratios.  Claims to reproduce:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import format_cdf
 from repro.config import SystemConfig
 from repro.experiments.common import Scale
 from repro.experiments.deploy import build_client_server, build_pmnet_switch
 from repro.experiments.driver import RunStats, run_closed_loop
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.workloads.handlers import StructureHandler
 from repro.workloads.pmdk.hashmap import PMHashmap
 from repro.workloads.ycsb import YCSBConfig, make_op_maker
@@ -84,28 +85,58 @@ class Fig20Result:
         return "\n".join(parts)
 
 
-def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
-        ratios=UPDATE_RATIOS) -> Fig20Result:
+SYSTEMS = ("client-server", "pmnet", "pmnet+cache")
+
+
+def jobs(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+         ratios=UPDATE_RATIOS) -> List[JobSpec]:
+    """One job per (update ratio, system) point."""
     cfg = config if config is not None else SystemConfig()
-    scale = Scale.pick(quick)
+    quick = Scale.resolve_quick(quick)
+    return [JobSpec(experiment="fig20",
+                    point=f"ratio={ratio}/system={system}",
+                    params={"ratio": ratio, "system": system},
+                    seed=cfg.seed, quick=quick, config=config)
+            for ratio in ratios for system in SYSTEMS]
+
+
+def run_point(spec: JobSpec) -> Tuple[RunStats, Optional[float]]:
+    """(latency stats, cache hit rate or None) for one system/ratio."""
+    cfg = spec.resolved_config()
+    scale = Scale.exact(spec.quick)
+    system = spec.params["system"]
+    op_maker = make_op_maker(YCSBConfig(
+        update_ratio=spec.params["ratio"], population=POPULATION,
+        zipf_theta=ZIPF_THETA, payload_bytes=cfg.payload_bytes))
+    if system == "client-server":
+        deployment = build_client_server(
+            cfg.with_clients(scale.clients),
+            handler=StructureHandler(PMHashmap()))
+    else:
+        deployment = build_pmnet_switch(
+            cfg.with_clients(scale.clients),
+            handler=StructureHandler(PMHashmap()),
+            enable_cache=(system == "pmnet+cache"))
+    stats = run_closed_loop(deployment, op_maker,
+                            scale.requests_per_client, scale.warmup)
+    hit_rate = (deployment.devices[0].cache.hit_rate()
+                if system == "pmnet+cache" else None)
+    return stats, hit_rate
+
+
+def assemble(results: Sequence[JobResult]) -> Fig20Result:
     stats: Dict[Tuple[str, float], RunStats] = {}
     hit_rates: Dict[float, float] = {}
-    for ratio in ratios:
-        op_maker = make_op_maker(YCSBConfig(
-            update_ratio=ratio, population=POPULATION,
-            zipf_theta=ZIPF_THETA, payload_bytes=cfg.payload_bytes))
-        baseline = build_client_server(cfg.with_clients(scale.clients),
-                                       handler=StructureHandler(PMHashmap()))
-        stats[("client-server", ratio)] = run_closed_loop(
-            baseline, op_maker, scale.requests_per_client, scale.warmup)
-        pmnet = build_pmnet_switch(cfg.with_clients(scale.clients),
-                                   handler=StructureHandler(PMHashmap()))
-        stats[("pmnet", ratio)] = run_closed_loop(
-            pmnet, op_maker, scale.requests_per_client, scale.warmup)
-        cached = build_pmnet_switch(cfg.with_clients(scale.clients),
-                                    handler=StructureHandler(PMHashmap()),
-                                    enable_cache=True)
-        stats[("pmnet+cache", ratio)] = run_closed_loop(
-            cached, op_maker, scale.requests_per_client, scale.warmup)
-        hit_rates[ratio] = cached.devices[0].cache.hit_rate()
+    for result in results:
+        ratio = result.spec.params["ratio"]
+        system = result.spec.params["system"]
+        run_stats, hit_rate = result.value
+        stats[(system, ratio)] = run_stats
+        if hit_rate is not None:
+            hit_rates[ratio] = hit_rate
     return Fig20Result(stats, hit_rates)
+
+
+def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+        ratios=UPDATE_RATIOS) -> Fig20Result:
+    return assemble(execute_serial(jobs(config, quick, ratios), run_point))

@@ -12,7 +12,7 @@ commits to two replica servers before acknowledging.  Claims:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable, Dict, List, Sequence
 
 from repro.analysis.report import format_table
 from repro.analysis.stats import geometric_mean
@@ -21,6 +21,7 @@ from repro.config import SystemConfig
 from repro.experiments.common import Scale
 from repro.experiments.deploy import build_pmnet_switch
 from repro.experiments.driver import run_closed_loop
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.host.handler import IdealHandler
 from repro.workloads.handlers import StructureHandler
 from repro.workloads.pmdk.btree import PMBTree
@@ -72,29 +73,53 @@ class Fig21Result:
                 f"{self.average_speedup():.2f}x  (paper: 5.88x)")
 
 
-def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
-        workloads=None) -> Fig21Result:
+DESIGNS = ("pmnet-1x", "pmnet-3x", "server-replication-3x")
+
+
+def jobs(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+         workloads=None) -> List[JobSpec]:
+    """One job per (workload, replication design) point."""
     cfg = config if config is not None else SystemConfig()
-    scale = Scale.pick(quick)
+    quick = Scale.resolve_quick(quick)
     selected = workloads or list(WORKLOAD_HANDLERS)
+    return [JobSpec(experiment="fig21",
+                    point=f"workload={name}/design={design}",
+                    params={"workload": name, "design": design},
+                    seed=cfg.seed, quick=quick, config=config)
+            for name in selected for design in DESIGNS]
+
+
+def run_point(spec: JobSpec) -> float:
+    """Mean update latency (us) of one workload under one design."""
+    cfg = spec.resolved_config()
+    scale = Scale.exact(spec.quick)
+    make_handler = WORKLOAD_HANDLERS[spec.params["workload"]]
+    sized = cfg.with_clients(scale.clients)
+    design = spec.params["design"]
+    if design == "pmnet-1x":
+        deployment = build_pmnet_switch(sized, handler=make_handler(cfg))
+    elif design == "pmnet-3x":
+        deployment = build_pmnet_switch(sized, handler=make_handler(cfg),
+                                        replication=3)
+    else:
+        deployment = build_server_replication(
+            sized, handler=make_handler(cfg), replicas=3)
     op_maker = make_op_maker(YCSBConfig(update_ratio=1.0,
                                         payload_bytes=cfg.payload_bytes))
+    stats = run_closed_loop(deployment, op_maker,
+                            scale.requests_per_client, scale.warmup)
+    return stats.update_latencies.mean() / 1000.0
+
+
+def assemble(results: Sequence[JobResult]) -> Fig21Result:
     latencies: Dict[str, Dict[str, float]] = {}
-    for name in selected:
-        make_handler = WORKLOAD_HANDLERS[name]
-        sized = cfg.with_clients(scale.clients)
-        points = {
-            "pmnet-1x": build_pmnet_switch(sized,
-                                           handler=make_handler(cfg)),
-            "pmnet-3x": build_pmnet_switch(sized, handler=make_handler(cfg),
-                                           replication=3),
-            "server-replication-3x": build_server_replication(
-                sized, handler=make_handler(cfg), replicas=3),
-        }
-        latencies[name] = {}
-        for design, deployment in points.items():
-            stats = run_closed_loop(deployment, op_maker,
-                                    scale.requests_per_client, scale.warmup)
-            latencies[name][design] = \
-                stats.update_latencies.mean() / 1000.0
+    for result in results:
+        params = result.spec.params
+        latencies.setdefault(params["workload"], {})[params["design"]] = \
+            result.value
     return Fig21Result(latencies)
+
+
+def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+        workloads=None) -> Fig21Result:
+    return assemble(execute_serial(jobs(config, quick, workloads), run_point))

@@ -10,13 +10,14 @@ processing wait, not just stack time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Sequence
 
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
 from repro.experiments.common import Scale
 from repro.experiments.deploy import build_client_server, build_pmnet_switch
 from repro.experiments.driver import run_closed_loop
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.workloads.kv import OpKind, Operation
 
 
@@ -41,25 +42,45 @@ class Fig22Result:
                 f"with libVMA: {self.speedup(True):.2f}x (paper: 3.56x)")
 
 
-def run(config: SystemConfig = None, quick: bool = True) -> Fig22Result:  # type: ignore[assignment]
+#: Design points in the serial execution order.
+DESIGNS = ("client-server", "pmnet", "client-server+vma", "pmnet+vma")
+
+
+def jobs(config: SystemConfig = None,  # type: ignore[assignment]
+         quick: bool = True) -> List[JobSpec]:
+    """One job per stack/design combination."""
     cfg = config if config is not None else SystemConfig()
-    scale = Scale.pick(quick)
+    quick = Scale.resolve_quick(quick)
+    return [JobSpec(experiment="fig22", point=f"design={design}",
+                    params={"design": design},
+                    seed=cfg.seed, quick=quick, config=config)
+            for design in DESIGNS]
+
+
+def run_point(spec: JobSpec) -> float:
+    """Update throughput (ops/s) of one stack/design combination."""
+    cfg = spec.resolved_config()
+    scale = Scale.exact(spec.quick)
+    design = spec.params["design"]
+    if design.endswith("+vma"):
+        cfg = cfg.with_vma()
+    builder = (build_pmnet_switch if design.startswith("pmnet")
+               else build_client_server)
+    deployment = builder(cfg.with_clients(scale.clients))
 
     def op_maker(ci: int, ri: int, rng):
         return (Operation(OpKind.SET, key=(ci, ri), value=b"x"),
                 cfg.payload_bytes)
 
-    points = {
-        "client-server": build_client_server(cfg.with_clients(scale.clients)),
-        "pmnet": build_pmnet_switch(cfg.with_clients(scale.clients)),
-        "client-server+vma": build_client_server(
-            cfg.with_vma().with_clients(scale.clients)),
-        "pmnet+vma": build_pmnet_switch(
-            cfg.with_vma().with_clients(scale.clients)),
-    }
-    throughput = {}
-    for name, deployment in points.items():
-        stats = run_closed_loop(deployment, op_maker,
-                                scale.requests_per_client, scale.warmup)
-        throughput[name] = stats.ops_per_second()
-    return Fig22Result(throughput)
+    stats = run_closed_loop(deployment, op_maker,
+                            scale.requests_per_client, scale.warmup)
+    return stats.ops_per_second()
+
+
+def assemble(results: Sequence[JobResult]) -> Fig22Result:
+    return Fig22Result({result.spec.params["design"]: result.value
+                        for result in results})
+
+
+def run(config: SystemConfig = None, quick: bool = True) -> Fig22Result:  # type: ignore[assignment]
+    return assemble(execute_serial(jobs(config, quick), run_point))

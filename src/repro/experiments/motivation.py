@@ -18,13 +18,15 @@ programming model and still get the speed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List, Sequence
 
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
 from repro.core.replication import NO_PMNET
+from repro.experiments.common import Scale
 from repro.experiments.deploy import build_client_server, build_pmnet_switch
 from repro.experiments.driver import run_closed_loop
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.host.async_client import AsyncPMNetClient
 from repro.workloads.handlers import StructureHandler
 from repro.workloads.pmdk.hashmap import PMHashmap
@@ -107,24 +109,42 @@ def _run_async_baseline(config: SystemConfig, requests: int,
     return ops, mean_latency
 
 
+#: Design points in the serial execution order.
+DESIGNS = ("sync/baseline", "async/baseline", "sync/pmnet")
+
+
+def jobs(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+         window: int = 16) -> List[JobSpec]:
+    """One job per programming-model/design combination."""
+    cfg = config if config is not None else SystemConfig()
+    quick = Scale.resolve_quick(quick)
+    return [JobSpec(experiment="motivation", point=f"design={design}",
+                    params={"design": design, "window": window},
+                    seed=cfg.seed, quick=quick, config=config)
+            for design in DESIGNS]
+
+
+def run_point(spec: JobSpec) -> tuple:
+    """(ops/s, mean latency us) of one programming-model point."""
+    cfg = spec.resolved_config().with_clients(4 if spec.quick else 16)
+    requests = 150 if spec.quick else 400
+    design = spec.params["design"]
+    if design == "async/baseline":
+        return _run_async_baseline(cfg, requests, spec.params["window"])
+    builder = (build_pmnet_switch if design == "sync/pmnet"
+               else build_client_server)
+    stats = run_closed_loop(
+        builder(cfg, handler=StructureHandler(PMHashmap())),
+        _op_maker(cfg.payload_bytes), requests, 10)
+    return (stats.ops_per_second(),
+            stats.update_latencies.mean() / 1000.0)
+
+
+def assemble(results: Sequence[JobResult]) -> MotivationResult:
+    return MotivationResult({result.spec.params["design"]: result.value
+                             for result in results})
+
+
 def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
         window: int = 16) -> MotivationResult:
-    cfg = (config if config is not None else SystemConfig()).with_clients(
-        4 if quick else 16)
-    requests = 150 if quick else 400
-    rows: Dict[str, tuple] = {}
-
-    sync_base = run_closed_loop(
-        build_client_server(cfg, handler=StructureHandler(PMHashmap())),
-        _op_maker(cfg.payload_bytes), requests, 10)
-    rows["sync/baseline"] = (sync_base.ops_per_second(),
-                             sync_base.update_latencies.mean() / 1000.0)
-
-    rows["async/baseline"] = _run_async_baseline(cfg, requests, window)
-
-    sync_pmnet = run_closed_loop(
-        build_pmnet_switch(cfg, handler=StructureHandler(PMHashmap())),
-        _op_maker(cfg.payload_bytes), requests, 10)
-    rows["sync/pmnet"] = (sync_pmnet.ops_per_second(),
-                          sync_pmnet.update_latencies.mean() / 1000.0)
-    return MotivationResult(rows)
+    return assemble(execute_serial(jobs(config, quick, window), run_point))

@@ -15,17 +15,37 @@ single server-ACK invalidates both logs on its way out.
 
 from __future__ import annotations
 
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.report import format_table
 from repro.config import SystemConfig
 from repro.core.pmnet_device import PMNetDevice
 from repro.core.replication import ReplicationPolicy
+from repro.experiments.common import Scale
 from repro.experiments.deploy import Deployment, _make_clients, _make_server
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.host.stackmodel import UDP
 from repro.net.switch import Switch
 from repro.net.topology import Topology
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Tracer
+
+
+@dataclass
+class MultirackResult:
+    rows: List[List[object]] = field(default_factory=list)
+    latencies: Dict[str, float] = field(default_factory=dict)
+
+    def format(self) -> str:
+        body = format_table(
+            ["placement", "log copies", "mean update us",
+             "completed via"],
+            self.rows,
+            title="Two-rack placement — cross-rack in-network "
+                  "replication")
+        return (f"{body}\nThe far ToR's ACK rides through the near "
+                "ToR (the Sec IV-B1 'ACK from another PMNet' path).")
 
 
 def build_two_rack(config: SystemConfig,
@@ -66,44 +86,50 @@ def build_two_rack(config: SystemConfig,
                       tracer=tracer)
 
 
-def run(config: Optional[SystemConfig] = None, quick: bool = True):
-    """Compare persistence policies in the two-rack placement."""
-    from dataclasses import dataclass, field
-    from typing import Dict, List
+#: (placement label, acks_required) points, in execution order.
+POINTS = (("near ToR only", 1), ("both racks", 2))
 
-    from repro.analysis.report import format_table
+
+def jobs(config: Optional[SystemConfig] = None,
+         quick: bool = True) -> List[JobSpec]:
+    """One job per persistence policy in the two-rack placement."""
+    cfg = config if config is not None else SystemConfig()
+    quick = Scale.resolve_quick(quick)
+    return [JobSpec(experiment="multirack", point=f"acks={acks}",
+                    params={"label": label, "acks": acks},
+                    seed=cfg.seed, quick=quick, config=config)
+            for label, acks in POINTS]
+
+
+def run_point(spec: JobSpec) -> tuple:
+    """(mean update latency us, completions-by-via) for one policy."""
     from repro.experiments.driver import run_closed_loop
     from repro.workloads.kv import OpKind, Operation
 
-    @dataclass
-    class MultirackResult:
-        rows: List[List[object]] = field(default_factory=list)
-        latencies: Dict[str, float] = field(default_factory=dict)
-
-        def format(self) -> str:
-            body = format_table(
-                ["placement", "log copies", "mean update us",
-                 "completed via"],
-                self.rows,
-                title="Two-rack placement — cross-rack in-network "
-                      "replication")
-            return (f"{body}\nThe far ToR's ACK rides through the near "
-                    "ToR (the Sec IV-B1 'ACK from another PMNet' path).")
-
-    cfg = (config if config is not None else SystemConfig()).with_clients(
-        4 if quick else 16)
-    requests = 80 if quick else 250
+    cfg = spec.resolved_config().with_clients(4 if spec.quick else 16)
+    requests = 80 if spec.quick else 250
 
     def op_maker(ci, ri, rng):
         return (Operation(OpKind.SET, key=(ci, ri), value=b"x"),
                 cfg.payload_bytes)
 
+    deployment = build_two_rack(cfg, acks_required=spec.params["acks"])
+    stats = run_closed_loop(deployment, op_maker, requests, 8)
+    return (stats.update_latencies.mean() / 1000.0,
+            dict(stats.completions_by_via))
+
+
+def assemble(results: Sequence[JobResult]) -> MultirackResult:
     result = MultirackResult()
-    for label, acks in [("near ToR only", 1), ("both racks", 2)]:
-        deployment = build_two_rack(cfg, acks_required=acks)
-        stats = run_closed_loop(deployment, op_maker, requests, 8)
-        mean_us = stats.update_latencies.mean() / 1000.0
+    for job in results:
+        label = job.spec.params["label"]
+        mean_us, via = job.value
         result.latencies[label] = mean_us
-        result.rows.append([label, acks, round(mean_us, 2),
-                            dict(stats.completions_by_via)])
+        result.rows.append([label, job.spec.params["acks"],
+                            round(mean_us, 2), via])
     return result
+
+
+def run(config: Optional[SystemConfig] = None, quick: bool = True):
+    """Compare persistence policies in the two-rack placement."""
+    return assemble(execute_serial(jobs(config, quick), run_point))

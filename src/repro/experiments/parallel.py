@@ -1,0 +1,105 @@
+"""Fan experiment jobs across cores with a ``ProcessPoolExecutor``.
+
+Every sweep point of every figure is an independent, deterministic
+simulation (see :mod:`repro.experiments.jobs`), so the whole
+reproduction parallelizes the way NetChain/Blizzard-style evaluations
+fan out across machines — here, across worker processes.  Each worker
+rebuilds its own deployment from the picklable spec, so results are
+bit-identical to the serial path regardless of scheduling order; the
+caller reassembles tables from the collected values in spec order.
+
+``run_jobs`` is the single entry point: it consults the optional
+on-disk :class:`~repro.experiments.cache.ResultCache` first, runs the
+misses inline (``jobs=1``, the serial reference path) or in a pool,
+stores fresh values back, and reports per-job completion through a
+``progress`` callback.  Job failures never abort the batch: they come
+back as :class:`~repro.experiments.jobs.JobResult` records with
+``error`` set, matching the CLI's keep-going behaviour.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, List, Optional, Sequence
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.jobs import JobResult, JobSpec
+
+ProgressFn = Callable[[JobResult], None]
+
+
+def default_jobs() -> int:
+    """The default worker count: every core the container offers."""
+    return os.cpu_count() or 1
+
+
+def execute_job(spec: JobSpec) -> JobResult:
+    """Run one spec through its experiment's ``run_point`` (timed).
+
+    Top-level so a pool worker can receive it by name; dispatches
+    through the registry inside the call, so only the spec crosses the
+    process boundary.  Exceptions are folded into the result's
+    ``error`` field — a failed point must not take down a batch that
+    has hours of other points in flight.
+    """
+    from repro.experiments.registry import get
+    started = time.perf_counter()
+    try:
+        value = get(spec.experiment).run_point(spec)
+    except Exception as error:
+        return JobResult(spec=spec, value=None,
+                         elapsed_s=time.perf_counter() - started,
+                         error=repr(error))
+    return JobResult(spec=spec, value=value,
+                     elapsed_s=time.perf_counter() - started)
+
+
+def run_jobs(specs: Sequence[JobSpec],
+             jobs: Optional[int] = None,
+             cache: Optional[ResultCache] = None,
+             progress: Optional[ProgressFn] = None) -> List[JobResult]:
+    """Execute specs (cache-aware), returning results in spec order.
+
+    ``jobs=1`` runs everything inline in the calling process — that is
+    the serial reference path the parallel output must match byte for
+    byte.  ``jobs=None`` uses every core.
+    """
+    workers = jobs if jobs is not None else default_jobs()
+    results: List[Optional[JobResult]] = [None] * len(specs)
+    pending: List[int] = []
+    for index, spec in enumerate(specs):
+        if cache is not None:
+            hit, value = cache.get(spec)
+            if hit:
+                results[index] = JobResult(spec=spec, value=value,
+                                           cached=True)
+                if progress is not None:
+                    progress(results[index])
+                continue
+        pending.append(index)
+
+    def finish(index: int, result: JobResult) -> None:
+        results[index] = result
+        if cache is not None and result.error is None:
+            cache.put(result.spec, result.value)
+        if progress is not None:
+            progress(result)
+
+    if workers <= 1 or len(pending) <= 1:
+        for index in pending:
+            finish(index, execute_job(specs[index]))
+    elif pending:
+        with ProcessPoolExecutor(
+                max_workers=min(workers, len(pending))) as pool:
+            futures = {pool.submit(execute_job, specs[index]): index
+                       for index in pending}
+            for future in as_completed(futures):
+                finish(futures[future], future.result())
+    return results  # type: ignore[return-value]  # every slot is filled
+
+
+def failed(results: Sequence[JobResult]) -> List[JobResult]:
+    """The subset of results that errored, in spec order."""
+    return [result for result in results if result.error is not None]

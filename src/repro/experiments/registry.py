@@ -2,15 +2,30 @@
 
 Every table/figure of the paper's evaluation has an entry here; the CLI
 and the benchmark harness both dispatch through it.
+
+Each entry exposes the experiment at two granularities:
+
+* ``run(quick=...)`` — the historical entry point: run the whole sweep
+  serially and return the formatted report text.
+* ``jobs``/``run_point``/``assemble`` — the job protocol: ``jobs()``
+  enumerates the sweep as self-contained :class:`JobSpec`s,
+  ``run_point`` executes one spec in any process, and ``assemble``
+  turns the collected :class:`JobResult`s back into the *same*
+  formatted text ``run`` would have produced.  The parallel harness
+  (``repro.experiments.parallel``) and the result cache build on this.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict
+import hashlib
+from dataclasses import dataclass, field
+from functools import lru_cache
+from types import ModuleType
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.bdp import scaling_table
 from repro.analysis.report import dict_rows, format_table
+from repro.config import SystemConfig
 from repro.experiments import (
     ablations,
     fig02_breakdown,
@@ -27,6 +42,8 @@ from repro.experiments import (
     sec6b6_recovery,
     sec7_scaling,
 )
+from repro.experiments.common import Scale
+from repro.experiments.jobs import JobResult, JobSpec
 
 
 @dataclass(frozen=True)
@@ -36,19 +53,33 @@ class Experiment:
     id: str
     description: str
     run: Callable[..., str]
+    #: Enumerate the sweep: (config=None, quick=True) -> List[JobSpec].
+    jobs: Callable[..., List[JobSpec]]
+    #: Execute one spec; must be importable from a worker process.
+    run_point: Callable[[JobSpec], Any]
+    #: Collected results (in jobs() order) -> formatted report text.
+    assemble: Callable[[Sequence[JobResult]], str]
+    #: Backing module, for cache-key fingerprinting (None for builtins).
+    module: Optional[ModuleType] = field(default=None, compare=False)
 
 
-def _formatted(module) -> Callable[..., str]:
+def _entry(experiment_id: str, description: str,
+           module: ModuleType) -> Experiment:
     def runner(quick: bool = True) -> str:
         return module.run(quick=quick).format()
-    return runner
+
+    def assembler(results: Sequence[JobResult]) -> str:
+        return module.assemble(results).format()
+
+    return Experiment(experiment_id, description, runner, module.jobs,
+                      module.run_point, assembler, module)
 
 
 def _fig02(quick: bool = True) -> str:
     return fig02_breakdown.run().format()
 
 
-def _bdp(quick: bool = True) -> str:
+def _bdp_text() -> str:
     rows = scaling_table()
     keys = ["bandwidth_gbps", "pm_capacity_mbit", "pm_capacity_mbytes",
             "log_queue_kbit", "log_queue_bytes"]
@@ -58,43 +89,71 @@ def _bdp(quick: bool = True) -> str:
         title="Eq 1/2 — BDP sizing (Sec V-A, Sec VII)")
 
 
+def _bdp(quick: bool = True) -> str:
+    return _bdp_text()
+
+
+def _bdp_jobs(config: Optional[SystemConfig] = None,
+              quick: bool = True) -> List[JobSpec]:
+    cfg = config if config is not None else SystemConfig()
+    return [JobSpec(experiment="bdp", point="table", params={},
+                    seed=cfg.seed, quick=Scale.resolve_quick(quick),
+                    config=config)]
+
+
+def _bdp_run_point(spec: JobSpec) -> str:
+    return _bdp_text()
+
+
+def _bdp_assemble(results: Sequence[JobResult]) -> str:
+    return results[0].value
+
+
 def _ablations(quick: bool = True) -> str:
     results = ablations.run_all(quick=quick)
     return "\n\n".join(result.format() for result in results.values())
 
 
+def _ablations_assemble(results: Sequence[JobResult]) -> str:
+    return "\n\n".join(result.format()
+                       for result in ablations.assemble(results).values())
+
+
 EXPERIMENTS: Dict[str, Experiment] = {
     "fig02": Experiment("fig02", "Latency breakdown of an update request",
-                        _fig02),
-    "fig07": Experiment("fig07", "Ordering under reorder/loss/failure",
-                        _formatted(fig07_ordering)),
-    "fig15": Experiment("fig15", "Ideal-handler latency vs payload size",
-                        _formatted(fig15_payload_latency)),
-    "fig16": Experiment("fig16", "Bandwidth vs latency stress test",
-                        _formatted(fig16_stress)),
-    "fig18": Experiment("fig18", "Alternative logging designs",
-                        _formatted(fig18_alternatives)),
-    "fig19": Experiment("fig19", "Application throughput vs update ratio",
-                        _formatted(fig19_app_throughput)),
-    "fig20": Experiment("fig20", "Latency CDFs with read caching",
-                        _formatted(fig20_cdf_caching)),
-    "fig21": Experiment("fig21", "3-way replication latency",
-                        _formatted(fig21_replication)),
-    "fig22": Experiment("fig22", "Throughput with libVMA stacks",
-                        _formatted(fig22_vma)),
-    "sec6b6": Experiment("sec6b6", "Server failure recovery",
-                         _formatted(sec6b6_recovery)),
-    "sec7": Experiment("sec7", "Scaling to faster ports (Sec VII)",
-                       _formatted(sec7_scaling)),
-    "motivation": Experiment("motivation",
-                             "Sync vs async vs sync-over-PMNet (Sec II-A)",
-                             _formatted(motivation)),
-    "multirack": Experiment("multirack",
-                            "Two-rack placement / cross-rack replication",
-                            _formatted(multirack)),
-    "bdp": Experiment("bdp", "BDP sizing equations", _bdp),
+                        _fig02, fig02_breakdown.jobs,
+                        fig02_breakdown.run_point,
+                        lambda rs: fig02_breakdown.assemble(rs).format(),
+                        fig02_breakdown),
+    "fig07": _entry("fig07", "Ordering under reorder/loss/failure",
+                    fig07_ordering),
+    "fig15": _entry("fig15", "Ideal-handler latency vs payload size",
+                    fig15_payload_latency),
+    "fig16": _entry("fig16", "Bandwidth vs latency stress test",
+                    fig16_stress),
+    "fig18": _entry("fig18", "Alternative logging designs",
+                    fig18_alternatives),
+    "fig19": _entry("fig19", "Application throughput vs update ratio",
+                    fig19_app_throughput),
+    "fig20": _entry("fig20", "Latency CDFs with read caching",
+                    fig20_cdf_caching),
+    "fig21": _entry("fig21", "3-way replication latency",
+                    fig21_replication),
+    "fig22": _entry("fig22", "Throughput with libVMA stacks", fig22_vma),
+    "sec6b6": _entry("sec6b6", "Server failure recovery", sec6b6_recovery),
+    "sec7": _entry("sec7", "Scaling to faster ports (Sec VII)",
+                   sec7_scaling),
+    "motivation": _entry("motivation",
+                         "Sync vs async vs sync-over-PMNet (Sec II-A)",
+                         motivation),
+    "multirack": _entry("multirack",
+                        "Two-rack placement / cross-rack replication",
+                        multirack),
+    "bdp": Experiment("bdp", "BDP sizing equations", _bdp, _bdp_jobs,
+                      _bdp_run_point, _bdp_assemble),
     "ablations": Experiment("ablations", "Design-choice ablations",
-                            _ablations),
+                            _ablations, ablations.jobs, ablations.run_point,
+                            _ablations_assemble, ablations),
 }
 
 
@@ -105,3 +164,19 @@ def get(experiment_id: str) -> Experiment:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known: {known}") from None
+
+
+@lru_cache(maxsize=None)
+def experiment_fingerprint(experiment_id: str) -> str:
+    """Digest of the experiment's source, for cache invalidation.
+
+    Editing an experiment module changes its fingerprint, which salts
+    every cache key for that experiment — so stale cached sweep points
+    are never reused after a code change.  Builtin entries (no backing
+    module) use a constant.
+    """
+    entry = get(experiment_id)
+    if entry.module is None or not getattr(entry.module, "__file__", None):
+        return "builtin"
+    with open(entry.module.__file__, "rb") as handle:
+        return hashlib.sha256(handle.read()).hexdigest()[:16]

@@ -16,11 +16,13 @@ paper's own arithmetic does (entries x per-request time).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence
 
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
+from repro.experiments.common import Scale
 from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.failure.injector import FailureInjector
 from repro.sim.clock import microseconds, milliseconds, to_seconds
 from repro.workloads.handlers import StructureHandler
@@ -66,11 +68,22 @@ class RecoveryResult:
                 "9.3 s worst-case total")
 
 
-def run(config: Optional[SystemConfig] = None, quick: bool = True,
-        clients: int = 8, requests_per_client: int = 120) -> RecoveryResult:
-    cfg = (config if config is not None else SystemConfig()).with_clients(
-        clients)
-    if quick:
+def jobs(config: Optional[SystemConfig] = None, quick: bool = True,
+         clients: int = 8,
+         requests_per_client: int = 120) -> List[JobSpec]:
+    """The recovery scenario is one indivisible crash/restore run."""
+    cfg = config if config is not None else SystemConfig()
+    quick = Scale.resolve_quick(quick)
+    return [JobSpec(experiment="sec6b6", point="crash-recover",
+                    params={"clients": clients,
+                            "requests_per_client": requests_per_client},
+                    seed=cfg.seed, quick=quick, config=config)]
+
+
+def run_point(spec: JobSpec) -> RecoveryResult:
+    cfg = spec.resolved_config().with_clients(spec.params["clients"])
+    requests_per_client = spec.params["requests_per_client"]
+    if spec.quick:
         requests_per_client = min(requests_per_client, 80)
     handler = StructureHandler(PMHashmap())
     deployment = build_pmnet_switch(cfg, handler=handler)
@@ -117,3 +130,13 @@ def run(config: Optional[SystemConfig] = None, quick: bool = True,
         total_recovery_ns=recovery_event.value,
         durable=durable,
     )
+
+
+def assemble(results: Sequence[JobResult]) -> RecoveryResult:
+    return results[0].value
+
+
+def run(config: Optional[SystemConfig] = None, quick: bool = True,
+        clients: int = 8, requests_per_client: int = 120) -> RecoveryResult:
+    return assemble(execute_serial(
+        jobs(config, quick, clients, requests_per_client), run_point))

@@ -13,13 +13,15 @@ whether the pipeline ever had to bypass logging.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.analysis.bdp import pm_queue_bdp
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
+from repro.experiments.common import Scale
 from repro.experiments.deploy import build_pmnet_switch
 from repro.experiments.driver import run_closed_loop
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.workloads.kv import OpKind, Operation
 
 PAYLOAD = 1000
@@ -55,43 +57,63 @@ class Sec7Result:
                 "at line rate at every speed (bypass fraction < 1%).")
 
 
-def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
-        bandwidths_gbps=BANDWIDTHS_GBPS) -> Sec7Result:
+def jobs(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+         bandwidths_gbps=BANDWIDTHS_GBPS) -> List[JobSpec]:
+    """One job per port speed."""
     cfg = config if config is not None else SystemConfig()
-    base_clients = 32 if quick else 64
-    requests = 40 if quick else 200
+    quick = Scale.resolve_quick(quick)
+    return [JobSpec(experiment="sec7", point=f"gbps={gbps}",
+                    params={"gbps": gbps},
+                    seed=cfg.seed, quick=quick, config=config)
+            for gbps in bandwidths_gbps]
+
+
+def run_point(spec: JobSpec) -> Tuple[int, float, float, int]:
+    """(queue bytes, achieved Gbps, latency us, bypasses) at one speed."""
+    cfg = spec.resolved_config()
+    base_clients = 32 if spec.quick else 64
+    requests = 40 if spec.quick else 200
+    gbps = spec.params["gbps"]
 
     def op_maker(ci: int, ri: int, rng):
         return Operation(OpKind.SET, key=(ci, ri), value=b"x"), PAYLOAD
 
-    rows: Dict[float, Tuple[int, float, float, int]] = {}
     wire_bits = 8 * (PAYLOAD + cfg.network.header_overhead_bytes + 11)
-    for gbps in bandwidths_gbps:
-        bandwidth = gbps * 1e9
-        # Offered load must scale with the port: closed-loop clients
-        # are RTT-bound, so saturating a faster port needs more of them.
-        clients = round(base_clients * gbps / 10.0)
-        # Eq 2 sizing, with generous headroom exactly as Sec V-A used
-        # 4 KB against a 1 kbit minimum.
-        queue_bytes = max(4096, 4 * round(pm_queue_bdp(
-            pm_latency_s=cfg.network_pm.write_latency_ns * 1e-9,
-            bandwidth_bps=bandwidth).bytes))
-        # Faster ports come with the faster PM media Sec VII cites.
-        pm_scale = bandwidth / 10e9
-        sized = replace(
-            cfg.with_clients(clients).with_payload(PAYLOAD),
-            network=replace(cfg.network, bandwidth_bps=bandwidth),
-            network_pm=replace(
-                cfg.network_pm,
-                bandwidth_bytes_per_s=cfg.network_pm.bandwidth_bytes_per_s
-                * pm_scale),
-            log=replace(cfg.log, write_queue_bytes=queue_bytes,
-                        read_queue_bytes=queue_bytes))
-        deployment = build_pmnet_switch(sized)
-        stats = run_closed_loop(deployment, op_maker, requests, 6)
-        achieved = stats.ops_per_second() * wire_bits / 1e9
-        device = deployment.devices[0]
-        rows[gbps] = (queue_bytes, achieved,
-                      stats.update_latencies.mean() / 1000.0,
-                      int(device.log.bypassed_queue_busy))
-    return Sec7Result(rows)
+    bandwidth = gbps * 1e9
+    # Offered load must scale with the port: closed-loop clients
+    # are RTT-bound, so saturating a faster port needs more of them.
+    clients = round(base_clients * gbps / 10.0)
+    # Eq 2 sizing, with generous headroom exactly as Sec V-A used
+    # 4 KB against a 1 kbit minimum.
+    queue_bytes = max(4096, 4 * round(pm_queue_bdp(
+        pm_latency_s=cfg.network_pm.write_latency_ns * 1e-9,
+        bandwidth_bps=bandwidth).bytes))
+    # Faster ports come with the faster PM media Sec VII cites.
+    pm_scale = bandwidth / 10e9
+    sized = replace(
+        cfg.with_clients(clients).with_payload(PAYLOAD),
+        network=replace(cfg.network, bandwidth_bps=bandwidth),
+        network_pm=replace(
+            cfg.network_pm,
+            bandwidth_bytes_per_s=cfg.network_pm.bandwidth_bytes_per_s
+            * pm_scale),
+        log=replace(cfg.log, write_queue_bytes=queue_bytes,
+                    read_queue_bytes=queue_bytes))
+    deployment = build_pmnet_switch(sized)
+    stats = run_closed_loop(deployment, op_maker, requests, 6)
+    achieved = stats.ops_per_second() * wire_bits / 1e9
+    device = deployment.devices[0]
+    return (queue_bytes, achieved,
+            stats.update_latencies.mean() / 1000.0,
+            int(device.log.bypassed_queue_busy))
+
+
+def assemble(results: Sequence[JobResult]) -> Sec7Result:
+    return Sec7Result({result.spec.params["gbps"]: result.value
+                       for result in results})
+
+
+def run(config: SystemConfig = None, quick: bool = True,  # type: ignore[assignment]
+        bandwidths_gbps=BANDWIDTHS_GBPS) -> Sec7Result:
+    return assemble(execute_serial(jobs(config, quick, bandwidths_gbps),
+                                   run_point))

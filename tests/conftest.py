@@ -40,6 +40,17 @@ def _budget_for(item: pytest.Item) -> int:
 
 
 @pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep the CLI's on-disk result cache out of the repo during tests.
+
+    ``pmnet-repro run`` caches sweep points under ``.pmnet-cache`` in
+    the working directory by default; a test invoking ``main()`` must
+    not leave that behind (or, worse, serve stale hits across tests).
+    """
+    monkeypatch.setenv("PMNET_CACHE_DIR", str(tmp_path / "pmnet-cache"))
+
+
+@pytest.fixture(autouse=True)
 def _per_test_timeout(request):
     """Fail (don't hang) any test that exceeds its wall-clock budget."""
     budget = _budget_for(request.node)

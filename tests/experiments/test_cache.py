@@ -1,0 +1,121 @@
+"""The on-disk result cache: hits skip simulation, edits invalidate.
+
+The two guarantees under test (see ``repro.experiments.cache``):
+
+* a second run of the same specs is served entirely from disk — no
+  ``run_point`` executes at all;
+* any change to what a job *means* (config, params, seed, quick/full,
+  the experiment's own source) lands on a different key, so stale
+  values can never be replayed.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments import parallel, registry
+from repro.experiments.cache import ResultCache, default_cache_dir
+from repro.experiments.jobs import JobSpec
+from repro.experiments.parallel import run_jobs
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def _specs():
+    return registry.get("fig02").jobs(quick=True)
+
+
+class TestHitPath:
+    def test_second_run_is_served_without_simulating(self, cache,
+                                                     monkeypatch):
+        specs = _specs()
+        first = run_jobs(specs, jobs=1, cache=cache)
+        assert cache.stores == len(specs)
+        assert all(not r.cached for r in first)
+
+        # If anything misses now, the harness would have to simulate —
+        # make that impossible so a miss is a loud failure, not a rerun.
+        def boom(spec):
+            raise AssertionError(f"cache miss simulated {spec.point}")
+
+        monkeypatch.setattr(parallel, "execute_job", boom)
+        second = run_jobs(specs, jobs=1, cache=cache)
+        assert all(r.cached for r in second)
+        assert [r.value for r in second] == [r.value for r in first]
+        entry = registry.get("fig02")
+        assert entry.assemble(second) == entry.assemble(first)
+
+    def test_errors_are_not_cached(self, cache):
+        bad = [JobSpec(experiment="fig21", point="workload=missing",
+                       params={"workload": "missing",
+                               "design": "pmnet-1x"})]
+        results = run_jobs(bad, jobs=1, cache=cache)
+        assert results[0].error is not None
+        assert cache.stores == 0
+
+
+class TestInvalidation:
+    def test_config_edit_changes_the_key(self, cache):
+        entry = registry.get("fig02")
+        default = entry.jobs(quick=True)[0]
+        reseeded = entry.jobs(config=SystemConfig(seed=2), quick=True)[0]
+        assert cache.key(default) != cache.key(reseeded)
+
+    def test_params_quick_and_seed_change_the_key(self, cache):
+        base = JobSpec(experiment="fig02", point="p", params={"x": 1})
+        keys = {cache.key(base),
+                cache.key(JobSpec(experiment="fig02", point="p",
+                                  params={"x": 2})),
+                cache.key(JobSpec(experiment="fig02", point="p",
+                                  params={"x": 1}, quick=False)),
+                cache.key(JobSpec(experiment="fig02", point="p",
+                                  params={"x": 1}, seed=3))}
+        assert len(keys) == 4
+
+    def test_module_edit_changes_the_key(self, cache, monkeypatch):
+        spec = _specs()[0]
+        before = cache.key(spec)
+        monkeypatch.setattr(registry, "experiment_fingerprint",
+                            lambda eid: "edited-source")
+        assert cache.key(spec) != before
+
+    def test_fingerprint_is_per_experiment_source(self):
+        assert (registry.experiment_fingerprint("fig02")
+                != registry.experiment_fingerprint("fig15"))
+        assert registry.experiment_fingerprint("bdp") == "builtin"
+
+
+class TestRobustness:
+    def test_corrupted_entry_is_a_miss(self, cache):
+        spec = _specs()[0]
+        cache.put(spec, {"ok": True})
+        cache.path(spec).write_bytes(b"not a pickle")
+        hit, value = cache.get(spec)
+        assert not hit and value is None
+
+    def test_put_then_get_roundtrip(self, cache):
+        spec = _specs()[0]
+        payload = {"rows": [1, 2, 3], "nested": (4.5, "six")}
+        cache.put(spec, payload)
+        hit, value = cache.get(spec)
+        assert hit and value == payload
+        assert cache.path(spec).parent.name == "fig02"
+
+    def test_values_survive_pickle_roundtrip_for_rich_payloads(self, cache):
+        # RunStats and friends must be picklable for fig20's payloads.
+        entry = registry.get("multirack")
+        results = run_jobs(entry.jobs(quick=True), jobs=1, cache=cache)
+        for result in results:
+            assert pickle.loads(pickle.dumps(result.value)) is not None
+
+    def test_default_dir_honors_environment(self, monkeypatch):
+        monkeypatch.setenv("PMNET_CACHE_DIR", "/tmp/somewhere-else")
+        assert default_cache_dir() == "/tmp/somewhere-else"
+        monkeypatch.delenv("PMNET_CACHE_DIR")
+        assert default_cache_dir() == ".pmnet-cache"

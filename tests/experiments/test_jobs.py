@@ -1,0 +1,118 @@
+"""The job protocol: every experiment's sweep as self-contained specs.
+
+Contract under test (see ``repro.experiments.jobs``): for every
+registry entry, ``jobs()`` enumerates the sweep as picklable,
+hashable specs; ``assemble(execute_serial(jobs()))`` matches the
+historical ``run()`` text; and the process-pool path returns the same
+results as the serial path.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.experiments import registry
+from repro.experiments.jobs import (JobSpec, canonical_spec, execute_serial,
+                                    spec_key)
+from repro.experiments.parallel import execute_job, run_jobs
+
+ALL_IDS = sorted(registry.EXPERIMENTS)
+
+#: Experiments cheap enough to actually simulate in a unit test.
+CHEAP_IDS = ("fig02", "bdp", "multirack")
+
+
+class TestSpecEnumeration:
+    @pytest.mark.parametrize("experiment_id", ALL_IDS)
+    def test_jobs_are_wellformed(self, experiment_id):
+        entry = registry.get(experiment_id)
+        specs = entry.jobs(quick=True)
+        assert specs, "every experiment must expose at least one job"
+        assert all(spec.experiment == experiment_id for spec in specs)
+        points = [spec.point for spec in specs]
+        assert len(points) == len(set(points)), "point labels must be unique"
+
+    @pytest.mark.parametrize("experiment_id", ALL_IDS)
+    def test_specs_are_canonicalizable_and_picklable(self, experiment_id):
+        specs = registry.get(experiment_id).jobs(quick=True)
+        for spec in specs:
+            canonical_spec(spec)  # raises TypeError on non-JSON params
+        assert pickle.loads(pickle.dumps(specs)) == specs
+
+    def test_custom_config_lands_in_spec(self):
+        config = SystemConfig(seed=42)
+        specs = registry.get("fig16").jobs(config=config, quick=True)
+        assert all(spec.config == config for spec in specs)
+        assert all(spec.seed == 42 for spec in specs)
+
+
+class TestSpecKeys:
+    def test_key_is_stable(self):
+        spec = JobSpec(experiment="fig02", point="handler=ideal",
+                       params={"handler": "ideal"})
+        assert spec_key(spec) == spec_key(spec)
+
+    def test_key_varies_with_params_seed_quick_and_salt(self):
+        base = JobSpec(experiment="fig02", point="p", params={"x": 1})
+        keys = {
+            spec_key(base),
+            spec_key(JobSpec(experiment="fig02", point="p",
+                             params={"x": 2})),
+            spec_key(JobSpec(experiment="fig02", point="p",
+                             params={"x": 1}, seed=2)),
+            spec_key(JobSpec(experiment="fig02", point="p",
+                             params={"x": 1}, quick=False)),
+            spec_key(base, salt="v2"),
+        }
+        assert len(keys) == 5
+
+    def test_key_varies_with_config(self):
+        spec = JobSpec(experiment="fig02", point="p")
+        other = JobSpec(experiment="fig02", point="p",
+                        config=SystemConfig(seed=9), seed=9)
+        assert spec_key(spec) != spec_key(other)
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("experiment_id", CHEAP_IDS)
+    def test_assemble_of_serial_jobs_matches_run(self, experiment_id):
+        entry = registry.get(experiment_id)
+        results = execute_serial(entry.jobs(quick=True), entry.run_point)
+        assert entry.assemble(results) == entry.run(quick=True)
+
+
+class TestParallelExecution:
+    def test_pool_results_match_serial(self):
+        entry = registry.get("fig02")
+        specs = entry.jobs(quick=True)
+        serial = run_jobs(specs, jobs=1)
+        parallel = run_jobs(specs, jobs=2)
+        assert [r.spec for r in parallel] == specs, "results keep spec order"
+        assert ([r.value for r in parallel]
+                == [r.value for r in serial])
+        assert entry.assemble(parallel) == entry.assemble(serial)
+
+    def test_execute_job_captures_exceptions(self):
+        bad = JobSpec(experiment="fig21", point="workload=missing",
+                      params={"workload": "missing", "design": "pmnet-1x"})
+        result = execute_job(bad)
+        assert result.error is not None and "KeyError" in result.error
+        assert result.value is None
+
+    def test_pool_batch_survives_a_failing_job(self):
+        entry = registry.get("fig02")
+        specs = list(entry.jobs(quick=True))
+        specs.append(JobSpec(experiment="no-such-experiment", point="x"))
+        results = run_jobs(specs, jobs=2)
+        assert results[-1].error is not None
+        assert all(r.error is None for r in results[:-1])
+
+    def test_progress_reports_every_job(self):
+        entry = registry.get("bdp")
+        seen = []
+        run_jobs(entry.jobs(quick=True), jobs=1,
+                 progress=lambda r: seen.append(r.spec.point))
+        assert seen == ["table"]

@@ -8,8 +8,10 @@ in with the allocation-lean queue refactor.
 """
 
 from repro.config import SystemConfig
+from repro.experiments import fig15_payload_latency
 from repro.experiments.deploy import build_pmnet_switch
 from repro.experiments.driver import run_closed_loop
+from repro.experiments.parallel import run_jobs
 from repro.workloads.handlers import StructureHandler
 from repro.workloads.kv import OpKind, Operation
 from repro.workloads.pmdk.hashmap import PMHashmap
@@ -54,3 +56,23 @@ class TestSeededReproducibility:
         # effectively impossible; if they match, seeding is broken.
         assert (_run(seed=7)["latency_samples"]
                 != _run(seed=8)["latency_samples"])
+
+
+class TestParallelHarnessDeterminism:
+    """Fanning a sweep across workers must not perturb a single bit.
+
+    Each sweep point builds its own seeded ``Simulator``, so the
+    worker-pool schedule is invisible to the simulation; the jobs=1 and
+    jobs=4 paths must agree on every value and on the assembled report
+    text (the CLI's byte-identity contract).
+    """
+
+    def test_jobs1_and_jobs4_are_bit_identical(self):
+        specs = fig15_payload_latency.jobs(quick=True, payloads=(50, 250))
+        serial = run_jobs(specs, jobs=1)
+        parallel = run_jobs(specs, jobs=4)
+        assert [r.spec for r in parallel] == [r.spec for r in serial]
+        assert ([r.value for r in parallel]
+                == [r.value for r in serial])
+        assert (fig15_payload_latency.assemble(parallel).format()
+                == fig15_payload_latency.assemble(serial).format())

@@ -28,6 +28,14 @@ class TestRun:
         err = capsys.readouterr().err
         assert "fig99" in err and "fig02" in err
 
+    def test_bad_id_fails_fast_before_running_anything(self, capsys):
+        # The typo may come *after* valid ids: nothing must run.
+        assert main(["run", "bdp", "fig02", "fig99"]) == 2
+        captured = capsys.readouterr()
+        assert "fig99" in captured.err
+        assert "===" not in captured.out
+        assert "done in" not in captured.out
+
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             main([])
@@ -35,6 +43,68 @@ class TestRun:
     def test_run_requires_at_least_one_id(self):
         with pytest.raises(SystemExit):
             main(["run"])
+
+
+def _tables_only(stdout: str) -> str:
+    """Drop the wall-clock lines, which legitimately vary run to run."""
+    return "\n".join(line for line in stdout.splitlines()
+                     if not line.startswith("--- "))
+
+
+class TestRunParallel:
+    def test_jobs_flag_output_matches_serial(self, capsys):
+        assert main(["run", "bdp", "fig02", "--jobs", "1",
+                     "--no-cache"]) == 0
+        serial = _tables_only(capsys.readouterr().out)
+        assert main(["run", "bdp", "fig02", "--jobs", "2",
+                     "--no-cache"]) == 0
+        parallel = _tables_only(capsys.readouterr().out)
+        assert parallel == serial
+
+    def test_cached_second_run_matches_and_reports_hits(self, capsys):
+        assert main(["run", "fig02"]) == 0
+        first = capsys.readouterr()
+        assert main(["run", "fig02"]) == 0
+        second = capsys.readouterr()
+        assert _tables_only(second.out) == _tables_only(first.out)
+        assert "(cached)" in second.err
+        assert "hit(s)" in second.err
+
+    def test_json_report(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        assert main(["run", "bdp", "--jobs", "1", "--no-cache",
+                     "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "pmnet-repro-run/1"
+        assert payload["jobs"] == 1
+        record = payload["experiments"]["bdp"]
+        assert "BDP sizing" in record["output"]
+        assert record["jobs"][0]["point"] == "table"
+        assert record["jobs"][0]["error"] is None
+
+    def test_cache_dir_flag_is_honored(self, tmp_path, capsys):
+        cache_dir = tmp_path / "explicit-cache"
+        assert main(["run", "bdp", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert any(cache_dir.rglob("*.pkl"))
+
+
+class TestBenchExperiments:
+    def test_writes_result_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_experiments.json"
+        assert main(["bench-experiments", "--experiments", "fig02", "bdp",
+                     "--jobs", "2", "--output", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "experiment harness" in printed
+        result = json.loads(out.read_text())
+        assert result["benchmark"] == "experiment_harness"
+        assert result["outputs_identical"] is True
+        assert result["job_count"] > 0
+        assert set(result["per_experiment"]) == {"fig02", "bdp"}
+
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["bench-experiments", "--experiments", "fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
 
 
 class TestBenchKernel:
