@@ -11,6 +11,10 @@ Usage::
     pmnet-repro bench-kernel          # events/sec -> BENCH_kernel.json
     pmnet-repro bench-experiments     # serial-vs-parallel wall clock
                                       #   -> BENCH_experiments.json
+    pmnet-repro bench-pipeline        # events/request fold on vs off
+                                      #   -> BENCH_pipeline.json
+    pmnet-repro profile               # where do the events go? (a
+                                      #   per-call-site event report)
 
 ``run`` executes every sweep point of every selected experiment as an
 independent job (see ``repro.experiments.jobs``): points fan out over
@@ -175,6 +179,44 @@ def _cmd_bench_experiments(experiment_ids: Optional[List[str]],
     return 0
 
 
+def _cmd_bench_pipeline(clients: int, requests: int,
+                        output: Optional[str]) -> int:
+    from repro.experiments.pipeline_bench import (format_result,
+                                                  run_pipeline_benchmark,
+                                                  write_result)
+    try:
+        result = run_pipeline_benchmark(clients=clients,
+                                        requests_per_client=requests)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    path = write_result(result, output)
+    print(format_result(result))
+    print(f"wrote {path}")
+    return 0 if result["latencies_identical"] else 1
+
+
+def _cmd_profile(clients: int, requests: int, no_fold: bool, top: int) -> int:
+    from repro.experiments.pipeline_bench import _run_mode
+    from repro.sim.profiler import EventProfiler  # noqa: F401 (re-export)
+    try:
+        run = _run_mode(no_fold, clients, requests, seed=0)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    mode = "folding off (PMNET_NO_FOLD)" if no_fold else "folding on"
+    print(f"event profile — {mode}, {clients} clients x {requests} requests")
+    total = max(1, run["executed_events"])
+    sites = sorted(run["top_call_sites"].items(), key=lambda kv: -kv[1])
+    print(f"{'events':>10}  {'share':>6}  {'per req':>8}  call site")
+    for site, count in sites[:top]:
+        print(f"{count:>10}  {count / total:>6.1%}  "
+              f"{count / run['requests']:>8.2f}  {site}")
+    print(f"{run['executed_events']:>10}  {'100%':>6}  "
+          f"{run['events_per_request']:>8.2f}  TOTAL")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="pmnet-repro",
@@ -220,6 +262,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench_exp.add_argument("--output", default=None,
                            help="result path "
                                 "(default BENCH_experiments.json)")
+    bench_pipe = sub.add_parser(
+        "bench-pipeline",
+        help="measure events/request with folding on vs off, write "
+             "BENCH_pipeline.json")
+    bench_pipe.add_argument("--clients", type=int, default=32,
+                            help="closed-loop clients (default 32)")
+    bench_pipe.add_argument("--requests", type=int, default=20,
+                            help="requests per client (default 20)")
+    bench_pipe.add_argument("--output", default=None,
+                            help="result path (default BENCH_pipeline.json)")
+    profile_parser = sub.add_parser(
+        "profile",
+        help="attribute executed events to call sites on the stress "
+             "workload")
+    profile_parser.add_argument("--clients", type=int, default=32,
+                                help="closed-loop clients (default 32)")
+    profile_parser.add_argument("--requests", type=int, default=20,
+                                help="requests per client (default 20)")
+    profile_parser.add_argument("--no-fold", action="store_true",
+                                help="profile the unfolded paths instead")
+    profile_parser.add_argument("--top", type=int, default=15,
+                                help="call sites to show (default 15)")
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -228,6 +292,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench-experiments":
         return _cmd_bench_experiments(args.experiments, args.jobs,
                                       args.output)
+    if args.command == "bench-pipeline":
+        return _cmd_bench_pipeline(args.clients, args.requests, args.output)
+    if args.command == "profile":
+        return _cmd_profile(args.clients, args.requests, args.no_fold,
+                            args.top)
     return _cmd_run(args.experiments, quick=not args.full, jobs=args.jobs,
                     json_path=args.json_path, use_cache=not args.no_cache,
                     cache_dir=args.cache_dir)

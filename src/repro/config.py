@@ -19,11 +19,29 @@ them with :func:`dataclasses.replace` rather than mutating shared state.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.sim.clock import microseconds, nanoseconds
+
+
+def folding_enabled() -> bool:
+    """Whether the latency-folded fast paths are active.
+
+    Unimpaired channels and the PMNet MAT pipeline fold consecutive
+    deterministic stage delays into single scheduled events (same
+    virtual times, fewer heap operations).  ``PMNET_NO_FOLD=1`` in the
+    environment restores the one-event-per-stage paths; results must be
+    byte-identical either way (``tests/integration/test_fold_identity``
+    asserts it), so the switch exists for A/B measurement and for
+    debugging the folded paths, never for correctness.
+
+    Read at component construction time: toggling the variable affects
+    deployments built afterwards, not ones already wired.
+    """
+    return os.environ.get("PMNET_NO_FOLD", "0") in ("", "0")
 
 # ---------------------------------------------------------------------------
 # Host network stacks

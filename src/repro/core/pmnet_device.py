@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro.config import folding_enabled
 from repro.core.cache import ReadCache
 from repro.core.mat import MATAction, classify, pmnet_packet
 from repro.core.recovery import ResendEngine
@@ -76,12 +77,49 @@ class PMNetDevice(Node):
         self.retrans_served = Counter(f"{name}.retrans_served")
         self.forwarded_plain = Counter(f"{name}.forwarded_plain")
         self.redo_resends = Counter(f"{name}.redo_resends")
+        self.folded_stages = Counter(f"{name}.folded_stages")
+        self._fold = folding_enabled()
         self._scrub_armed = False
 
     # ------------------------------------------------------------------
     # Frame entry point
     # ------------------------------------------------------------------
     def handle_frame(self, frame: Frame, in_port: Port) -> None:
+        if self._fold:
+            # Latency-folded MAT walk: classification is pure (it only
+            # reads the frame), so it can run at arrival time and the
+            # deterministic stage delays of side-effect-free hops sum
+            # into one scheduled event.  Only actions whose intermediate
+            # ingress callback mutates nothing fold — every counter,
+            # cache, and log mutation still fires at the exact virtual
+            # time the per-stage path produced.
+            action = classify(frame)
+            if action is MATAction.LOG_AND_FORWARD:
+                # ingress -> PM-access: `_log_update` performs all side
+                # effects itself; the intermediate hop only dispatched.
+                self.folded_stages.increment()
+                self.sim.schedule_deferred(
+                    self.config.pipeline.ingress_ns,
+                    self.config.pipeline.pm_stage_ns,
+                    self._log_update, frame, pmnet_packet(frame))
+                return
+            if action is MATAction.FORWARD_ACK:
+                # ingress -> egress: a pass-through ACK touches nothing
+                # until the forwarding lookup in `_forward_frame`, so
+                # the whole pipeline can ride a channel reservation —
+                # ingress + egress + serialization + propagation in one
+                # delivery event.
+                self.folded_stages.increment()
+                pipeline_ns = (self.config.pipeline.ingress_ns
+                               + self.config.pipeline.egress_ns)
+                channel = self.table.lookup(frame.dst).channel
+                if channel is not None and channel.send_in(pipeline_ns, frame):
+                    return
+                self.sim.schedule_deferred(
+                    self.config.pipeline.ingress_ns,
+                    self.config.pipeline.egress_ns,
+                    self._forward_frame, frame)
+                return
         self.sim.schedule(self.config.pipeline.ingress_ns,
                           self._after_ingress, frame)
 
@@ -147,8 +185,8 @@ class PMNetDevice(Node):
         self.acks_sent.increment()
         self.tracer.emit(self.sim.now, self.name, "pmnet_ack",
                          req=packet.request_id, seq=packet.seq_num)
-        self.sim.schedule(self.config.pipeline.ack_generation_ns,
-                          self._transmit_packet, ack, packet.client)
+        self._delayed_transmit(self.config.pipeline.ack_generation_ns,
+                               ack, packet.client)
 
     # ------------------------------------------------------------------
     # bypass-req: cache lookup, else plain forwarding (Fig 10)
@@ -183,8 +221,8 @@ class PMNetDevice(Node):
         response = packet.make_response(result, size, from_cache=True,
                                         origin_device=self.name)
         self.cache_responses.increment()
-        self.sim.schedule(self.config.pipeline.ack_generation_ns,
-                          self._transmit_packet, response, packet.client)
+        self._delayed_transmit(self.config.pipeline.ack_generation_ns,
+                               response, packet.client)
 
     # ------------------------------------------------------------------
     # server-ACK: invalidate + forward (Fig 8 step 4)
@@ -308,6 +346,11 @@ class PMNetDevice(Node):
         cost = self.config.pipeline.egress_ns
         if payload_cost:
             cost += round(frame.payload_bytes * self.config.pipeline.per_byte_ns)
+        if self._fold:
+            channel = self.table.lookup(frame.dst).channel
+            if channel is not None and channel.send_in(cost, frame):
+                self.folded_stages.increment()
+                return
         self.sim.schedule(cost, self._forward_frame, frame)
 
     def _forward_frame(self, frame: Frame) -> None:
@@ -315,14 +358,29 @@ class PMNetDevice(Node):
             return
         self.table.lookup(frame.dst).transmit(frame)
 
+    def _delayed_transmit(self, cost: int, packet: PMNetPacket,
+                          destination: str) -> None:
+        """Send a device-generated packet after a fixed generation delay,
+        folding the delay into the wire when the channel is reservable."""
+        if self._fold:
+            frame = self._make_frame(packet, destination)
+            channel = self.table.lookup(destination).channel
+            if channel is not None and channel.send_in(cost, frame):
+                self.folded_stages.increment()
+                return
+        self.sim.schedule(cost, self._transmit_packet, packet, destination)
+
+    def _make_frame(self, packet: PMNetPacket, destination: str) -> Frame:
+        return Frame(src=self.name, dst=destination, payload=packet,
+                     payload_bytes=packet.wire_bytes,
+                     udp_port=51000 + packet.session_id % 1000)
+
     def _transmit_packet(self, packet: PMNetPacket, destination: str) -> None:
         """Wrap a device-generated packet in a frame and send it."""
         if self.failed:
             return
-        frame = Frame(src=self.name, dst=destination, payload=packet,
-                      payload_bytes=packet.wire_bytes,
-                      udp_port=51000 + packet.session_id % 1000)
-        self.table.lookup(destination).transmit(frame)
+        self.table.lookup(destination).transmit(self._make_frame(packet,
+                                                                 destination))
 
     # ------------------------------------------------------------------
     # Failure semantics

@@ -1,0 +1,148 @@
+"""End-to-end pipeline benchmark: events/request with folding on vs off.
+
+Runs the Fig 16 stress shape (many closed-loop clients hammering the
+PMNet-switch deployment with 1000 B updates) twice in one process —
+once with the latency-folded fast paths active and once with
+``PMNET_NO_FOLD=1`` semantics — with an
+:class:`~repro.sim.profiler.EventProfiler` attached to each run.  The
+result captures the whole point of the folded paths in three numbers:
+
+* **events/request** in each mode (the fold removes intermediate hops),
+* **requests/sec of wall clock** in each mode (fewer events -> faster), and
+* **latencies_identical** — every per-request latency sample must be
+  byte-identical across the modes, the folding correctness bar.
+
+Two entry points use this module: ``pmnet-repro bench-pipeline``
+(writes ``BENCH_pipeline.json``) and
+``benchmarks/test_pipeline_events.py`` (guards the reduction floor).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Optional
+
+from repro.config import SystemConfig
+from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.driver import run_closed_loop
+from repro.sim.profiler import EventProfiler
+from repro.workloads.kv import OpKind, Operation
+
+#: Result file emitted by ``pmnet-repro bench-pipeline``.
+BENCH_RESULT_FILE = "BENCH_pipeline.json"
+
+PAYLOAD = 1000
+
+
+def _run_mode(no_fold: bool, clients: int, requests_per_client: int,
+              seed: int) -> Dict[str, object]:
+    """One measured run; folding is toggled via the same environment
+    switch users have (read at deployment construction time)."""
+    previous = os.environ.get("PMNET_NO_FOLD")
+    try:
+        if no_fold:
+            os.environ["PMNET_NO_FOLD"] = "1"
+        else:
+            os.environ.pop("PMNET_NO_FOLD", None)
+        config = SystemConfig(seed=seed).with_clients(clients).with_payload(
+            PAYLOAD)
+        deployment = build_pmnet_switch(config)
+    finally:
+        if previous is None:
+            os.environ.pop("PMNET_NO_FOLD", None)
+        else:
+            os.environ["PMNET_NO_FOLD"] = previous
+
+    profiler = EventProfiler()
+    deployment.sim.attach_profiler(profiler)
+
+    def op_maker(ci: int, ri: int, rng):
+        return Operation(OpKind.SET, key=(ci, ri), value=b"x"), PAYLOAD
+
+    started = time.perf_counter()
+    stats = run_closed_loop(deployment, op_maker,
+                            requests_per_client=requests_per_client,
+                            warmup_requests=5)
+    wall_seconds = time.perf_counter() - started
+    requests = stats.update_latencies.count
+    return {
+        "mode": "no_fold" if no_fold else "fold",
+        "requests": requests,
+        "executed_events": deployment.sim.executed_events,
+        "events_per_request": profiler.events_per_request(requests),
+        "wall_seconds": wall_seconds,
+        "requests_per_second": (requests / wall_seconds
+                                if wall_seconds > 0 else 0.0),
+        "top_call_sites": dict(profiler.top(10)),
+        "latency_samples": stats.update_latencies.samples,
+    }
+
+
+def _best_of(no_fold: bool, clients: int, requests_per_client: int,
+             seed: int, repeats: int) -> Dict[str, object]:
+    """Repeat one mode, keeping the least-disturbed wall clock.
+
+    Event counts and latency samples are deterministic — identical on
+    every repeat — so only the wall-clock fields take the best-of-N
+    microbenchmark reduction."""
+    best = _run_mode(no_fold, clients, requests_per_client, seed)
+    for _ in range(repeats - 1):
+        again = _run_mode(no_fold, clients, requests_per_client, seed)
+        if again["wall_seconds"] < best["wall_seconds"]:
+            best["wall_seconds"] = again["wall_seconds"]
+            best["requests_per_second"] = again["requests_per_second"]
+    return best
+
+
+def run_pipeline_benchmark(clients: int = 32, requests_per_client: int = 20,
+                           seed: int = 0,
+                           repeats: int = 3) -> Dict[str, object]:
+    """Measure both modes; return the comparison (JSON-ready)."""
+    if clients <= 0 or requests_per_client <= 0 or repeats <= 0:
+        raise ValueError(
+            "clients, requests_per_client, and repeats must be positive")
+    fold = _best_of(False, clients, requests_per_client, seed, repeats)
+    no_fold = _best_of(True, clients, requests_per_client, seed, repeats)
+    identical = fold.pop("latency_samples") == no_fold.pop("latency_samples")
+    on = fold["events_per_request"]
+    off = no_fold["events_per_request"]
+    return {
+        "benchmark": "pipeline_events",
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "seed": seed,
+        "repeats": repeats,
+        "fold": fold,
+        "no_fold": no_fold,
+        "events_per_request_reduction": (off - on) / off if off else 0.0,
+        "latencies_identical": identical,
+    }
+
+
+def write_result(result: Dict[str, object],
+                 path: Optional[str] = None) -> str:
+    """Write a benchmark result as JSON; return the path written."""
+    target = path or BENCH_RESULT_FILE
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(result, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def format_result(result: Dict[str, object]) -> str:
+    fold = result["fold"]
+    no_fold = result["no_fold"]
+    reduction = result["events_per_request_reduction"]
+    identical = ("identical" if result["latencies_identical"]
+                 else "DIVERGED (bug!)")
+    return "\n".join([
+        f"pipeline events/request: {fold['events_per_request']:.2f} folded "
+        f"vs {no_fold['events_per_request']:.2f} unfolded "
+        f"({reduction:.1%} fewer)",
+        f"wall-clock requests/sec: {fold['requests_per_second']:,.0f} folded "
+        f"vs {no_fold['requests_per_second']:,.0f} unfolded",
+        f"per-request latencies: {identical} across modes "
+        f"({fold['requests']} requests, {result['clients']} clients)",
+    ])

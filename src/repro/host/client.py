@@ -97,6 +97,10 @@ class PMNetClient:
         self.completed_server = Counter(f"{host.name}.completed_server")
         self.completed_cache = Counter(f"{host.name}.completed_cache")
         self.retransmissions = Counter(f"{host.name}.retransmissions")
+        # Clients are never crashed mid-run by the failure-injection
+        # experiments, so their outbound sends may fold the stack send
+        # cost into the NIC channel (see HostNode.fold_outbound).
+        host.fold_outbound = True
 
     # ------------------------------------------------------------------
     # Table I interface

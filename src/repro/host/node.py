@@ -40,6 +40,13 @@ class HostNode(Node):
         #: Generation counter: bumped on every failure so that callbacks
         #: scheduled before a crash do not leak into the recovered life.
         self.epoch = 0
+        #: Opt-in: fold the stack send cost into the NIC channel via a
+        #: reservation (see :meth:`Channel.send_in`).  A folded send
+        #: commits at reservation time and skips the failed/epoch check
+        #: at fire time, so only hosts that never crash mid-run — client
+        #: endpoints — may enable it; server hosts are crashed by the
+        #: failure-injection experiments and must stay unfolded.
+        self.fold_outbound = False
 
     # ------------------------------------------------------------------
     def bind(self, endpoint: Endpoint) -> None:
@@ -78,7 +85,14 @@ class HostNode(Node):
             return
         frame = Frame(src=self.name, dst=dst, payload=payload,
                       payload_bytes=payload_bytes, udp_port=udp_port)
+        # The jitter draw happens here in both modes, so the stack RNG
+        # stream advances at identical instants with folding on or off.
         cost = self.stack.send_cost(payload_bytes)
+        if self.fold_outbound and self.ports:
+            channel = self.ports[0].channel
+            if channel is not None and channel.send_in(cost, frame):
+                self.frames_sent.increment()
+                return
         epoch = self.epoch
         self.sim.schedule(cost, self._transmit, frame, epoch)
 

@@ -9,6 +9,19 @@ A :class:`Link` is full duplex: it is built from two independent directed
 * optional impairments (loss, reordering, duplication) driven by a
   dedicated random stream so experiments can inject packet loss exactly
   where the paper's Fig 7 scenarios need it.
+
+The common case — no impairments, transmitter idle, output queue empty —
+takes a **latency-folded fast path**: serialization and propagation are
+summed into one scheduled delivery event instead of a ``_serialized``
+hop followed by a ``_deliver`` hop.  Delivery times are bit-identical to
+the unfolded path (``PMNET_NO_FOLD=1`` keeps it testable); only the
+event count changes.  Transmitter occupancy is tracked as an absolute
+``_busy_until`` time so back-to-back sends still serialize exactly:
+a frame arriving mid-serialization queues and a single *drain* event at
+``_busy_until`` starts it precisely when the unfolded ``_serialized``
+callback would have.  Impaired channels never fold — their per-frame
+random draws and the loss/duplicate/reorder branching stay on the
+original path, preserving RNG stream positions draw for draw.
 """
 
 from __future__ import annotations
@@ -17,10 +30,11 @@ from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Deque, Optional
 
+from repro.config import folding_enabled
 from repro.net.device import Port
 from repro.net.packet import Frame
 from repro.sim.clock import transmission_delay
-from repro.sim.monitor import Counter
+from repro.sim.monitor import Counter, Gauge, component_summary
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.config import NetworkProfile
@@ -56,36 +70,179 @@ class Channel:
         self.impairments = impairments or Impairments()
         self._rng = sim.random.stream(f"channel:{name}")
         self._queue: Deque[Frame] = deque()
-        self._busy = False
+        #: Absolute time the transmitter finishes its current frame.
+        self._busy_until = 0
+        #: An *unfolded* transmission is in progress: set when
+        #: ``_serialized`` is scheduled, cleared when it runs.  While
+        #: set, the transmitter is busy even at exactly ``_busy_until``
+        #: — the pending ``_serialized`` callback owns the restart, so
+        #: a same-nanosecond send must queue behind it (matching the
+        #: pre-fold boolean-busy semantics tick for tick).  Folded
+        #: transmissions leave this False and free the transmitter the
+        #: instant ``now`` reaches ``_busy_until``.
+        self._transmitting = False
+        #: A drain event is pending at ``_busy_until`` (folded sends
+        #: leave no ``_serialized`` callback to restart the queue).
+        self._drain_armed = False
+        #: Future-start reservations taken by :meth:`send_in`, oldest
+        #: first: ``(call, frame, start, prev_busy_until, wire_bytes)``.
+        #: A plain :meth:`send` arriving before a reservation's start
+        #: revokes it (see :meth:`_revoke_unstarted`), so reservations
+        #: can never overtake a frame that reached the channel earlier.
+        self._reservations: Deque[tuple] = deque()
+        #: Construction-time half of the fold gate; impairments are
+        #: re-checked per send because experiments swap them mid-run
+        #: (e.g. a timed loss window).
+        self._fold = (folding_enabled()
+                      and profile.queue_capacity_packets > 0)
         self.delivered = Counter(f"{name}.delivered")
         self.dropped_full = Counter(f"{name}.dropped_full")
+        self.dropped_full_bytes = Counter(f"{name}.dropped_full_bytes")
         self.dropped_loss = Counter(f"{name}.dropped_loss")
         self.bytes_sent = Counter(f"{name}.bytes")
+        self.folded_sends = Counter(f"{name}.folded")
+        self.queue_depth_highwater = Gauge(f"{name}.queue_depth")
 
     # ------------------------------------------------------------------
     def send(self, frame: Frame) -> None:
         """Enqueue a frame for transmission (drop-tail when full)."""
+        if self._reservations:
+            self._revoke_unstarted()
+        if (self._fold and not self._transmitting and not self._queue
+                and self.sim.now >= self._busy_until
+                and not self.impairments.any_enabled()):
+            # Fast path: idle transmitter, empty queue, no impairments —
+            # serialization + propagation fold into one delivery event.
+            wire_bytes = frame.wire_size(self.profile.header_overhead_bytes)
+            serialize = transmission_delay(wire_bytes,
+                                           self.profile.bandwidth_bps)
+            self.bytes_sent.increment(wire_bytes)
+            self.folded_sends.increment()
+            self._busy_until = self.sim.now + serialize
+            self.sim.schedule_deferred(serialize, self.profile.propagation_ns,
+                                       self._deliver, frame)
+            return
         if len(self._queue) >= self.profile.queue_capacity_packets:
             self.dropped_full.increment()
+            self.dropped_full_bytes.increment(
+                frame.wire_size(self.profile.header_overhead_bytes))
             return
         self._queue.append(frame)
-        if not self._busy:
+        self.queue_depth_highwater.update(len(self._queue))
+        if not self._transmitting:
+            if self.sim.now >= self._busy_until:
+                self._transmit_next()
+            elif not self._drain_armed:
+                # Mid-serialization of a *folded* frame: nothing will
+                # call `_transmit_next` when the transmitter frees, so
+                # schedule the restart at exactly the time the unfolded
+                # `_serialized` callback would have run.  (Unfolded
+                # frames restart the queue from `_serialized`.)
+                self._drain_armed = True
+                self.sim.schedule(self._busy_until - self.sim.now,
+                                  self._drain)
+
+    def send_in(self, pre_delay_ns: int, frame: Frame) -> bool:
+        """Reserve the transmitter for a send ``pre_delay_ns`` from now.
+
+        A node whose next hop toward the wire is a fixed delay (a
+        switch's forwarding latency, a device's egress stage, a host's
+        stack-send cost) can fold that delay into the wire chain:
+        pre-delay + serialization + propagation become one deferred
+        event that executes only at delivery.  The reservation is taken
+        only when the transmitter is predictably idle at send time:
+        empty queue, no transmission in progress, any current busy
+        period (including earlier reservations) over by
+        ``now + pre_delay_ns``, and no impairments.  Returns ``False``
+        otherwise — the caller must then schedule its own callback and
+        call :meth:`send` at the original time (the unfolded path).
+
+        A reservation is *provisional* until its serialization start
+        time: if any plain :meth:`send` reaches the channel during the
+        pre-delay gap — when the unfolded timeline would have had an
+        idle transmitter — :meth:`_revoke_unstarted` converts the
+        reservation back into the exact event the unfolded path would
+        have executed.  Single-writer rule: only the node owning the
+        source port sends on a channel, so every competing send does
+        come through :meth:`send` and triggers that revocation.
+        """
+        if not (self._fold and not self._transmitting and not self._queue
+                and self.sim.now + pre_delay_ns >= self._busy_until
+                and not self.impairments.any_enabled()):
+            return False
+        res = self._reservations
+        while res and type(res[0][0].defer_ns) is not tuple:
+            res.popleft()  # serialization began: no longer revocable
+        wire_bytes = frame.wire_size(self.profile.header_overhead_bytes)
+        serialize = transmission_delay(wire_bytes, self.profile.bandwidth_bps)
+        self.bytes_sent.increment(wire_bytes)
+        self.folded_sends.increment()
+        start = self.sim.now + pre_delay_ns
+        call = self.sim.schedule_deferred(
+            pre_delay_ns, (serialize, self.profile.propagation_ns),
+            self._deliver, frame)
+        self._reservations.append(
+            (call, frame, start, self._busy_until, wire_bytes))
+        self._busy_until = start + serialize
+        return True
+
+    def _revoke_unstarted(self) -> None:
+        """Fall every not-yet-started reservation back to the unfolded
+        timeline (a competing plain send arrived during its gap).
+
+        A reservation whose serialization has begun is indistinguishable
+        from a folded in-flight frame and stays.  One that is still in
+        its pre-delay gap is converted **in place**: its heap record —
+        whose (time, seq) slot is exactly where the unfolded send
+        callback's record sits, because the seq was allocated at the
+        same instant — becomes a plain :meth:`_revoked_send` at the
+        original start time, and the transmitter-busy horizon rolls back
+        to what it was before the reservation.  The send then re-runs
+        through :meth:`send` at its unfolded time, re-counting bytes on
+        whichever path it takes.
+        """
+        res = self._reservations
+        # Started reservations: the kernel consumed the chain's first
+        # hop (defer_ns is no longer the 2-tuple), i.e. serialization
+        # began — drop them from tracking, they cannot be revoked.
+        while res and type(res[0][0].defer_ns) is not tuple:
+            res.popleft()
+        restored = False
+        while res:
+            call, frame, _start, prev_busy, wire_bytes = res.popleft()
+            if not restored:
+                self._busy_until = prev_busy
+                restored = True
+            self.bytes_sent.rollback(wire_bytes)
+            self.folded_sends.rollback(1)
+            call.defer_ns = 0
+            call.callback = self._revoked_send
+            call.args = (frame,)
+
+    def _revoked_send(self, frame: Frame) -> None:
+        self.send(frame)
+
+    def _drain(self) -> None:
+        self._drain_armed = False
+        if not self._transmitting and self.sim.now >= self._busy_until:
             self._transmit_next()
 
     def _transmit_next(self) -> None:
         if not self._queue:
-            self._busy = False
             return
-        self._busy = True
         frame = self._queue.popleft()
+        self.queue_depth_highwater.update(len(self._queue))
         wire_bytes = frame.wire_size(self.profile.header_overhead_bytes)
         serialize = transmission_delay(wire_bytes, self.profile.bandwidth_bps)
         self.bytes_sent.increment(wire_bytes)
+        self._busy_until = self.sim.now + serialize
+        self._transmitting = True
         # The transmitter is busy for the serialization time, then the
         # frame flies for the propagation delay while the next one starts.
         self.sim.schedule(serialize, self._serialized, frame)
 
     def _serialized(self, frame: Frame) -> None:
+        self._transmitting = False
         self._launch(frame)
         self._transmit_next()
 
@@ -109,6 +266,10 @@ class Channel:
     def queue_depth(self) -> int:
         """Frames waiting behind the one being serialized."""
         return len(self._queue)
+
+    def summary(self) -> dict:
+        """Every counter/gauge on this channel (queue pressure included)."""
+        return component_summary(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Channel {self.name} queued={self.queue_depth}>"

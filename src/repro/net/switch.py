@@ -3,6 +3,16 @@
 Models the "regular switch (with sub-microsecond latency)" the paper
 places between the clients and the FPGA (Sec VI-A1): a fixed forwarding
 delay plus whatever queueing the output links impose.
+
+Because the forwarding delay is a constant, frames reach a given output
+channel in exactly the order they arrived at the switch — so when the
+output transmitter is predictably idle at send time, the whole hop
+folds: forwarding delay + serialization + propagation collapse into one
+deferred delivery event (see :meth:`Channel.send_in`).  When the
+channel cannot take the reservation (busy, queued, or impaired) the
+switch falls back to scheduling ``_forward`` exactly as before; if that
+unfolded send lands inside a later reservation's pre-delay gap, the
+channel revokes the reservation so arrival order is preserved.
 """
 
 from __future__ import annotations
@@ -29,12 +39,17 @@ class Switch(Node):
         self.forwarded = Counter(f"{name}.forwarded")
 
     def handle_frame(self, frame: Frame, in_port: Port) -> None:
+        out_port = self.table.lookup(frame.dst)
+        channel = out_port.channel
+        if channel is not None:
+            if channel.send_in(self.profile.switch_forward_ns, frame):
+                self.forwarded.increment()
+                return
         self.sim.schedule(self.profile.switch_forward_ns,
                           self._forward, frame)
 
     def _forward(self, frame: Frame) -> None:
         if self.failed:
             return
-        out_port = self.table.lookup(frame.dst)
         self.forwarded.increment()
-        out_port.transmit(frame)
+        self.table.lookup(frame.dst).transmit(frame)

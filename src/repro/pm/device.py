@@ -11,6 +11,13 @@ The submit path runs once per logged packet, so it is allocation-lean:
 completions are dispatched through one bound method carrying its state
 as scheduled-call arguments (no closure per access), and crash discard
 is an epoch bump rather than a token list scan.
+
+**One executed event per access** is a deliberate contract: the DMA
+chain (queue hand-off, media transfer, fixed latency) is deterministic
+once the access is submitted, so the initiation pacing and the
+completion wait are summed arithmetically into a single ``_complete``
+event at ``start + latency + transfer`` — there is no intermediate
+"transfer done" hop (``tests/pm/test_device.py`` guards this).
 """
 
 from __future__ import annotations

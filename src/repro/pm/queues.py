@@ -43,6 +43,9 @@ class LogQueue:
         self.is_write = is_write
         self._occupied_bytes = 0
         self._epoch = 0
+        #: Bound once: the submit direction never changes, so the
+        #: per-enqueue attribute walk is not worth repeating.
+        self._submit = device.submit_write if is_write else device.submit_read
         self.accepted = Counter(f"{name}.accepted")
         self.rejected = Counter(f"{name}.rejected")
         self.high_water_bytes = 0
@@ -68,9 +71,8 @@ class LogQueue:
         if self._occupied_bytes > self.high_water_bytes:
             self.high_water_bytes = self._occupied_bytes
         self.accepted.increment()
-        submit = (self.device.submit_write if self.is_write
-                  else self.device.submit_read)
-        submit(nbytes, self._finished, nbytes, self._epoch, on_complete, args)
+        self._submit(nbytes, self._finished, nbytes, self._epoch,
+                     on_complete, args)
         return True
 
     def _finished(self, nbytes: int, epoch: int,

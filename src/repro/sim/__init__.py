@@ -34,11 +34,14 @@ from repro.sim.event import EventQueue, ScheduledCall, SimEvent
 from repro.sim.kernel import Simulator
 from repro.sim.monitor import (
     Counter,
+    Gauge,
     LatencyRecorder,
     ThroughputMeter,
     TimeSeries,
+    component_summary,
 )
 from repro.sim.process import AllOf, AnyOf, Interrupted, Process
+from repro.sim.profiler import EventProfiler
 from repro.sim.rand import (
     LatencyJitter,
     RandomStreams,
@@ -56,7 +59,8 @@ __all__ = [
     "EventQueue", "ScheduledCall", "SimEvent",
     "Simulator",
     "Process", "AllOf", "AnyOf", "Interrupted",
-    "Counter", "LatencyRecorder", "ThroughputMeter", "TimeSeries",
+    "Counter", "Gauge", "LatencyRecorder", "ThroughputMeter", "TimeSeries",
+    "component_summary", "EventProfiler",
     "RandomStreams", "LatencyJitter", "zipfian_ranks",
     "exponential_delay", "choose_weighted",
     "Tracer", "TraceRecord", "GLOBAL_TRACER",

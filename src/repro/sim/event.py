@@ -30,17 +30,34 @@ class ScheduledCall:
 
     Instances are ordered by ``(time, seq)`` so that simultaneous events
     run in scheduling order, which keeps runs deterministic.
+
+    ``defer_ns`` marks a *deferred* (latency-folded) record: it first
+    surfaces at ``time`` — ordered by the seq allocated when it was
+    scheduled, exactly like the intermediate callback it replaces — and
+    the kernel then re-sequences it ``defer_ns`` later with a freshly
+    allocated seq, never invoking a callback at the intermediate hop.
+    Because both seq allocations happen at the same virtual instants as
+    the unfolded two-event chain, same-nanosecond tie-breaking against
+    unrelated events is preserved bit for bit; only the intermediate
+    callback execution (and its record allocation) disappears.
+
+    ``defer_ns`` may also be a *tuple* of delays — a chain of deferred
+    hops.  Each re-sequencing consumes one element, allocating one seq
+    per hop at the hop's virtual instant, so an n-delay fixed-latency
+    pipeline collapses to a single executed event while remaining
+    heap-order-identical to the n-event original.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "defer_ns")
 
     def __init__(self, time: int, seq: int, callback: Callable[..., None],
-                 args: Tuple[Any, ...] = ()) -> None:
+                 args: Tuple[Any, ...] = (), defer_ns: int = 0) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.defer_ns = defer_ns
 
     def cancel(self) -> None:
         """Prevent the callback from running when its time arrives."""
@@ -82,6 +99,39 @@ class EventQueue:
         heapq.heappush(self._heap, (time, seq, call))
         return call
 
+    def push_deferred(self, time: int, defer_ns,
+                      callback: Callable[..., None],
+                      args: Tuple[Any, ...] = ()) -> ScheduledCall:
+        """Enqueue a latency-folded call: surfaces at ``time``, runs
+        after the ``defer_ns`` hop (or chain of hops, when a tuple) —
+        see :class:`ScheduledCall`."""
+        seq = self._seq
+        self._seq = seq + 1
+        call = ScheduledCall(time, seq, callback, args, defer_ns)
+        heapq.heappush(self._heap, (time, seq, call))
+        return call
+
+    def resequence(self, call: ScheduledCall) -> None:
+        """Move a just-popped deferred call one hop along its chain.
+
+        Allocates a fresh seq *now* — the same instant the unfolded
+        intermediate callback would have scheduled the next one — so
+        FIFO tie-breaking at each hop time is unchanged by folding.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        defer = call.defer_ns
+        if type(defer) is tuple:
+            delay = defer[0]
+            call.defer_ns = defer[1] if len(defer) == 2 else defer[1:]
+        else:
+            delay = defer
+            call.defer_ns = 0
+        time = call.time + delay
+        call.time = time
+        call.seq = seq
+        heapq.heappush(self._heap, (time, seq, call))
+
     def pop(self) -> ScheduledCall:
         """Remove and return the earliest non-cancelled call.
 
@@ -91,8 +141,12 @@ class EventQueue:
         heap = self._heap
         while heap:
             call = heapq.heappop(heap)[2]
-            if not call.cancelled:
-                return call
+            if call.cancelled:
+                continue
+            if call.defer_ns:
+                self.resequence(call)
+                continue
+            return call
         raise IndexError("pop from empty EventQueue")
 
     def peek_time(self) -> Optional[int]:

@@ -38,6 +38,27 @@ class Simulator:
         self.random = RandomStreams(seed)
         #: Number of callbacks executed so far (observability/debugging).
         self.executed_events = 0
+        #: Opt-in event accounting (see :mod:`repro.sim.profiler`).
+        self._profiler = None
+
+    # ------------------------------------------------------------------
+    # Profiling
+    # ------------------------------------------------------------------
+    def attach_profiler(self, profiler) -> None:
+        """Attribute every executed event to its call site.
+
+        ``profiler`` is an :class:`~repro.sim.profiler.EventProfiler`
+        (anything with a ``record(callback)`` method works).  Attach
+        before ``run()``: the hot loop binds the profiler at entry.
+        """
+        self._profiler = profiler
+
+    def detach_profiler(self) -> None:
+        self._profiler = None
+
+    @property
+    def profiler(self):
+        return self._profiler
 
     @property
     def now(self) -> int:
@@ -71,6 +92,32 @@ class Simulator:
         """Run ``callback(*args)`` at the current time, after pending events."""
         return self._queue.push(self._now, callback, args)
 
+    def schedule_deferred(self, delay: int, defer_ns,
+                          callback: Callable[..., None],
+                          *args: Any) -> ScheduledCall:
+        """Fold fixed back-to-back delays into one executed event.
+
+        Equivalent to scheduling an intermediate callback at ``delay``
+        whose only job is to schedule ``callback(*args)`` another
+        ``defer_ns`` later — but the intermediate hop never runs Python:
+        the kernel re-sequences the record when it surfaces.  Seq
+        numbers are allocated at exactly the same two virtual instants
+        as the unfolded chain, so same-time tie-breaking (and therefore
+        byte-for-byte run reproducibility) is unaffected; only the
+        executed-event count and the intermediate callback's overhead
+        drop.  ``defer_ns`` may be a tuple of delays: an n-stage
+        fixed-latency pipeline then collapses to a single executed
+        event, one re-sequencing per intermediate hop.  Use only when
+        every intermediate callback would have had no observable side
+        effect.
+        """
+        chain = defer_ns if isinstance(defer_ns, tuple) else (defer_ns,)
+        if delay < 0 or any(d < 0 for d in chain) or not chain:
+            raise SimulationError(
+                f"cannot schedule {delay}+{defer_ns}ns into the past")
+        return self._queue.push_deferred(self._now + delay, defer_ns,
+                                         callback, args)
+
     # ------------------------------------------------------------------
     # Events and processes
     # ------------------------------------------------------------------
@@ -95,15 +142,30 @@ class Simulator:
         """Execute the single earliest pending event.
 
         Returns ``False`` when the queue is empty, ``True`` otherwise.
+        Cancelled :class:`ScheduledCall`s are skipped exactly as in
+        :meth:`run` — they neither execute nor count toward
+        ``executed_events`` — so a workload stepped to completion and
+        the same workload driven by ``run()`` report identical event
+        counts (``tests/sim/test_profiler.py`` guards this).
         """
-        try:
-            call = self._queue.pop()
-        except IndexError:
-            return False
+        queue = self._queue
+        heap = queue._heap
+        while True:
+            if not heap:
+                return False
+            call = heapq.heappop(heap)[2]
+            if call.cancelled:
+                continue
+            if call.defer_ns:
+                queue.resequence(call)
+                continue
+            break
         if call.time < self._now:
             raise SimulationError("event queue returned a past event")
         self._now = call.time
         self.executed_events += 1
+        if self._profiler is not None:
+            self._profiler.record(call.callback)
         call.callback(*call.args)
         return True
 
@@ -120,8 +182,11 @@ class Simulator:
         self._stopped = False
         # Hot loop: operate on the heap directly so each event costs one
         # pop (not a peek + a pop) and cancelled entries are skipped once.
-        heap = self._queue._heap
+        queue = self._queue
+        heap = queue._heap
         heappop = heapq.heappop
+        resequence = queue.resequence
+        profiler = self._profiler
         executed = 0
         try:
             while not self._stopped:
@@ -137,8 +202,15 @@ class Simulator:
                 if max_events is not None and executed >= max_events:
                     break
                 heappop(heap)
+                if call.defer_ns:
+                    # Latency-folded record: move it to its final slot
+                    # (fresh seq, no callback) — not an executed event.
+                    resequence(call)
+                    continue
                 self._now = time
                 executed += 1
+                if profiler is not None:
+                    profiler.record(call.callback)
                 call.callback(*call.args)
         finally:
             self.executed_events += executed

@@ -25,11 +25,73 @@ class Counter:
             raise ValueError(f"counter increment must be >= 0, got {amount}")
         self.value += amount
 
+    def rollback(self, amount: int) -> None:
+        """Undo a prior :meth:`increment` (e.g. a revoked channel
+        reservation that re-counts when the send actually happens)."""
+        if amount < 0 or amount > self.value:
+            raise ValueError(
+                f"cannot roll back {amount} from counter at {self.value}")
+        self.value -= amount
+
     def __int__(self) -> int:
         return self.value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A named level with a high-water mark (queue depths, occupancy).
+
+    Unlike :class:`Counter` it goes up *and* down; the high-water mark
+    records the worst pressure seen, which is what congestion
+    experiments report (a drop count says packets died, the high-water
+    mark says how close the queue came to killing them).
+    """
+
+    __slots__ = ("name", "value", "highwater")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.value = 0
+        self.highwater = 0
+
+    def update(self, value: int) -> None:
+        """Set the current level, tracking the high-water mark."""
+        if value < 0:
+            raise ValueError(f"gauge level must be >= 0, got {value}")
+        self.value = value
+        if value > self.highwater:
+            self.highwater = value
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value} high={self.highwater}>"
+
+
+def component_summary(component: object) -> Dict[str, int]:
+    """All :class:`Counter`/:class:`Gauge` instruments on one component.
+
+    Scans the component's attributes and returns ``{attribute: value}``
+    (gauges contribute both their level and ``<name>_highwater``), so a
+    monitoring surface can report any instrumented component — channels,
+    devices, queues — without per-class plumbing.
+    """
+    attributes = getattr(component, "__dict__", None)
+    if attributes is None:  # slotted components
+        attributes = {name: getattr(component, name, None)
+                      for cls in type(component).__mro__
+                      for name in getattr(cls, "__slots__", ())}
+    summary: Dict[str, int] = {}
+    for attribute, instrument in attributes.items():
+        if isinstance(instrument, Counter):
+            summary[attribute] = instrument.value
+        elif isinstance(instrument, Gauge):
+            summary[attribute] = instrument.value
+            summary[f"{attribute}_highwater"] = instrument.highwater
+    return summary
 
 
 class LatencyRecorder:

@@ -125,6 +125,9 @@ class TestLossRepair:
 
         def recover():
             nonlocal recovery
+            # The folded fast path skips _launch entirely; force the
+            # unfolded path so the drop hook sees every frame.
+            channel._fold = False
             original_launch = channel._launch
             sent = iter(range(10_000))
 

@@ -1,0 +1,151 @@
+"""The folding correctness bar: fold on == fold off, byte for byte.
+
+The latency-folded fast paths (``net/link.py`` reservations and chains,
+``core/pmnet_device.py`` stage folds, ``host/node.py`` outbound folds)
+claim to change only the executed-event count, never a delivery time, a
+queue decision, or an RNG draw.  This file holds that claim to account:
+
+* a hypothesis property over random star topologies — random frame
+  sizes, send times, and sources, driven through a real ``Switch`` so
+  reservations, revocations, queueing, and drains all trigger — must
+  produce identical arrival logs with ``PMNET_NO_FOLD`` set and unset;
+* impaired channels must never fold, deterministically; and
+* a full experiment (including the impaired fig07 loss scenarios) must
+  format byte-identically in both modes.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import NetworkProfile
+from repro.net.device import Node
+from repro.net.link import Impairments
+from repro.net.packet import Frame
+from repro.net.switch import Switch
+from repro.net.topology import Topology
+from repro.sim import Simulator
+
+
+class _Host(Node):
+    def __init__(self, sim, name):
+        super().__init__(sim, name)
+        self.arrivals = []
+
+    def handle_frame(self, frame, in_port):
+        self.arrivals.append((self.sim.now, frame.src, frame.payload))
+
+
+def _run_star(num_hosts, sends, no_fold, loss_seed=None):
+    """Build hosts around one switch, replay ``sends``, return arrivals.
+
+    ``sends`` is a list of ``(time_ns, src_index, dst_index, size)``.
+    When ``loss_seed`` is set, the uplink of host 0 gets probabilistic
+    loss — an impaired channel mixed into the same topology.
+    """
+    previous = os.environ.get("PMNET_NO_FOLD")
+    try:
+        if no_fold:
+            os.environ["PMNET_NO_FOLD"] = "1"
+        else:
+            os.environ.pop("PMNET_NO_FOLD", None)
+        sim = Simulator(seed=loss_seed or 0)
+        profile = NetworkProfile()
+        topo = Topology(sim, profile)
+        hosts = [topo.add(_Host(sim, f"h{i}")) for i in range(num_hosts)]
+        switch = topo.add(Switch(sim, "sw", profile))
+        for index, host in enumerate(hosts):
+            impair = None
+            if loss_seed is not None and index == 0:
+                impair = Impairments(loss_probability=0.5)
+            topo.connect(host, switch, impairments_ab=impair)
+        topo.compute_routes()
+    finally:
+        if previous is None:
+            os.environ.pop("PMNET_NO_FOLD", None)
+        else:
+            os.environ["PMNET_NO_FOLD"] = previous
+    for marker, (time, src, dst, size) in enumerate(sends):
+        frame = Frame(f"h{src}", f"h{dst % num_hosts}", marker, size)
+        sim.schedule(time, hosts[src].ports[0].transmit, frame)
+    sim.run()
+    executed = sim.executed_events
+    return [host.arrivals for host in hosts], executed
+
+
+@st.composite
+def _send_plans(draw):
+    num_hosts = draw(st.integers(min_value=2, max_value=5))
+    sends = draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=20_000),
+                  st.integers(min_value=0, max_value=num_hosts - 1),
+                  st.integers(min_value=0, max_value=num_hosts - 1),
+                  st.integers(min_value=1, max_value=3_000)),
+        min_size=1, max_size=25))
+    return num_hosts, sends
+
+
+class TestFoldIdentityProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(plan=_send_plans())
+    def test_random_topologies_deliver_identically(self, plan):
+        num_hosts, sends = plan
+        folded, folded_events = _run_star(num_hosts, sends, no_fold=False)
+        unfolded, unfolded_events = _run_star(num_hosts, sends, no_fold=True)
+        assert folded == unfolded
+        assert folded_events <= unfolded_events
+
+    @settings(max_examples=20, deadline=None)
+    @given(plan=_send_plans(), seed=st.integers(min_value=1, max_value=999))
+    def test_impaired_channels_stay_identical(self, plan, seed):
+        num_hosts, sends = plan
+        folded, _ = _run_star(num_hosts, sends, no_fold=False,
+                              loss_seed=seed)
+        unfolded, _ = _run_star(num_hosts, sends, no_fold=True,
+                                loss_seed=seed)
+        assert folded == unfolded
+
+
+class TestImpairedNeverFolds:
+    def test_lossy_channel_takes_unfolded_path(self):
+        sends = [(i * 5_000, 0, 1, 100) for i in range(10)]
+        sim_arrivals, _ = _run_star(2, sends, no_fold=False, loss_seed=7)
+        # Build again to inspect the channel counters directly.
+        previous = os.environ.pop("PMNET_NO_FOLD", None)
+        try:
+            sim = Simulator(seed=7)
+            profile = NetworkProfile()
+            topo = Topology(sim, profile)
+            src = topo.add(_Host(sim, "h0"))
+            dst = topo.add(_Host(sim, "h1"))
+            switch = topo.add(Switch(sim, "sw", profile))
+            topo.connect(src, switch,
+                         impairments_ab=Impairments(loss_probability=0.5))
+            topo.connect(dst, switch)
+            topo.compute_routes()
+            for i in range(10):
+                sim.schedule(i * 5_000, src.ports[0].transmit,
+                             Frame("h0", "h1", i, 100))
+            sim.run()
+            assert int(src.ports[0].channel.folded_sends) == 0
+            assert int(src.ports[0].channel.dropped_loss) > 0
+        finally:
+            if previous is not None:
+                os.environ["PMNET_NO_FOLD"] = previous
+
+
+class TestExperimentIdentity:
+    @pytest.mark.slow
+    def test_fig07_formats_identically_with_and_without_folding(self,
+                                                                monkeypatch):
+        # fig07 runs the packet-loss scenarios: impaired channels plus
+        # retransmission storms — the hardest case for fold identity.
+        from repro.experiments import fig07_ordering
+
+        monkeypatch.delenv("PMNET_NO_FOLD", raising=False)
+        folded = fig07_ordering.run(quick=True).format()
+        monkeypatch.setenv("PMNET_NO_FOLD", "1")
+        unfolded = fig07_ordering.run(quick=True).format()
+        assert folded == unfolded

@@ -85,3 +85,34 @@ class TestCrashSemantics:
         device.submit_write(100, lambda: done.append(sim.now))
         sim.run()
         assert done == [313]
+
+
+class TestEventBudget:
+    def test_one_executed_event_per_access(self):
+        """The DMA chain (initiation pacing + media transfer + fixed
+        latency) is deterministic once submitted, so each access costs
+        exactly one executed event — the completion.  Guards the folded
+        contract documented in ``repro.pm.device``."""
+        sim = Simulator()
+        device = PMDevice(sim, "pm", PROFILE)
+        done = []
+        for _ in range(8):
+            device.submit_write(100, lambda: done.append(sim.now))
+        for _ in range(5):
+            device.submit_read(64, lambda: done.append(sim.now))
+        sim.run()
+        assert len(done) == 13
+        assert sim.executed_events == 13
+
+    def test_queue_accesses_add_no_extra_events(self):
+        """A LogQueue enqueue rides the same single completion event."""
+        from repro.pm.queues import LogQueue
+        sim = Simulator()
+        device = PMDevice(sim, "pm", PROFILE)
+        queue = LogQueue(sim, "wq", 4096, device, is_write=True)
+        done = []
+        for _ in range(6):
+            assert queue.try_enqueue(128, lambda: done.append(sim.now))
+        sim.run()
+        assert len(done) == 6
+        assert sim.executed_events == 6

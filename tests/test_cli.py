@@ -121,3 +121,41 @@ class TestBenchKernel:
 
     def test_rejects_nonpositive_events(self, capsys):
         assert main(["bench-kernel", "--events", "0"]) == 2
+
+
+class TestBenchPipeline:
+    def test_writes_result_json(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.delenv("PMNET_NO_FOLD", raising=False)
+        out = tmp_path / "BENCH_pipeline.json"
+        assert main(["bench-pipeline", "--clients", "4", "--requests", "5",
+                     "--output", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "pipeline events/request" in printed
+        assert "identical" in printed
+        result = json.loads(out.read_text())
+        assert result["benchmark"] == "pipeline_events"
+        assert result["latencies_identical"] is True
+        assert (result["fold"]["events_per_request"]
+                < result["no_fold"]["events_per_request"])
+
+    def test_rejects_nonpositive_clients(self, capsys):
+        assert main(["bench-pipeline", "--clients", "0"]) == 2
+
+
+class TestProfile:
+    def test_prints_call_site_table(self, capsys, monkeypatch):
+        monkeypatch.delenv("PMNET_NO_FOLD", raising=False)
+        assert main(["profile", "--clients", "2", "--requests", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "folding on" in out
+        assert "Channel._deliver" in out
+        assert "TOTAL" in out
+
+    def test_no_fold_flag_profiles_unfolded_paths(self, capsys, monkeypatch):
+        monkeypatch.delenv("PMNET_NO_FOLD", raising=False)
+        assert main(["profile", "--clients", "2", "--requests", "5",
+                     "--no-fold"]) == 0
+        out = capsys.readouterr().out
+        assert "folding off" in out
+        # The per-stage hops only execute on the unfolded paths.
+        assert "Channel._launch" in out or "Switch._forward" in out
