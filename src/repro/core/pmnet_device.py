@@ -92,7 +92,14 @@ class PMNetDevice(Node):
             # into one scheduled event.  Only actions whose intermediate
             # ingress callback mutates nothing fold — every counter,
             # cache, and log mutation still fires at the exact virtual
-            # time the per-stage path produced.
+            # time the per-stage path produced.  Crash safety: the
+            # folded chains end in callbacks that re-check `failed`
+            # (and `fail()` revokes unstarted channel reservations), so
+            # a mid-window crash drops the frame on both timelines; the
+            # only unguarded divergence is a crash *and* recovery
+            # landing inside one pipeline window (nanoseconds) — the
+            # failure scenarios separate them by hundreds of
+            # microseconds (Fig 12/13).
             action = classify(frame)
             if action is MATAction.LOG_AND_FORWARD:
                 # ingress -> PM-access: `_log_update` performs all side
@@ -108,12 +115,15 @@ class PMNetDevice(Node):
                 # until the forwarding lookup in `_forward_frame`, so
                 # the whole pipeline can ride a channel reservation —
                 # ingress + egress + serialization + propagation in one
-                # delivery event.
+                # delivery event.  A crash inside the window is safe:
+                # `fail()` revokes the reservation and `_unfold_forward`
+                # re-runs the unfolded fire-time check at its slot.
                 self.folded_stages.increment()
                 pipeline_ns = (self.config.pipeline.ingress_ns
                                + self.config.pipeline.egress_ns)
                 channel = self.table.lookup(frame.dst).channel
-                if channel is not None and channel.send_in(pipeline_ns, frame):
+                if channel is not None and channel.send_in(
+                        pipeline_ns, frame, self._unfold_forward):
                     return
                 self.sim.schedule_deferred(
                     self.config.pipeline.ingress_ns,
@@ -348,10 +358,19 @@ class PMNetDevice(Node):
             cost += round(frame.payload_bytes * self.config.pipeline.per_byte_ns)
         if self._fold:
             channel = self.table.lookup(frame.dst).channel
-            if channel is not None and channel.send_in(cost, frame):
+            if channel is not None and channel.send_in(cost, frame,
+                                                       self._unfold_forward):
                 self.folded_stages.increment()
                 return
         self.sim.schedule(cost, self._forward_frame, frame)
+
+    def _unfold_forward(self, frame: Frame) -> None:
+        """A channel reservation was revoked (competing send, or this
+        device failed mid-window): roll back the fold-time stage count
+        and re-run the unfolded fire-time callback — its ``failed``
+        check included — at the slot it would have occupied."""
+        self.folded_stages.rollback(1)
+        self._forward_frame(frame)
 
     def _forward_frame(self, frame: Frame) -> None:
         if self.failed:
@@ -361,11 +380,15 @@ class PMNetDevice(Node):
     def _delayed_transmit(self, cost: int, packet: PMNetPacket,
                           destination: str) -> None:
         """Send a device-generated packet after a fixed generation delay,
-        folding the delay into the wire when the channel is reservable."""
+        folding the delay into the wire when the channel is reservable.
+        The revocation path reuses ``_unfold_forward``: the frame is
+        prebuilt, so the unfolded ``_transmit_packet`` fire-time
+        semantics (failed check, lookup, transmit) are identical."""
         if self._fold:
             frame = self._make_frame(packet, destination)
             channel = self.table.lookup(destination).channel
-            if channel is not None and channel.send_in(cost, frame):
+            if channel is not None and channel.send_in(cost, frame,
+                                                       self._unfold_forward):
                 self.folded_stages.increment()
                 return
         self.sim.schedule(cost, self._transmit_packet, packet, destination)
@@ -387,7 +410,10 @@ class PMNetDevice(Node):
     # ------------------------------------------------------------------
     def fail(self) -> None:
         """Power-fail the device: durable log entries survive, everything
-        volatile (queues, in-flight PM writes, pipeline state) is lost."""
+        volatile (queues, in-flight PM writes, pipeline state) is lost.
+        ``super().fail()`` also revokes every unstarted channel
+        reservation, so folded sends committed before the crash fall
+        back to their unfolded fire-time checks and drop."""
         super().fail()
         self.pm.crash()
         self.log.crash()

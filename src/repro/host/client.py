@@ -97,9 +97,11 @@ class PMNetClient:
         self.completed_server = Counter(f"{host.name}.completed_server")
         self.completed_cache = Counter(f"{host.name}.completed_cache")
         self.retransmissions = Counter(f"{host.name}.retransmissions")
-        # Clients are never crashed mid-run by the failure-injection
-        # experiments, so their outbound sends may fold the stack send
-        # cost into the NIC channel (see HostNode.fold_outbound).
+        # Client hosts may crash (client_failure_mid_run) but are never
+        # *recovered* mid-run, which is all HostNode.fold_outbound's
+        # contract requires: Node.fail revokes unstarted reservations,
+        # so a folded send dies with the host exactly as an unfolded
+        # one would.  Fold the stack send cost into the NIC channel.
         host.fold_outbound = True
 
     # ------------------------------------------------------------------

@@ -42,10 +42,14 @@ class HostNode(Node):
         self.epoch = 0
         #: Opt-in: fold the stack send cost into the NIC channel via a
         #: reservation (see :meth:`Channel.send_in`).  A folded send
-        #: commits at reservation time and skips the failed/epoch check
-        #: at fire time, so only hosts that never crash mid-run — client
-        #: endpoints — may enable it; server hosts are crashed by the
-        #: failure-injection experiments and must stay unfolded.
+        #: commits at reservation time; ``Node.fail`` revokes unstarted
+        #: reservations so a crash inside the send window still drops
+        #: the frame (via :meth:`_unfold_outbound`'s fire-time check).
+        #: The remaining unguarded gap is a crash *and* recovery both
+        #: landing inside one stack-send window (microseconds, vs the
+        #: millisecond outages the failure experiments inject) — so
+        #: this stays an opt-in for hosts that never crash mid-run:
+        #: client endpoints enable it, server hosts stay unfolded.
         self.fold_outbound = False
 
     # ------------------------------------------------------------------
@@ -90,11 +94,21 @@ class HostNode(Node):
         cost = self.stack.send_cost(payload_bytes)
         if self.fold_outbound and self.ports:
             channel = self.ports[0].channel
-            if channel is not None and channel.send_in(cost, frame):
+            if channel is not None and channel.send_in(cost, frame,
+                                                       self._unfold_outbound):
                 self.frames_sent.increment()
                 return
         epoch = self.epoch
         self.sim.schedule(cost, self._transmit, frame, epoch)
+
+    def _unfold_outbound(self, frame: Frame) -> None:
+        """The NIC reservation was revoked: roll back the fold-time
+        ``frames_sent`` increment and re-run the unfolded ``_transmit``
+        at its slot.  The current epoch stands in for the fold-time one
+        — equivalent unless the host crashed *and* recovered inside the
+        send window, which :attr:`fold_outbound`'s contract excludes."""
+        self.frames_sent.rollback(1)
+        self._transmit(frame, self.epoch)
 
     def _transmit(self, frame: Frame, epoch: int) -> None:
         if self.failed or epoch != self.epoch:

@@ -15,20 +15,37 @@ takes a **latency-folded fast path**: serialization and propagation are
 summed into one scheduled delivery event instead of a ``_serialized``
 hop followed by a ``_deliver`` hop.  Delivery times are bit-identical to
 the unfolded path (``PMNET_NO_FOLD=1`` keeps it testable); only the
-event count changes.  Transmitter occupancy is tracked as an absolute
-``_busy_until`` time so back-to-back sends still serialize exactly:
-a frame arriving mid-serialization queues and a single *drain* event at
-``_busy_until`` starts it precisely when the unfolded ``_serialized``
-callback would have.  Impaired channels never fold — their per-frame
+event count changes.  Folding requires ``propagation_ns > 0``: with a
+zero-delay wire the deferred chain would execute delivery on the seq
+allocated at send time instead of the fresh seq the unfolded ``_launch``
+allocates at the serialize instant, perturbing same-nanosecond
+tie-breaking.  Transmitter occupancy is tracked as an absolute
+``_busy_until`` time so back-to-back sends still serialize exactly: a
+frame arriving mid-serialization queues, and the folded record ahead of
+it is rewritten **in place** into the unfolded ``_serialized`` callback
+— its heap slot (serialize-end time, seq allocated at serialize start)
+is exactly where the unfolded record would sit, so the queue restarts
+with bit-identical tie-breaking and the transmission finishes on the
+unfolded code path.  Impaired channels never fold — their per-frame
 random draws and the loss/duplicate/reorder branching stay on the
 original path, preserving RNG stream positions draw for draw.
+
+Folding interacts with mid-run crashes through revocation: a folded
+send commits its delivery at reservation time, while the unfolded
+timeline re-checks the sender's liveness when the fire-time callback
+runs.  :meth:`Channel.send_in` therefore records an ``on_revoke``
+callback (the owner's unfolded fire-time callback) with every
+reservation, and ``Node.fail`` revokes every reservation that has not
+started serializing — converting each back into that callback at its
+original heap slot, where the owner's ``failed`` check drops the frame
+exactly as the unfolded run would.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Deque, Optional
+from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from repro.config import folding_enabled
 from repro.net.device import Port
@@ -81,20 +98,28 @@ class Channel:
         #: transmissions leave this False and free the transmitter the
         #: instant ``now`` reaches ``_busy_until``.
         self._transmitting = False
-        #: A drain event is pending at ``_busy_until`` (folded sends
-        #: leave no ``_serialized`` callback to restart the queue).
-        self._drain_armed = False
+        #: The heap record of the newest *folded* transmission whose
+        #: serialization has begun (a plain-send fold, or a reservation
+        #: observed past its start).  While ``now < _busy_until`` with
+        #: ``_transmitting`` False, this record owns the transmitter; a
+        #: frame queueing behind it converts it in place into the
+        #: unfolded ``_serialized`` callback (see :meth:`_unfold_inflight`).
+        self._serializing = None
         #: Future-start reservations taken by :meth:`send_in`, oldest
-        #: first: ``(call, frame, start, prev_busy_until, wire_bytes)``.
-        #: A plain :meth:`send` arriving before a reservation's start
-        #: revokes it (see :meth:`_revoke_unstarted`), so reservations
-        #: can never overtake a frame that reached the channel earlier.
+        #: first: ``(call, frame, start, prev_busy_until, wire_bytes,
+        #: on_revoke)``.  A plain :meth:`send` arriving before a
+        #: reservation's start revokes it (see :meth:`revoke_unstarted`),
+        #: so reservations can never overtake a frame that reached the
+        #: channel earlier.
         self._reservations: Deque[tuple] = deque()
         #: Construction-time half of the fold gate; impairments are
         #: re-checked per send because experiments swap them mid-run
-        #: (e.g. a timed loss window).
+        #: (e.g. a timed loss window).  ``propagation_ns > 0`` keeps the
+        #: delivery seq allocation on its own later instant (see the
+        #: module docstring).
         self._fold = (folding_enabled()
-                      and profile.queue_capacity_packets > 0)
+                      and profile.queue_capacity_packets > 0
+                      and profile.propagation_ns > 0)
         self.delivered = Counter(f"{name}.delivered")
         self.dropped_full = Counter(f"{name}.dropped_full")
         self.dropped_full_bytes = Counter(f"{name}.dropped_full_bytes")
@@ -107,7 +132,7 @@ class Channel:
     def send(self, frame: Frame) -> None:
         """Enqueue a frame for transmission (drop-tail when full)."""
         if self._reservations:
-            self._revoke_unstarted()
+            self.revoke_unstarted()
         if (self._fold and not self._transmitting and not self._queue
                 and self.sim.now >= self._busy_until
                 and not self.impairments.any_enabled()):
@@ -119,8 +144,8 @@ class Channel:
             self.bytes_sent.increment(wire_bytes)
             self.folded_sends.increment()
             self._busy_until = self.sim.now + serialize
-            self.sim.schedule_deferred(serialize, self.profile.propagation_ns,
-                                       self._deliver, frame)
+            self._serializing = self.sim.schedule_deferred(
+                serialize, self.profile.propagation_ns, self._deliver, frame)
             return
         if len(self._queue) >= self.profile.queue_capacity_packets:
             self.dropped_full.increment()
@@ -132,17 +157,15 @@ class Channel:
         if not self._transmitting:
             if self.sim.now >= self._busy_until:
                 self._transmit_next()
-            elif not self._drain_armed:
-                # Mid-serialization of a *folded* frame: nothing will
+            else:
+                # Mid-serialization of a *folded* frame: nothing would
                 # call `_transmit_next` when the transmitter frees, so
-                # schedule the restart at exactly the time the unfolded
-                # `_serialized` callback would have run.  (Unfolded
-                # frames restart the queue from `_serialized`.)
-                self._drain_armed = True
-                self.sim.schedule(self._busy_until - self.sim.now,
-                                  self._drain)
+                # rewrite the folded record into the unfolded
+                # `_serialized` callback at its exact heap slot.
+                self._unfold_inflight()
 
-    def send_in(self, pre_delay_ns: int, frame: Frame) -> bool:
+    def send_in(self, pre_delay_ns: int, frame: Frame,
+                on_revoke: Optional[Callable[[Frame], None]] = None) -> bool:
         """Reserve the transmitter for a send ``pre_delay_ns`` from now.
 
         A node whose next hop toward the wire is a fixed delay (a
@@ -160,19 +183,27 @@ class Channel:
         A reservation is *provisional* until its serialization start
         time: if any plain :meth:`send` reaches the channel during the
         pre-delay gap — when the unfolded timeline would have had an
-        idle transmitter — :meth:`_revoke_unstarted` converts the
-        reservation back into the exact event the unfolded path would
-        have executed.  Single-writer rule: only the node owning the
-        source port sends on a channel, so every competing send does
-        come through :meth:`send` and triggers that revocation.
+        idle transmitter — or the owning node fails, then
+        :meth:`revoke_unstarted` converts the reservation back into the
+        exact event the unfolded path would have executed.
+        Single-writer rule: only the node owning the source port sends
+        on a channel, so every competing send does come through
+        :meth:`send` and triggers that revocation.
+
+        ``on_revoke`` is the unfolded fire-time callback the reservation
+        replaces: when revoked, the reservation's heap slot runs
+        ``on_revoke(frame)`` so the owner's liveness check (``failed``,
+        epoch) executes exactly as it would have unfolded.  Callers that
+        incremented counters at fold time must roll them back inside
+        ``on_revoke``.  Without one, the revoked slot falls back to a
+        bare re-:meth:`send` — correct only for senders that can never
+        fail mid-run (bare channels in tests).
         """
         if not (self._fold and not self._transmitting and not self._queue
                 and self.sim.now + pre_delay_ns >= self._busy_until
                 and not self.impairments.any_enabled()):
             return False
-        res = self._reservations
-        while res and type(res[0][0].defer_ns) is not tuple:
-            res.popleft()  # serialization began: no longer revocable
+        self._pop_started()
         wire_bytes = frame.wire_size(self.profile.header_overhead_bytes)
         serialize = transmission_delay(wire_bytes, self.profile.bandwidth_bps)
         self.bytes_sent.increment(wire_bytes)
@@ -182,50 +213,84 @@ class Channel:
             pre_delay_ns, (serialize, self.profile.propagation_ns),
             self._deliver, frame)
         self._reservations.append(
-            (call, frame, start, self._busy_until, wire_bytes))
+            (call, frame, start, self._busy_until, wire_bytes, on_revoke))
         self._busy_until = start + serialize
         return True
 
-    def _revoke_unstarted(self) -> None:
+    def _pop_started(self) -> None:
+        """Drop reservations whose serialization began from tracking.
+
+        The kernel consumed the chain's first hop (``defer_ns`` is no
+        longer the 2-tuple), i.e. serialization began — they can no
+        longer be revoked.  The newest one popped owns the transmitter
+        whenever ``now < _busy_until``, so it becomes the
+        :attr:`_serializing` record a queueing frame may convert.
+        """
+        res = self._reservations
+        while res and type(res[0][0].defer_ns) is not tuple:
+            self._serializing = res.popleft()[0]
+
+    def revoke_unstarted(self) -> None:
         """Fall every not-yet-started reservation back to the unfolded
-        timeline (a competing plain send arrived during its gap).
+        timeline (a competing plain send arrived during its gap, or the
+        owning node failed).
 
         A reservation whose serialization has begun is indistinguishable
         from a folded in-flight frame and stays.  One that is still in
         its pre-delay gap is converted **in place**: its heap record —
         whose (time, seq) slot is exactly where the unfolded send
         callback's record sits, because the seq was allocated at the
-        same instant — becomes a plain :meth:`_revoked_send` at the
-        original start time, and the transmitter-busy horizon rolls back
-        to what it was before the reservation.  The send then re-runs
-        through :meth:`send` at its unfolded time, re-counting bytes on
-        whichever path it takes.
+        same instant — becomes the reservation's ``on_revoke`` callback
+        at the original start time, and the transmitter-busy horizon
+        rolls back to what it was before the reservation.  The callback
+        then re-runs the owner's unfolded fire-time path — liveness
+        check included — re-counting bytes on whichever path it takes.
         """
+        self._pop_started()
         res = self._reservations
-        # Started reservations: the kernel consumed the chain's first
-        # hop (defer_ns is no longer the 2-tuple), i.e. serialization
-        # began — drop them from tracking, they cannot be revoked.
-        while res and type(res[0][0].defer_ns) is not tuple:
-            res.popleft()
         restored = False
         while res:
-            call, frame, _start, prev_busy, wire_bytes = res.popleft()
+            call, frame, _start, prev_busy, wire_bytes, on_revoke = \
+                res.popleft()
             if not restored:
                 self._busy_until = prev_busy
                 restored = True
             self.bytes_sent.rollback(wire_bytes)
             self.folded_sends.rollback(1)
             call.defer_ns = 0
-            call.callback = self._revoked_send
+            call.callback = (self._revoked_send if on_revoke is None
+                             else on_revoke)
             call.args = (frame,)
 
     def _revoked_send(self, frame: Frame) -> None:
+        """Fallback for reservations taken without ``on_revoke``: re-send
+        unconditionally.  Only correct when the sender cannot fail."""
         self.send(frame)
 
-    def _drain(self) -> None:
-        self._drain_armed = False
-        if not self._transmitting and self.sim.now >= self._busy_until:
-            self._transmit_next()
+    def _unfold_inflight(self) -> None:
+        """Convert the in-flight folded transmission into ``_serialized``.
+
+        A frame just queued while a folded transmission occupies the
+        transmitter, so something must restart the queue when it frees.
+        The folded record sits at exactly the heap slot the unfolded
+        ``_serialized`` callback would occupy — same time (the serialize
+        end), same seq (allocated at the serialize start) — so rather
+        than scheduling a separate drain event (whose later-allocated
+        seq could tie-break differently against unrelated
+        same-nanosecond events), the record is rewritten in place into
+        that callback.  From here the transmission is bit-for-bit the
+        unfolded one: ``_serialized`` launches the frame, allocating the
+        delivery seq at the serialize instant exactly as the unfolded
+        ``_launch`` does, and restarts the queue.
+        """
+        call = self._serializing
+        assert (call is not None and call.defer_ns
+                and type(call.defer_ns) is not tuple), \
+            "busy transmitter without a convertible folded record"
+        call.callback = self._serialized
+        call.defer_ns = 0
+        self._transmitting = True
+        self._serializing = None
 
     def _transmit_next(self) -> None:
         if not self._queue:

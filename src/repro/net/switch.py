@@ -12,7 +12,18 @@ deferred delivery event (see :meth:`Channel.send_in`).  When the
 channel cannot take the reservation (busy, queued, or impaired) the
 switch falls back to scheduling ``_forward`` exactly as before; if that
 unfolded send lands inside a later reservation's pre-delay gap, the
-channel revokes the reservation so arrival order is preserved.
+channel revokes the reservation — running ``_unfold_forward`` at the
+slot ``_forward`` would have occupied — so arrival order is preserved.
+
+Folding caveats: the routing lookup and the ``forwarded`` increment
+happen at *arrival* time on the folded path, not at the end of the
+forwarding delay, so mid-run snapshots of ``forwarded`` may lead the
+unfolded timeline by up to ``switch_forward_ns`` (end-of-run totals are
+identical), and mutating the forwarding table while frames are inside
+that window is incompatible with folding.  A switch crash inside the
+window is handled: ``Node.fail`` revokes the reservation and
+``_unfold_forward`` re-runs the unfolded ``_forward`` — failed check
+and all — rolling the fold-time increment back first.
 """
 
 from __future__ import annotations
@@ -42,11 +53,19 @@ class Switch(Node):
         out_port = self.table.lookup(frame.dst)
         channel = out_port.channel
         if channel is not None:
-            if channel.send_in(self.profile.switch_forward_ns, frame):
+            if channel.send_in(self.profile.switch_forward_ns, frame,
+                               self._unfold_forward):
                 self.forwarded.increment()
                 return
         self.sim.schedule(self.profile.switch_forward_ns,
                           self._forward, frame)
+
+    def _unfold_forward(self, frame: Frame) -> None:
+        """The reservation was revoked: roll back the fold-time
+        ``forwarded`` increment and re-run the unfolded ``_forward`` at
+        the slot it would have occupied (failed check included)."""
+        self.forwarded.rollback(1)
+        self._forward(frame)
 
     def _forward(self, frame: Frame) -> None:
         if self.failed:

@@ -7,26 +7,61 @@ queue decision, or an RNG draw.  This file holds that claim to account:
 
 * a hypothesis property over random star topologies — random frame
   sizes, send times, and sources, driven through a real ``Switch`` so
-  reservations, revocations, queueing, and drains all trigger — must
-  produce identical arrival logs with ``PMNET_NO_FOLD`` set and unset;
-* impaired channels must never fold, deterministically; and
+  reservations, revocations, queueing, and mid-fold conversions all
+  trigger — must produce identical arrival logs with ``PMNET_NO_FOLD``
+  set and unset;
+* a second property with frame sizes and send times quantized so that
+  sends collide with serialization boundaries on the same nanosecond,
+  stressing the tie-break claim of the in-place fold conversion;
+* impaired channels must never fold, deterministically;
+* mid-run crashes — a switch failing inside its forwarding window, a
+  PMNet device power-cut at swept instants across the request's
+  pipeline windows (the Fig 12 scenarios), a client host dying with a
+  folded send in flight — must leave every observable identical,
+  because folded sends committed before a crash are revoked back to
+  their unfolded fire-time checks; and
 * a full experiment (including the impaired fig07 loss scenarios) must
   format byte-identically in both modes.
 """
 
 import os
+from contextlib import contextmanager
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.config import NetworkProfile
+from repro.config import NetworkProfile, SystemConfig
+from repro.experiments.deploy import build_pmnet_switch
+from repro.failure.injector import FailureInjector
+from repro.failure.scenarios import client_failure_mid_run
 from repro.net.device import Node
 from repro.net.link import Impairments
 from repro.net.packet import Frame
 from repro.net.switch import Switch
 from repro.net.topology import Topology
 from repro.sim import Simulator
+from repro.sim.clock import microseconds
+from repro.workloads.handlers import StructureHandler
+from repro.workloads.kv import OpKind, Operation
+from repro.workloads.pmdk.hashmap import PMHashmap
+
+
+@contextmanager
+def _fold_mode(no_fold):
+    """Build components with folding forced off (or explicitly on)."""
+    previous = os.environ.get("PMNET_NO_FOLD")
+    try:
+        if no_fold:
+            os.environ["PMNET_NO_FOLD"] = "1"
+        else:
+            os.environ.pop("PMNET_NO_FOLD", None)
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("PMNET_NO_FOLD", None)
+        else:
+            os.environ["PMNET_NO_FOLD"] = previous
 
 
 class _Host(Node):
@@ -38,21 +73,21 @@ class _Host(Node):
         self.arrivals.append((self.sim.now, frame.src, frame.payload))
 
 
-def _run_star(num_hosts, sends, no_fold, loss_seed=None):
+def _run_star(num_hosts, sends, no_fold, loss_seed=None, profile=None,
+              fail_switch_at=None):
     """Build hosts around one switch, replay ``sends``, return arrivals.
 
     ``sends`` is a list of ``(time_ns, src_index, dst_index, size)``.
     When ``loss_seed`` is set, the uplink of host 0 gets probabilistic
-    loss — an impaired channel mixed into the same topology.
+    loss — an impaired channel mixed into the same topology.  When
+    ``fail_switch_at`` is set, the switch power-cuts at that instant and
+    recovers 30 µs later, so frames in flight around the crash exercise
+    the revocation path in one mode and the fire-time ``failed`` check
+    in the other.
     """
-    previous = os.environ.get("PMNET_NO_FOLD")
-    try:
-        if no_fold:
-            os.environ["PMNET_NO_FOLD"] = "1"
-        else:
-            os.environ.pop("PMNET_NO_FOLD", None)
+    with _fold_mode(no_fold):
         sim = Simulator(seed=loss_seed or 0)
-        profile = NetworkProfile()
+        profile = profile if profile is not None else NetworkProfile()
         topo = Topology(sim, profile)
         hosts = [topo.add(_Host(sim, f"h{i}")) for i in range(num_hosts)]
         switch = topo.add(Switch(sim, "sw", profile))
@@ -62,14 +97,12 @@ def _run_star(num_hosts, sends, no_fold, loss_seed=None):
                 impair = Impairments(loss_probability=0.5)
             topo.connect(host, switch, impairments_ab=impair)
         topo.compute_routes()
-    finally:
-        if previous is None:
-            os.environ.pop("PMNET_NO_FOLD", None)
-        else:
-            os.environ["PMNET_NO_FOLD"] = previous
     for marker, (time, src, dst, size) in enumerate(sends):
         frame = Frame(f"h{src}", f"h{dst % num_hosts}", marker, size)
         sim.schedule(time, hosts[src].ports[0].transmit, frame)
+    if fail_switch_at is not None:
+        sim.schedule_at(fail_switch_at, switch.fail)
+        sim.schedule_at(fail_switch_at + 30_000, switch.recover)
     sim.run()
     executed = sim.executed_events
     return [host.arrivals for host in hosts], executed
@@ -87,6 +120,31 @@ def _send_plans(draw):
     return num_hosts, sends
 
 
+@st.composite
+def _collision_plans(draw):
+    """Send plans engineered to land on serialization boundaries.
+
+    With zero header overhead and a 10 Gb/s line, a 1250-byte frame
+    serializes in exactly 1000 ns; quantizing send times to multiples of
+    100 ns makes sends routinely coincide — on the same nanosecond —
+    with another transmitter's ``_busy_until``, the switch's forwarding
+    instant, and each other.  Every such tie must be broken by event
+    seq numbers exactly as the unfolded path breaks it.
+    """
+    num_hosts = draw(st.integers(min_value=2, max_value=4))
+    sends = draw(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=60).map(
+                      lambda slot: slot * 100),
+                  st.integers(min_value=0, max_value=num_hosts - 1),
+                  st.integers(min_value=0, max_value=num_hosts - 1),
+                  st.just(1250)),
+        min_size=2, max_size=20))
+    return num_hosts, sends
+
+
+_COLLISION_PROFILE = NetworkProfile(header_overhead_bytes=0)
+
+
 class TestFoldIdentityProperty:
     @settings(max_examples=60, deadline=None)
     @given(plan=_send_plans())
@@ -94,6 +152,17 @@ class TestFoldIdentityProperty:
         num_hosts, sends = plan
         folded, folded_events = _run_star(num_hosts, sends, no_fold=False)
         unfolded, unfolded_events = _run_star(num_hosts, sends, no_fold=True)
+        assert folded == unfolded
+        assert folded_events <= unfolded_events
+
+    @settings(max_examples=60, deadline=None)
+    @given(plan=_collision_plans())
+    def test_same_ns_collisions_tie_break_identically(self, plan):
+        num_hosts, sends = plan
+        folded, folded_events = _run_star(
+            num_hosts, sends, no_fold=False, profile=_COLLISION_PROFILE)
+        unfolded, unfolded_events = _run_star(
+            num_hosts, sends, no_fold=True, profile=_COLLISION_PROFILE)
         assert folded == unfolded
         assert folded_events <= unfolded_events
 
@@ -134,6 +203,95 @@ class TestImpairedNeverFolds:
         finally:
             if previous is not None:
                 os.environ["PMNET_NO_FOLD"] = previous
+
+
+def _device_crash_run(crash_offset_ns, no_fold):
+    """One client, three updates, PMNet device power-cut mid-request.
+
+    ``crash_offset_ns`` is relative to the client stack's send cost, so
+    offsets sweep the crash instant across the first request's life:
+    still in the client stack, on the wire, inside the device's
+    ingress/PM/egress/ACK windows, and after the ACK departs.  Returns
+    every observable a fold could plausibly disturb.
+    """
+    with _fold_mode(no_fold):
+        cfg = SystemConfig().with_clients(1)
+        handler = StructureHandler(PMHashmap())
+        deployment = build_pmnet_switch(cfg, handler=handler)
+    sim = deployment.sim
+    injector = FailureInjector(sim)
+    device = deployment.devices[0]
+    client = deployment.clients[0]
+    crash_at = cfg.client_stack.send_ns + crash_offset_ns
+    record = injector.crash_device_at(device, crash_at)
+    injector.recover_device_at(device, crash_at + microseconds(400), record)
+    timeline = []
+
+    def client_proc():
+        for i in range(3):
+            completion = yield client.send_update(
+                Operation(OpKind.SET, key=f"k{i}", value=f"v{i}"))
+            timeline.append((sim.now, i, completion.result.ok,
+                             completion.via))
+            yield cfg.client.think_time_ns
+
+    deployment.open_all_sessions()
+    process = sim.spawn(client_proc(), "client")
+    sim.run()
+    assert not process.alive, "client never finished"
+    return (tuple(timeline),
+            tuple(sorted(handler.structure.items())),
+            int(client.retransmissions),
+            int(device.acks_sent),
+            int(device.forwarded_plain),
+            sim.now)
+
+
+class TestCrashIdentity:
+    """Fold on == fold off even when nodes die with folds in flight."""
+
+    SWITCH_SENDS = [(t, 0, 1, 1250) for t in range(0, 15_000, 700)]
+
+    @pytest.mark.parametrize("crash_at", [
+        500,     # first frame still serializing on the uplink
+        1137,    # exactly at the switch's arrival instant
+        1300,    # inside the forwarding window (reservation unstarted)
+        1437,    # exactly at the forwarding instant
+        2100,    # downlink serialization underway
+        12_345,  # steady-state mid-burst
+    ])
+    def test_switch_crash_timing_sweep(self, crash_at):
+        folded, _ = _run_star(2, self.SWITCH_SENDS, no_fold=False,
+                              fail_switch_at=crash_at)
+        unfolded, _ = _run_star(2, self.SWITCH_SENDS, no_fold=True,
+                                fail_switch_at=crash_at)
+        assert folded == unfolded
+
+    @pytest.mark.parametrize("crash_offset_ns", [
+        -500,    # request still inside the client stack's send window
+        800,     # on the wire / merge switch
+        1_200,   # the Fig 12 case-2b instant: device ingress
+        1_600,   # PM write window
+        2_400,   # egress / ACK generation
+        15_000,  # long after the ACK: crash between requests
+    ])
+    def test_device_crash_timing_sweep(self, crash_offset_ns):
+        folded = _device_crash_run(crash_offset_ns, no_fold=False)
+        unfolded = _device_crash_run(crash_offset_ns, no_fold=True)
+        assert folded == unfolded
+
+    def test_client_crash_scenario_identical(self):
+        with _fold_mode(no_fold=False):
+            folded = client_failure_mid_run()
+        with _fold_mode(no_fold=True):
+            unfolded = client_failure_mid_run()
+        for outcome in (folded, unfolded):
+            assert outcome.durable
+        assert (sorted(folded.acknowledged_updates.items())
+                == sorted(unfolded.acknowledged_updates.items()))
+        assert (sorted(folded.server_state.items())
+                == sorted(unfolded.server_state.items()))
+        assert folded.client_completions == unfolded.client_completions
 
 
 class TestExperimentIdentity:

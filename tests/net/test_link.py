@@ -234,6 +234,41 @@ class TestReservations:
         assert [(t, f.payload) for t, f in b.arrivals] == [
             (1600, "reserved"), (2600, "plain")]
 
+    def test_queued_behind_fold_converts_in_place(self, monkeypatch):
+        # A folds; B queues mid-serialization (converting A's record to
+        # the unfolded `_serialized` slot); C lands exactly at the
+        # serialize end, where the old drain event's later-allocated seq
+        # could have tie-broken differently.
+        def scenario(sim):
+            a, b, _link = _pair(sim, _fast_profile())
+            channel = a.ports[0].channel
+            channel.send(Frame("a", "b", "A", 1250))  # busy until 1000
+            sim.schedule(400, channel.send, Frame("a", "b", "B", 1250))
+            sim.schedule(1000, channel.send, Frame("a", "b", "C", 1250))
+            sim.run()
+            return [(t, f.payload) for t, f in b.arrivals]
+
+        folded = scenario(Simulator())
+        monkeypatch.setenv("PMNET_NO_FOLD", "1")
+        unfolded = scenario(Simulator())
+        assert folded == unfolded
+        assert folded == [(1100, "A"), (2100, "B"), (3100, "C")]
+
+    def test_zero_propagation_never_folds(self):
+        # With a zero-delay wire the folded chain would execute delivery
+        # on the send-time seq instead of the serialize-instant seq the
+        # unfolded `_launch` allocates, so folding is gated off.
+        sim = Simulator()
+        profile = NetworkProfile(bandwidth_bps=10e9, propagation_ns=0,
+                                 header_overhead_bytes=0)
+        a, b, link = _pair(sim, profile)
+        assert a.ports[0].channel.send_in(500, Frame("a", "b", None, 1250)) \
+            is False
+        a.ports[0].transmit(Frame("a", "b", None, 1250))
+        sim.run()
+        assert int(link.forward.folded_sends) == 0
+        assert [t for t, _f in b.arrivals] == [1000]
+
     def test_revocation_matches_unfolded_timeline(self, monkeypatch):
         def scenario(sim, fold):
             a, b, _link = _pair(sim, _fast_profile())
@@ -252,6 +287,62 @@ class TestReservations:
         monkeypatch.setenv("PMNET_NO_FOLD", "1")
         unfolded = scenario(Simulator(), fold=False)
         assert folded == unfolded
+
+
+class TestRevocationLiveness:
+    def test_revoked_reservation_routes_through_on_revoke(self):
+        # The revoked heap slot must run the owner's fire-time callback,
+        # not re-enter Channel.send directly.
+        sim = Simulator()
+        a, b, _link = _pair(sim, _fast_profile())
+        channel = a.ports[0].channel
+        observed = []
+
+        def on_revoke(frame):
+            observed.append((sim.now, frame.payload))
+            channel.send(frame)
+
+        assert channel.send_in(500, Frame("a", "b", "reserved", 1250),
+                               on_revoke) is True
+        sim.schedule(100, channel.send, Frame("a", "b", "plain", 1250))
+        sim.run()
+        assert observed == [(500, "reserved")]
+        assert [(t, f.payload) for t, f in b.arrivals] == [
+            (1200, "plain"), (2200, "reserved")]
+
+    def test_failed_node_never_transmits_revoked_reservation(self):
+        # Node.fail revokes pending unstarted reservations; the
+        # on_revoke fire-time check then drops the frame, exactly as
+        # the unfolded owner callback would have.
+        sim = Simulator()
+        a, b, _link = _pair(sim, _fast_profile())
+        channel = a.ports[0].channel
+
+        def on_revoke(frame):
+            if a.failed:
+                return
+            channel.send(frame)
+
+        assert channel.send_in(500, Frame("a", "b", "doomed", 1250),
+                               on_revoke) is True
+        sim.schedule(200, a.fail)  # inside the pre-delay gap
+        sim.run()
+        assert b.arrivals == []
+        assert int(channel.bytes_sent) == 0
+        assert int(channel.folded_sends) == 0
+
+    def test_started_reservation_survives_node_failure(self):
+        # Serialization began before the crash: the unfolded timeline
+        # had committed the frame to the wire too, so it delivers.
+        sim = Simulator()
+        a, b, _link = _pair(sim, _fast_profile())
+        channel = a.ports[0].channel
+        assert channel.send_in(500, Frame("a", "b", "committed", 1250),
+                               lambda frame: None) is True
+        sim.schedule(700, a.fail)  # serialization started at 500
+        sim.run()
+        assert [(t, f.payload) for t, f in b.arrivals] == [
+            (1600, "committed")]
 
 
 class TestChannelSummary:

@@ -59,6 +59,21 @@ class TestSwitch:
         sim.run()
         assert b.arrivals == []
 
+    def test_crash_inside_forward_window_drops_frame(self):
+        # The frame reaches the switch at 1137 ns (1037 serialize + 100
+        # wire); the forwarding window runs to 1437 ns.  A crash at
+        # 1300 ns lands inside it: the folded reservation must be
+        # revoked, the fold-time forwarded increment rolled back, and
+        # the frame dropped — exactly as the unfolded `_forward`
+        # callback's failed check would have done.
+        sim = Simulator()
+        _topo, a, b, sw, _la, _lb = _wired(sim)
+        a.ports[0].transmit(Frame("a", "b", None, 1250))
+        sim.schedule_at(1300, sw.fail)
+        sim.run()
+        assert b.arrivals == []
+        assert int(sw.forwarded) == 0
+
     def test_recovered_switch_forwards_again(self):
         sim = Simulator()
         _topo, a, b, sw, _la, _lb = _wired(sim)
