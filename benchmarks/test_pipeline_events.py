@@ -41,3 +41,24 @@ class TestPipelineEvents:
         assert on <= MAX_EVENT_RATIO * off, (
             f"folded path spends {on:.2f} events/request vs {off:.2f} "
             f"unfolded — ratio {on / off:.2f} exceeds {MAX_EVENT_RATIO}")
+
+    def test_floor_holds_with_spans_enabled(self, benchmark, capsys):
+        """The observability overhead guarantee: recording lifecycle
+        spans must not add events or move a single latency sample, so
+        the folded-path floor holds unchanged with spans on."""
+        result = benchmark.pedantic(
+            run_pipeline_benchmark,
+            kwargs={"clients": 32, "requests_per_client": 20, "repeats": 1,
+                    "spans": True},
+            rounds=1, iterations=1)
+        with capsys.disabled():
+            print(f"\n[spans enabled] {format_result(result)}\n")
+        assert result["spans"] is True
+        assert result["latencies_identical"], (
+            "span recording perturbed request latencies")
+        on = result["fold"]["events_per_request"]
+        off = result["no_fold"]["events_per_request"]
+        assert on <= MAX_EVENT_RATIO * off, (
+            f"with spans on, folded path spends {on:.2f} events/request "
+            f"vs {off:.2f} unfolded — ratio {on / off:.2f} exceeds "
+            f"{MAX_EVENT_RATIO}")

@@ -15,6 +15,11 @@ Usage::
                                       #   -> BENCH_pipeline.json
     pmnet-repro profile               # where do the events go? (a
                                       #   per-call-site event report)
+    pmnet-repro metrics --experiment fig02
+                                      # span-derived per-stage latency
+                                      #   breakdown (+ --json/--prometheus)
+    pmnet-repro trace --experiment pmnet
+                                      # dump the structured trace log
 
 ``run`` executes every sweep point of every selected experiment as an
 independent job (see ``repro.experiments.jobs``): points fan out over
@@ -196,7 +201,70 @@ def _cmd_bench_pipeline(clients: int, requests: int,
     return 0 if result["latencies_identical"] else 1
 
 
-def _cmd_profile(clients: int, requests: int, no_fold: bool, top: int) -> int:
+def _cmd_metrics(scenario_id: str, json_path: Optional[str],
+                 prometheus_path: Optional[str],
+                 seed: Optional[int]) -> int:
+    from repro.errors import ExperimentError
+    from repro.experiments.instrumented import (SCENARIOS, format_breakdown,
+                                                metrics_report,
+                                                run_instrumented)
+    from repro.obs.export import to_prometheus, validate_metrics
+    if scenario_id not in SCENARIOS:
+        print(f"unknown scenario {scenario_id!r}; choose from "
+              f"{sorted(SCENARIOS)}", file=sys.stderr)
+        return 2
+    try:
+        run = run_instrumented(scenario_id, seed=seed)
+        payload = metrics_report(run)
+    except ExperimentError as error:
+        print(error, file=sys.stderr)
+        return 1
+    problems = validate_metrics(payload)
+    if problems:
+        for problem in problems:
+            print(f"invalid metrics payload: {problem}", file=sys.stderr)
+        return 1
+    print(format_breakdown(payload))
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {json_path}", file=sys.stderr)
+    if prometheus_path:
+        with open(prometheus_path, "w", encoding="utf-8") as handle:
+            handle.write(to_prometheus(payload["instruments"]))
+        print(f"wrote {prometheus_path}", file=sys.stderr)
+    return 0
+
+
+def _cmd_trace(scenario_id: str, limit: int, component: Optional[str],
+               event: Optional[str], seed: Optional[int]) -> int:
+    from repro.errors import ExperimentError
+    from repro.experiments.instrumented import SCENARIOS, run_instrumented
+    if scenario_id not in SCENARIOS:
+        print(f"unknown scenario {scenario_id!r}; choose from "
+              f"{sorted(SCENARIOS)}", file=sys.stderr)
+        return 2
+    try:
+        run = run_instrumented(scenario_id, trace=True, seed=seed)
+    except ExperimentError as error:
+        print(error, file=sys.stderr)
+        return 1
+    tracer = run.obs.tracer
+    records = list(tracer.filter(component=component, event=event))
+    shown = records[:limit] if limit else records
+    for record in shown:
+        print(record)
+    summary = (f"{len(shown)} of {len(records)} matching record(s), "
+               f"{len(tracer.records)} total")
+    if tracer.dropped:
+        summary += f", {tracer.dropped} dropped"
+    print(summary, file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(clients: int, requests: int, no_fold: bool, top: int,
+                 json_path: Optional[str] = None) -> int:
     from repro.experiments.pipeline_bench import _run_mode
     from repro.sim.profiler import EventProfiler  # noqa: F401 (re-export)
     try:
@@ -214,6 +282,16 @@ def _cmd_profile(clients: int, requests: int, no_fold: bool, top: int) -> int:
               f"{count / run['requests']:>8.2f}  {site}")
     print(f"{run['executed_events']:>10}  {'100%':>6}  "
           f"{run['events_per_request']:>8.2f}  TOTAL")
+    if json_path is not None:
+        from repro.obs.export import write_bench_report
+        payload = {key: value for key, value in run.items()
+                   if key != "latency_samples"}
+        payload["benchmark"] = "event_profile"
+        payload["clients"] = clients
+        payload["requests_per_client"] = requests
+        written = write_bench_report("profile", payload, json_path,
+                                     quick=True)
+        print(f"wrote {written}", file=sys.stderr)
     return 0
 
 
@@ -246,8 +324,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="events per run (default 300000)")
     bench_parser.add_argument("--repeats", type=int, default=3,
                               help="runs to take the best of (default 3)")
-    bench_parser.add_argument("--output", default=None,
-                              help="result path (default BENCH_kernel.json)")
+    bench_parser.add_argument("--json", "--output", default=None,
+                              dest="output", metavar="PATH",
+                              help="report path (default BENCH_kernel.json)")
     bench_exp = sub.add_parser(
         "bench-experiments",
         help="time serial vs parallel experiment sweeps, write "
@@ -259,8 +338,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench_exp.add_argument("--jobs", type=int, default=None, metavar="N",
                            help="worker processes for the parallel pass "
                                 "(default: all cores)")
-    bench_exp.add_argument("--output", default=None,
-                           help="result path "
+    bench_exp.add_argument("--json", "--output", default=None,
+                           dest="output", metavar="PATH",
+                           help="report path "
                                 "(default BENCH_experiments.json)")
     bench_pipe = sub.add_parser(
         "bench-pipeline",
@@ -270,8 +350,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                             help="closed-loop clients (default 32)")
     bench_pipe.add_argument("--requests", type=int, default=20,
                             help="requests per client (default 20)")
-    bench_pipe.add_argument("--output", default=None,
-                            help="result path (default BENCH_pipeline.json)")
+    bench_pipe.add_argument("--json", "--output", default=None,
+                            dest="output", metavar="PATH",
+                            help="report path (default BENCH_pipeline.json)")
     profile_parser = sub.add_parser(
         "profile",
         help="attribute executed events to call sites on the stress "
@@ -284,6 +365,41 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 help="profile the unfolded paths instead")
     profile_parser.add_argument("--top", type=int, default=15,
                                 help="call sites to show (default 15)")
+    profile_parser.add_argument("--json", "--output", default=None,
+                                dest="output", metavar="PATH",
+                                help="also write the enveloped profile "
+                                     "report as JSON to PATH")
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="run an instrumented scenario and print the span-derived "
+             "per-stage latency breakdown")
+    metrics_parser.add_argument("--experiment", default="fig02",
+                                metavar="ID", dest="scenario",
+                                help="scenario id (default fig02; see "
+                                     "docs/observability.md)")
+    metrics_parser.add_argument("--json", default=None, metavar="PATH",
+                                dest="json_path",
+                                help="write the pmnet-repro-metrics/1 "
+                                     "payload to PATH")
+    metrics_parser.add_argument("--prometheus", default=None, metavar="PATH",
+                                help="write Prometheus text format to PATH")
+    metrics_parser.add_argument("--seed", type=int, default=None,
+                                help="override the scenario seed")
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run an instrumented scenario with tracing on and dump the "
+             "structured trace log")
+    trace_parser.add_argument("--experiment", default="fig02",
+                              metavar="ID", dest="scenario",
+                              help="scenario id (default fig02)")
+    trace_parser.add_argument("--limit", type=int, default=100,
+                              help="records to print (default 100; 0 = all)")
+    trace_parser.add_argument("--component", default=None,
+                              help="only records from this component")
+    trace_parser.add_argument("--event", default=None,
+                              help="only records with this event name")
+    trace_parser.add_argument("--seed", type=int, default=None,
+                              help="override the scenario seed")
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -296,7 +412,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_bench_pipeline(args.clients, args.requests, args.output)
     if args.command == "profile":
         return _cmd_profile(args.clients, args.requests, args.no_fold,
-                            args.top)
+                            args.top, args.output)
+    if args.command == "metrics":
+        return _cmd_metrics(args.scenario, args.json_path, args.prometheus,
+                            args.seed)
+    if args.command == "trace":
+        return _cmd_trace(args.scenario, args.limit, args.component,
+                          args.event, args.seed)
     return _cmd_run(args.experiments, quick=not args.full, jobs=args.jobs,
                     json_path=args.json_path, use_cache=not args.no_cache,
                     cache_dir=args.cache_dir)

@@ -34,9 +34,11 @@ from repro.protocol.packet import (
     RecoveryPoll,
     RetransRequest,
 )
+from repro.obs import spans
+from repro.obs.registry import register_with_sim
 from repro.protocol.types import PacketType
 from repro.sim.monitor import Counter
-from repro.sim.trace import GLOBAL_TRACER, Tracer
+from repro.sim.trace import Tracer
 from repro.workloads.kv import Operation, Result
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -57,7 +59,8 @@ class PMNetDevice(Node):
         self.config = config
         self.mode = mode
         self.table = ForwardingTable()
-        self.tracer = tracer or GLOBAL_TRACER
+        self.tracer = tracer if tracer is not None else sim.tracer
+        self._spans = spans.spans_for(sim)
         self.pm = PMDevice(sim, f"{name}.pm", config.network_pm)
         self.write_queue = LogQueue(sim, f"{name}.wq",
                                     config.log.write_queue_bytes,
@@ -80,6 +83,12 @@ class PMNetDevice(Node):
         self.folded_stages = Counter(f"{name}.folded_stages")
         self._fold = folding_enabled()
         self._scrub_armed = False
+        register_with_sim(sim, self)
+
+    def instruments(self) -> tuple:
+        """This device's typed instruments (explicit registration)."""
+        return (self.acks_sent, self.cache_responses, self.retrans_served,
+                self.forwarded_plain, self.redo_resends, self.folded_stages)
 
     # ------------------------------------------------------------------
     # Frame entry point
@@ -166,6 +175,12 @@ class PMNetDevice(Node):
     def _log_update(self, frame: Frame, packet: PMNetPacket) -> None:
         if self.failed:
             return
+        if self._spans is not None:
+            # Fires at the same virtual time folded and unfolded: the
+            # fold collapses ingress+PM-stage into one deferred event
+            # ending exactly here.
+            self._spans.record(packet.request_id, spans.LOG_WRITE,
+                               self.sim.now)
         logged = self.log.try_log(packet, self._on_persisted)
         if logged:
             self._arm_scrubber()
@@ -192,6 +207,9 @@ class PMNetDevice(Node):
             return
         packet = entry.packet
         ack = packet.make_ack(PacketType.PMNET_ACK, origin_device=self.name)
+        if self._spans is not None:
+            self._spans.record(packet.request_id, spans.PMNET_ACK,
+                               self.sim.now)
         self.acks_sent.increment()
         self.tracer.emit(self.sim.now, self.name, "pmnet_ack",
                          req=packet.request_id, seq=packet.seq_num)
@@ -240,6 +258,9 @@ class PMNetDevice(Node):
     def _handle_server_ack(self, frame: Frame, packet: PMNetPacket) -> None:
         entry = self.log.lookup(packet.hash_val)
         if entry is not None:
+            if self._spans is not None:
+                self._spans.record(packet.request_id, spans.LOG_INVALIDATE,
+                                   self.sim.now)
             op = (entry.packet.payload
                   if isinstance(entry.packet.payload, Operation) else None)
             self.log.invalidate(packet.hash_val)

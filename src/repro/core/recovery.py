@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
+from repro.obs import spans
+from repro.obs.registry import register_with_sim
 from repro.pm.log import LogEntry
 from repro.sim.monitor import Counter
 
@@ -49,6 +51,18 @@ class ResendEngine:
         self.skipped_committed = Counter(f"{device.name}.resend_skipped")
         self.started_at_ns: Optional[int] = None
         self.finished_at_ns: Optional[int] = None
+        self._spans = spans.spans_for(device.sim)
+        #: Distinguishes successive replays of one device in span keys.
+        self._replay_seq = 0
+        register_with_sim(device.sim, self)
+
+    def instruments(self) -> tuple:
+        """This engine's typed instruments (explicit registration)."""
+        return (self.resends, self.retries, self.skipped_committed)
+
+    def _record_replay(self, stage: str) -> None:
+        self._spans.record(("recovery", self.device.name, self._replay_seq),
+                           stage, self.device.sim.now, kind=spans.RECOVERY)
 
     # ------------------------------------------------------------------
     def start(self, server: str, expected_seq: Dict[int, int]) -> None:
@@ -85,6 +99,9 @@ class ResendEngine:
         self.active = True
         self.started_at_ns = self.device.sim.now
         self.finished_at_ns = None
+        if self._spans is not None:
+            self._replay_seq += 1
+            self._record_replay(spans.REPLAY_START)
         if not self._queue:
             self._finish()
             return
@@ -110,6 +127,8 @@ class ResendEngine:
     def _transmit_resend(self, entry: LogEntry) -> None:
         if not self.active:
             return
+        if self._spans is not None:
+            self._record_replay(spans.REPLAY_RESEND)
         self.resends.increment()
         self.device._transmit_packet(entry.packet.as_resent(),
                                      self._target_server)
@@ -153,6 +172,8 @@ class ResendEngine:
             return
         self.active = False
         self.finished_at_ns = self.device.sim.now
+        if self._spans is not None:
+            self._record_replay(spans.REPLAY_DONE)
         self.device.tracer.emit(self.device.sim.now, self.device.name,
                                 "resend_complete",
                                 resent=int(self.resends))

@@ -16,7 +16,6 @@ Two entry points use this module: ``pmnet-repro bench-experiments``
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from typing import Dict, List, Optional, Sequence
@@ -111,12 +110,11 @@ def run_experiment_benchmark(
 
 def write_result(result: Dict[str, object],
                  path: Optional[str] = None) -> str:
-    """Write a benchmark result as JSON; return the path written."""
+    """Write the enveloped benchmark report as JSON; return the path."""
+    from repro.obs.export import write_bench_report
+
     target = path or BENCH_RESULT_FILE
-    with open(target, "w", encoding="utf-8") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return target
+    return write_bench_report('experiments', result, target, quick=bool(result.get("quick", True)))
 
 
 def format_result(result: Dict[str, object]) -> str:

@@ -33,6 +33,7 @@ from repro.host.server import PMNetServer
 from repro.host.stackmodel import UDP, HostStack
 from repro.net.switch import Switch
 from repro.net.topology import Topology
+from repro.obs.context import Observability
 from repro.protocol.session import SessionAllocator
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Tracer
@@ -50,6 +51,9 @@ class Deployment:
     devices: List[PMNetDevice] = field(default_factory=list)
     switches: List[Switch] = field(default_factory=list)
     tracer: Optional[Tracer] = None
+    #: The observability bundle attached to the simulator (``None`` when
+    #: the run is uninstrumented — the zero-cost default).
+    obs: Optional[Observability] = None
     #: Additional shard servers in multi-server deployments (the
     #: ``server`` field holds shard 0).
     extra_servers: List[PMNetServer] = field(default_factory=list)
@@ -98,9 +102,10 @@ def _make_clients(sim: Simulator, topology: Topology, config: SystemConfig,
 def build_client_server(config: SystemConfig,
                         handler: Optional[RequestHandler] = None,
                         transport: str = UDP,
-                        tracer: Optional[Tracer] = None) -> Deployment:
+                        tracer: Optional[Tracer] = None,
+                        obs: Optional[Observability] = None) -> Deployment:
     """The baseline Client-Server system: clients - switch - server."""
-    sim = Simulator(seed=config.seed)
+    sim = Simulator(seed=config.seed, obs=obs)
     topology = Topology(sim, config.network)
     switch = Switch(sim, "tor", config.network)
     topology.add(switch)
@@ -111,7 +116,7 @@ def build_client_server(config: SystemConfig,
     topology.compute_routes()
     return Deployment(sim=sim, config=config, topology=topology,
                       clients=clients, server=server, switches=[switch],
-                      tracer=tracer)
+                      tracer=tracer, obs=obs)
 
 
 def build_pmnet_switch(config: SystemConfig,
@@ -119,13 +124,14 @@ def build_pmnet_switch(config: SystemConfig,
                        replication: int = 1,
                        enable_cache: bool = False,
                        transport: str = UDP,
-                       tracer: Optional[Tracer] = None) -> Deployment:
+                       tracer: Optional[Tracer] = None,
+                       obs: Optional[Observability] = None) -> Deployment:
     """PMNet in the ToR switch position (Sec VI-A1).
 
     ``replication > 1`` places that many PMNet switches in series
     (Fig 9a) and makes every client wait for all of their ACKs.
     """
-    sim = Simulator(seed=config.seed)
+    sim = Simulator(seed=config.seed, obs=obs)
     topology = Topology(sim, config.network)
     merge = Switch(sim, "merge", config.network)
     topology.add(merge)
@@ -141,20 +147,21 @@ def build_pmnet_switch(config: SystemConfig,
     topology.compute_routes()
     return Deployment(sim=sim, config=config, topology=topology,
                       clients=clients, server=server, devices=chain,
-                      switches=[merge], tracer=tracer)
+                      switches=[merge], tracer=tracer, obs=obs)
 
 
 def build_pmnet_nic(config: SystemConfig,
                     handler: Optional[RequestHandler] = None,
                     enable_cache: bool = False,
                     transport: str = UDP,
-                    tracer: Optional[Tracer] = None) -> Deployment:
+                    tracer: Optional[Tracer] = None,
+                    obs: Optional[Observability] = None) -> Deployment:
     """PMNet as the server's bump-in-the-wire NIC (Sec VI-A1).
 
     The device sits right next to the host, so its link to the server
     has near-zero propagation delay.
     """
-    sim = Simulator(seed=config.seed)
+    sim = Simulator(seed=config.seed, obs=obs)
     # The NIC-to-host hop is a short board-level wire.
     short_wire = replace(config.network, propagation_ns=20)
     topology = Topology(sim, config.network)
@@ -176,13 +183,14 @@ def build_pmnet_nic(config: SystemConfig,
     topology.compute_routes()
     return Deployment(sim=sim, config=config, topology=topology,
                       clients=clients, server=server, devices=[nic],
-                      switches=[tor], tracer=tracer)
+                      switches=[tor], tracer=tracer, obs=obs)
 
 
 def build_sharded(config: SystemConfig, num_servers: int,
                   handler_factory=None,
                   transport: str = UDP,
-                  tracer: Optional[Tracer] = None) -> Deployment:
+                  tracer: Optional[Tracer] = None,
+                  obs: Optional[Observability] = None) -> Deployment:
     """A sharded store: N servers behind one PMNet ToR switch.
 
     Each client is a :class:`~repro.host.sharded.ShardedClient` with one
@@ -194,7 +202,7 @@ def build_sharded(config: SystemConfig, num_servers: int,
 
     if num_servers <= 0:
         raise ValueError("need at least one shard server")
-    sim = Simulator(seed=config.seed)
+    sim = Simulator(seed=config.seed, obs=obs)
     topology = Topology(sim, config.network)
     merge = Switch(sim, "merge", config.network)
     topology.add(merge)
@@ -228,4 +236,4 @@ def build_sharded(config: SystemConfig, num_servers: int,
     return Deployment(sim=sim, config=config, topology=topology,
                       clients=clients, server=servers[0],
                       devices=[device], switches=[merge], tracer=tracer,
-                      extra_servers=servers[1:])
+                      obs=obs, extra_servers=servers[1:])

@@ -21,7 +21,7 @@ from typing import Callable, Dict, Iterator, Optional, Tuple
 from repro.errors import ExperimentError
 from repro.experiments.deploy import Deployment
 from repro.host.client import Completion, PMNetClient
-from repro.sim.monitor import LatencyRecorder, ThroughputMeter
+from repro.sim.monitor import _UNSET, LatencyRecorder, ThroughputMeter
 from repro.workloads.kv import Operation
 
 #: op_maker(client_index, request_index, rng) -> (Operation, payload_bytes)
@@ -67,8 +67,15 @@ class RunStats:
             else:
                 self.errors += 1
 
-    def ops_per_second(self) -> float:
-        return self.throughput.ops_per_second()
+    def ops_per_second(self, default: object = _UNSET) -> float:
+        if default is _UNSET:
+            return self.throughput.ops_per_second()
+        return self.throughput.ops_per_second(default=default)
+
+    def instruments(self) -> tuple:
+        """The run's typed instruments (explicit registration)."""
+        return (self.all_latencies, self.update_latencies,
+                self.read_latencies, self.throughput)
 
     def mean_latency_us(self) -> float:
         return self.all_latencies.mean() / 1000.0
@@ -141,6 +148,13 @@ def run_sessions(deployment: Deployment, session_factory: SessionFactory,
     """Drive every client with a workload-defined session generator."""
     sim = deployment.sim
     stats = RunStats()
+    if deployment.obs is not None:
+        # Driving the same instrumented deployment twice would re-create
+        # same-named run instruments, so only the first run's register.
+        registry = deployment.obs.registry
+        for instrument in stats.instruments():
+            if instrument.name not in registry:
+                registry.register(instrument)
     deployment.open_all_sessions()
     processes = []
     for index, client in enumerate(deployment.clients):

@@ -1,0 +1,201 @@
+"""Instrumented scenario runs for the ``metrics`` and ``trace`` CLI.
+
+Each scenario builds a deployment with an :class:`Observability` bundle
+attached, drives a closed-loop workload, and hands back everything the
+exporters need: the registry of instrument summaries and the span-derived
+per-stage latency breakdown.  ``fig02`` runs the baseline client-server
+system (the per-stage shape of the paper's Fig 2 latency anatomy) and the
+PMNet scenarios run the in-switch design point; both reproduce their
+breakdown *from spans*, and :func:`metrics_report` cross-checks that the
+span end-to-end times cover the driver's independently measured latency
+samples exactly before emitting anything.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.config import SystemConfig
+from repro.errors import ExperimentError
+from repro.experiments.deploy import (
+    Deployment,
+    build_client_server,
+    build_pmnet_switch,
+)
+from repro.experiments.driver import RunStats, run_closed_loop
+from repro.obs import spans as span_stages
+from repro.obs.context import Observability
+from repro.obs.export import config_digest, metrics_payload
+from repro.obs.spans import lifecycle_groups, stage_deltas
+from repro.workloads.kv import OpKind, Operation
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One instrumentable workload: a deployment plus a closed loop."""
+
+    scenario_id: str
+    description: str
+    #: "baseline" (client-switch-server) or "pmnet" (in-switch logging).
+    system: str
+    clients: int
+    requests_per_client: int
+    payload_bytes: int
+    warmup_requests: int = 5
+
+
+#: Scenario ids accepted by ``pmnet-repro metrics`` / ``trace``.
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.scenario_id: scenario
+    for scenario in (
+        Scenario("fig02", "baseline client-server latency anatomy "
+                          "(Fig 2's stage shape, from spans)",
+                 system="baseline", clients=8, requests_per_client=20,
+                 payload_bytes=256),
+        Scenario("pmnet", "PMNet in-switch update path with early ACKs",
+                 system="pmnet", clients=8, requests_per_client=20,
+                 payload_bytes=1000),
+        Scenario("stress", "PMNet under the pipeline-benchmark load",
+                 system="pmnet", clients=32, requests_per_client=20,
+                 payload_bytes=1000),
+    )
+}
+
+
+@dataclass
+class InstrumentedRun:
+    """Everything one instrumented scenario run produced."""
+
+    scenario: Scenario
+    deployment: Deployment
+    obs: Observability
+    stats: RunStats
+
+
+def run_instrumented(scenario_id: str, trace: bool = False,
+                     seed: Optional[int] = None) -> InstrumentedRun:
+    """Build, instrument, and drive one scenario."""
+    scenario = SCENARIOS.get(scenario_id)
+    if scenario is None:
+        raise ExperimentError(
+            f"unknown scenario {scenario_id!r}; choose from "
+            f"{sorted(SCENARIOS)}")
+    config = SystemConfig(num_clients=scenario.clients,
+                          payload_bytes=scenario.payload_bytes)
+    if seed is not None:
+        config = replace(config, seed=seed)
+    obs = Observability(spans=True, trace=trace)
+    if scenario.system == "baseline":
+        deployment = build_client_server(config, obs=obs)
+    else:
+        deployment = build_pmnet_switch(config, obs=obs)
+
+    def op_maker(client_index: int, request_index: int, _rng):
+        return (Operation(OpKind.SET, key=f"k{client_index}-{request_index}",
+                          value=b"v"),
+                scenario.payload_bytes)
+
+    stats = run_closed_loop(deployment, op_maker,
+                            requests_per_client=scenario.requests_per_client,
+                            warmup_requests=scenario.warmup_requests)
+    return InstrumentedRun(scenario=scenario, deployment=deployment,
+                           obs=obs, stats=stats)
+
+
+def _span_end_to_end(run: InstrumentedRun) -> TallyCounter:
+    """Multiset of span-derived end-to-end latencies (ns)."""
+    totals: TallyCounter = TallyCounter()
+    for span in run.obs.spans.spans(kind=span_stages.REQUEST):
+        events = span.events
+        start = next((i for i, (stage, _t) in enumerate(events)
+                      if stage == span_stages.CLIENT_SEND), None)
+        if start is None:
+            continue
+        end = next((i for i, (stage, _t) in enumerate(events)
+                    if stage == span_stages.COMPLETED and i > start), None)
+        if end is not None:
+            totals[events[end][1] - events[start][1]] += 1
+    return totals
+
+
+def check_consistency(run: InstrumentedRun) -> List[str]:
+    """Cross-check spans against the driver's measured latencies.
+
+    The driver measures each request's latency independently (sim.now
+    around the completion event); every measured sample must appear among
+    the span end-to-end times (spans additionally cover warm-up requests,
+    so containment — not equality — is the invariant).
+    """
+    problems: List[str] = []
+    span_totals = _span_end_to_end(run)
+    driver_totals = TallyCounter(run.stats.all_latencies.samples)
+    for latency, count in driver_totals.items():
+        if span_totals.get(latency, 0) < count:
+            problems.append(
+                f"driver measured {count} request(s) at {latency}ns but "
+                f"spans contain only {span_totals.get(latency, 0)}")
+    return problems
+
+
+def metrics_report(run: InstrumentedRun) -> dict:
+    """The scenario's ``pmnet-repro-metrics/1`` payload.
+
+    Registers one per-transition :class:`~repro.obs.registry.Histogram`
+    per observed stage pair (``span.{from}->{to}``), then assembles the
+    instruments + spans payload.  Raises :class:`ExperimentError` when
+    the span-derived breakdown disagrees with the driver's measured
+    latencies — a broken breakdown must never be exported silently.
+    """
+    problems = check_consistency(run)
+    if problems:
+        raise ExperimentError(
+            "span/driver latency mismatch: " + "; ".join(problems))
+    registry = run.obs.registry
+    for (stage_from, stage_to), deltas in sorted(
+            stage_deltas(run.obs.spans).items()):
+        name = f"span.{stage_from}->{stage_to}"
+        histogram = (registry.get(name) if name in registry
+                     else registry.histogram(name))
+        histogram.extend(deltas)
+    groups, incomplete = lifecycle_groups(run.obs.spans)
+    span_report = {
+        "count": len(run.obs.spans),
+        "dropped": run.obs.spans.dropped,
+        "incomplete": incomplete,
+        "groups": groups,
+    }
+    return metrics_payload(
+        registry.summaries(), span_report,
+        scenario=run.scenario.scenario_id,
+        description=run.scenario.description,
+        config_digest=config_digest(run.deployment.config),
+        requests=run.stats.requests,
+        mean_latency_us=run.stats.mean_latency_us(),
+        p99_latency_us=run.stats.p99_latency_us(),
+    )
+
+
+def format_breakdown(payload: dict) -> str:
+    """Human-readable per-stage latency breakdown from a metrics payload."""
+    lines = [f"scenario {payload['scenario']}: {payload['description']}",
+             f"requests {payload['requests']}  "
+             f"mean {payload['mean_latency_us']:.2f}us  "
+             f"p99 {payload['p99_latency_us']:.2f}us"]
+    for group in payload["spans"]["groups"]:
+        lines.append("")
+        lines.append(f"lifecycle x{group['requests']}: "
+                     + " -> ".join(group["signature"]))
+        lines.append(f"{'stage':<34} {'mean us':>10} {'total us':>12}")
+        for stage in group["stages"]:
+            label = f"{stage['from']} -> {stage['to']}"
+            lines.append(f"{label:<34} {stage['mean_ns'] / 1000:>10.3f} "
+                         f"{stage['total_ns'] / 1000:>12.1f}")
+        e2e = group["end_to_end"]
+        lines.append(f"{'end-to-end':<34} {e2e['mean_ns'] / 1000:>10.3f} "
+                     f"{e2e['total_ns'] / 1000:>12.1f}")
+    incomplete = payload["spans"].get("incomplete", 0)
+    if incomplete:
+        lines.append(f"({incomplete} span(s) without a complete window)")
+    return "\n".join(lines)

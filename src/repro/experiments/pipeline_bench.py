@@ -19,7 +19,6 @@ Two entry points use this module: ``pmnet-repro bench-pipeline``
 
 from __future__ import annotations
 
-import json
 import os
 import time
 from typing import Dict, Optional
@@ -37,9 +36,16 @@ PAYLOAD = 1000
 
 
 def _run_mode(no_fold: bool, clients: int, requests_per_client: int,
-              seed: int) -> Dict[str, object]:
+              seed: int, spans: bool = False) -> Dict[str, object]:
     """One measured run; folding is toggled via the same environment
-    switch users have (read at deployment construction time)."""
+    switch users have (read at deployment construction time).
+
+    ``spans=True`` attaches an :class:`~repro.obs.context.Observability`
+    with the span recorder enabled — the overhead-guarantee benchmark
+    variant: latencies and event counts must not move.
+    """
+    from repro.obs.context import Observability
+
     previous = os.environ.get("PMNET_NO_FOLD")
     try:
         if no_fold:
@@ -48,7 +54,8 @@ def _run_mode(no_fold: bool, clients: int, requests_per_client: int,
             os.environ.pop("PMNET_NO_FOLD", None)
         config = SystemConfig(seed=seed).with_clients(clients).with_payload(
             PAYLOAD)
-        deployment = build_pmnet_switch(config)
+        obs = Observability(spans=True) if spans else None
+        deployment = build_pmnet_switch(config, obs=obs)
     finally:
         if previous is None:
             os.environ.pop("PMNET_NO_FOLD", None)
@@ -81,15 +88,15 @@ def _run_mode(no_fold: bool, clients: int, requests_per_client: int,
 
 
 def _best_of(no_fold: bool, clients: int, requests_per_client: int,
-             seed: int, repeats: int) -> Dict[str, object]:
+             seed: int, repeats: int, spans: bool = False) -> Dict[str, object]:
     """Repeat one mode, keeping the least-disturbed wall clock.
 
     Event counts and latency samples are deterministic — identical on
     every repeat — so only the wall-clock fields take the best-of-N
     microbenchmark reduction."""
-    best = _run_mode(no_fold, clients, requests_per_client, seed)
+    best = _run_mode(no_fold, clients, requests_per_client, seed, spans)
     for _ in range(repeats - 1):
-        again = _run_mode(no_fold, clients, requests_per_client, seed)
+        again = _run_mode(no_fold, clients, requests_per_client, seed, spans)
         if again["wall_seconds"] < best["wall_seconds"]:
             best["wall_seconds"] = again["wall_seconds"]
             best["requests_per_second"] = again["requests_per_second"]
@@ -97,14 +104,15 @@ def _best_of(no_fold: bool, clients: int, requests_per_client: int,
 
 
 def run_pipeline_benchmark(clients: int = 32, requests_per_client: int = 20,
-                           seed: int = 0,
-                           repeats: int = 3) -> Dict[str, object]:
+                           seed: int = 0, repeats: int = 3,
+                           spans: bool = False) -> Dict[str, object]:
     """Measure both modes; return the comparison (JSON-ready)."""
     if clients <= 0 or requests_per_client <= 0 or repeats <= 0:
         raise ValueError(
             "clients, requests_per_client, and repeats must be positive")
-    fold = _best_of(False, clients, requests_per_client, seed, repeats)
-    no_fold = _best_of(True, clients, requests_per_client, seed, repeats)
+    fold = _best_of(False, clients, requests_per_client, seed, repeats, spans)
+    no_fold = _best_of(True, clients, requests_per_client, seed, repeats,
+                       spans)
     identical = fold.pop("latency_samples") == no_fold.pop("latency_samples")
     on = fold["events_per_request"]
     off = no_fold["events_per_request"]
@@ -114,6 +122,7 @@ def run_pipeline_benchmark(clients: int = 32, requests_per_client: int = 20,
         "requests_per_client": requests_per_client,
         "seed": seed,
         "repeats": repeats,
+        "spans": spans,
         "fold": fold,
         "no_fold": no_fold,
         "events_per_request_reduction": (off - on) / off if off else 0.0,
@@ -123,12 +132,11 @@ def run_pipeline_benchmark(clients: int = 32, requests_per_client: int = 20,
 
 def write_result(result: Dict[str, object],
                  path: Optional[str] = None) -> str:
-    """Write a benchmark result as JSON; return the path written."""
+    """Write the enveloped benchmark report as JSON; return the path."""
+    from repro.obs.export import write_bench_report
+
     target = path or BENCH_RESULT_FILE
-    with open(target, "w", encoding="utf-8") as handle:
-        json.dump(result, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    return target
+    return write_bench_report('pipeline', result, target, quick=True)
 
 
 def format_result(result: Dict[str, object]) -> str:

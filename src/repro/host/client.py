@@ -22,13 +22,15 @@ from repro.core.replication import ReplicationPolicy, SINGLE_LOG
 from repro.errors import SessionError
 from repro.host.node import HostNode
 from repro.net.packet import Frame
+from repro.obs import spans
+from repro.obs.registry import register_with_sim
 from repro.protocol.fragment import fragment_request, max_fragment_payload
 from repro.protocol.packet import PMNetPacket, RetransRequest
 from repro.protocol.session import Session, SessionAllocator
 from repro.protocol.types import PacketType
 from repro.sim.event import SimEvent
 from repro.sim.monitor import Counter
-from repro.sim.trace import GLOBAL_TRACER, Tracer
+from repro.sim.trace import Tracer
 from repro.workloads.kv import Operation, Result
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -83,7 +85,8 @@ class PMNetClient:
         self.allocator = allocator
         self.policy = policy
         self.max_retries = max_retries
-        self.tracer = tracer or GLOBAL_TRACER
+        self.tracer = tracer if tracer is not None else sim.tracer
+        self._spans = spans.spans_for(sim)
         if bind:
             # A sharded wrapper owns the host endpoint and demultiplexes
             # frames to per-server sub-clients instead.
@@ -103,6 +106,12 @@ class PMNetClient:
         # so a folded send dies with the host exactly as an unfolded
         # one would.  Fold the stack send cost into the NIC channel.
         host.fold_outbound = True
+        register_with_sim(sim, self)
+
+    def instruments(self) -> tuple:
+        """This client's typed instruments (explicit registration)."""
+        return (self.completed_pmnet, self.completed_server,
+                self.completed_cache, self.retransmissions)
 
     # ------------------------------------------------------------------
     # Table I interface
@@ -149,6 +158,9 @@ class PMNetClient:
             completion=self.sim.event(f"req{packets[0].request_id}"),
             is_update=is_update)
         self._pending[packets[0].request_id] = state
+        if self._spans is not None:
+            self._spans.record(packets[0].request_id, spans.CLIENT_SEND,
+                               self.sim.now)
         self.tracer.emit(self.sim.now, self.host.name, "request_sent",
                          req=packets[0].request_id,
                          session=packets[0].session_id,
@@ -225,6 +237,9 @@ class PMNetClient:
                    "cache": self.completed_cache}[via]
         counter.increment()
         first = state.packets[0]
+        if self._spans is not None:
+            self._spans.record(first.request_id, spans.CLIENT_COMPLETE,
+                               self.sim.now)
         self.tracer.emit(self.sim.now, self.host.name, "completed",
                          req=first.request_id, session=first.session_id,
                          seq=first.seq_num, via=via,
@@ -233,11 +248,17 @@ class PMNetClient:
         completion = Completion(result=result, via=via,
                                 retransmissions=state.retransmissions)
         self.sim.schedule(self.host.stack.dispatch_cost(),
-                          self._succeed, state.completion, completion)
+                          self._succeed, state.completion, completion,
+                          first.request_id)
 
-    @staticmethod
-    def _succeed(event: SimEvent, value: Completion) -> None:
+    def _succeed(self, event: SimEvent, value: Completion,
+                 request_id: int) -> None:
         if not event.triggered:
+            if self._spans is not None:
+                # The instant the application wakes up — the driver's
+                # measured completion time, so span end-to-end equals the
+                # experiment's latency sample exactly.
+                self._spans.record(request_id, spans.COMPLETED, self.sim.now)
             event.succeed(value)
 
     # ------------------------------------------------------------------

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Any, Optional, Protocol
 from repro.errors import NetworkError
 from repro.net.device import Node, Port
 from repro.net.packet import Frame
+from repro.obs.registry import register_with_sim
 from repro.sim.monitor import Counter
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -51,6 +52,11 @@ class HostNode(Node):
         #: this stays an opt-in for hosts that never crash mid-run:
         #: client endpoints enable it, server hosts stay unfolded.
         self.fold_outbound = False
+        register_with_sim(sim, self)
+
+    def instruments(self) -> tuple:
+        """This host's typed instruments (explicit registration)."""
+        return (self.frames_received, self.frames_sent)
 
     # ------------------------------------------------------------------
     def bind(self, endpoint: Endpoint) -> None:

@@ -32,11 +32,13 @@ from repro.protocol.packet import (
     next_request_id,
 )
 from repro.protocol.types import PacketType
+from repro.obs import spans
+from repro.obs.registry import register_with_sim
 from repro.sim.clock import microseconds
 from repro.sim.event import SimEvent
 from repro.sim.monitor import Counter
 from repro.sim.process import Interrupted, Process
-from repro.sim.trace import GLOBAL_TRACER, Tracer
+from repro.sim.trace import Tracer
 from repro.workloads.kv import OpKind, Operation, Result, estimate_result_bytes
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -63,7 +65,8 @@ class PMNetServer:
         self.handler = handler
         self.config = config
         self.gap_timeout_ns = gap_timeout_ns
-        self.tracer = tracer or GLOBAL_TRACER
+        self.tracer = tracer if tracer is not None else sim.tracer
+        self._spans = spans.spans_for(sim)
         host.bind(self)
         self.reorder = ReorderBuffer()
         self.reassembler = Reassembler()
@@ -91,6 +94,12 @@ class PMNetServer:
         #: application drops PMNet traffic until its PM pools are open.
         self._app_ready = True
         self._spawn_workers()
+        register_with_sim(sim, self)
+
+    def instruments(self) -> tuple:
+        """This server's typed instruments (explicit registration)."""
+        return (self.processed, self.makeup_acks, self.retrans_sent,
+                self.recovery_repolls)
 
     # ------------------------------------------------------------------
     def _spawn_workers(self) -> None:
@@ -256,6 +265,9 @@ class PMNetServer:
                 self.persistent_applied.get(sid, 0),
                 fragments[-1].seq_num + 1)
         self.processed.increment()
+        if self._spans is not None:
+            self._spans.record(first.request_id, spans.SERVER_HANDLER,
+                               self.sim.now)
         self.tracer.emit(self.sim.now, self.host.name, "processed",
                          req=first.request_id, session=sid,
                          seq=first.seq_num,
@@ -289,11 +301,17 @@ class PMNetServer:
                 outcome.result,
                 max(outcome.response_bytes,
                     estimate_result_bytes(outcome.result)))
+            if self._spans is not None:
+                self._spans.record(first.request_id, spans.SERVER_RESPONSE,
+                                   self.sim.now)
             self.host.send_frame(first.client, response,
                                  response.wire_bytes,
                                  51000 + sid % 1000)
 
     def _send_ack(self, packet: PMNetPacket) -> None:
+        if self._spans is not None:
+            self._spans.record(packet.request_id, spans.SERVER_ACK,
+                               self.sim.now)
         self.tracer.emit(self.sim.now, self.host.name, "server_ack",
                          req=packet.request_id, session=packet.session_id,
                          seq=packet.seq_num)

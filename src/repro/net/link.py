@@ -51,7 +51,8 @@ from repro.config import folding_enabled
 from repro.net.device import Port
 from repro.net.packet import Frame
 from repro.sim.clock import transmission_delay
-from repro.sim.monitor import Counter, Gauge, component_summary
+from repro.obs.registry import register_with_sim
+from repro.sim.monitor import Counter, Gauge, instruments_summary
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.config import NetworkProfile
@@ -127,6 +128,7 @@ class Channel:
         self.bytes_sent = Counter(f"{name}.bytes")
         self.folded_sends = Counter(f"{name}.folded")
         self.queue_depth_highwater = Gauge(f"{name}.queue_depth")
+        register_with_sim(sim, self)
 
     # ------------------------------------------------------------------
     def send(self, frame: Frame) -> None:
@@ -332,9 +334,16 @@ class Channel:
         """Frames waiting behind the one being serialized."""
         return len(self._queue)
 
+    def instruments(self) -> tuple:
+        """This channel's typed instruments (the explicit registration
+        protocol; see :mod:`repro.obs.registry`)."""
+        return (self.delivered, self.dropped_full, self.dropped_full_bytes,
+                self.dropped_loss, self.bytes_sent, self.folded_sends,
+                self.queue_depth_highwater)
+
     def summary(self) -> dict:
         """Every counter/gauge on this channel (queue pressure included)."""
-        return component_summary(self)
+        return instruments_summary(self.instruments())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Channel {self.name} queued={self.queue_depth}>"

@@ -32,11 +32,27 @@ from typing import TYPE_CHECKING
 
 from repro.net.device import ForwardingTable, Node, Port
 from repro.net.packet import Frame
+from repro.obs import spans
+from repro.obs.registry import register_with_sim
+from repro.protocol.types import PacketType
 from repro.sim.monitor import Counter
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.config import NetworkProfile
     from repro.sim.kernel import Simulator
+
+#: Which lifecycle milestone a switch arrival marks, by packet type.
+#: Requests are the forward direction, ACKs/responses the return one;
+#: everything else (recovery traffic, retransmission control) is not a
+#: per-request milestone.
+_SPAN_STAGES = {
+    PacketType.UPDATE_REQ: spans.SWITCH_FORWARD,
+    PacketType.BYPASS_REQ: spans.SWITCH_FORWARD,
+    PacketType.PMNET_ACK: spans.SWITCH_RETURN,
+    PacketType.SERVER_ACK: spans.SWITCH_RETURN,
+    PacketType.SERVER_RESP: spans.SWITCH_RETURN,
+    PacketType.CACHE_RESP: spans.SWITCH_RETURN,
+}
 
 
 class Switch(Node):
@@ -48,8 +64,21 @@ class Switch(Node):
         self.profile = profile
         self.table = ForwardingTable()
         self.forwarded = Counter(f"{name}.forwarded")
+        self._spans = spans.spans_for(sim)
+        register_with_sim(sim, self)
+
+    def instruments(self) -> tuple:
+        """This switch's typed instruments (explicit registration)."""
+        return (self.forwarded,)
 
     def handle_frame(self, frame: Frame, in_port: Port) -> None:
+        if self._spans is not None:
+            # Arrival executes at the same instant in the folded and
+            # unfolded timelines, so this milestone is fold-neutral.
+            packet = frame.payload
+            stage = _SPAN_STAGES.get(getattr(packet, "packet_type", None))
+            if stage is not None:
+                self._spans.record(packet.request_id, stage, self.sim.now)
         out_port = self.table.lookup(frame.dst)
         channel = out_port.channel
         if channel is not None:

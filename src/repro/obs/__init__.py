@@ -1,0 +1,55 @@
+"""Unified observability: metrics registry, lifecycle spans, exporters.
+
+See ``docs/observability.md`` for the full API tour.  The package
+replaces three disjoint mechanisms — reflection-scanned counters
+(:func:`repro.sim.monitor.component_summary`), the mutable
+``GLOBAL_TRACER`` module global, and ad-hoc benchmark JSON shapes —
+with one explicit, injected surface:
+
+* :class:`MetricsRegistry` — components register typed instruments
+  (``Counter``, ``Gauge``, :class:`Histogram`) via the
+  ``instruments()`` protocol.
+* :class:`SpanRecorder` — request-lifecycle and recovery-replay spans,
+  recorded fold-compatibly and result-neutrally.
+* Exporters — ``pmnet-repro-metrics/1`` JSON, Prometheus text format,
+  and the shared ``pmnet-repro-bench/1`` benchmark envelope.
+"""
+
+from repro.obs.context import Observability
+from repro.obs.export import (
+    BENCH_SCHEMA,
+    METRICS_SCHEMA,
+    bench_envelope,
+    config_digest,
+    metrics_payload,
+    parse_prometheus,
+    to_prometheus,
+    validate_bench_report,
+    validate_metrics,
+    write_bench_report,
+)
+from repro.obs.registry import (
+    DuplicateInstrumentError,
+    Histogram,
+    MetricsRegistry,
+    register_with_sim,
+)
+from repro.obs.spans import (
+    Span,
+    SpanRecorder,
+    lifecycle_groups,
+    spans_for,
+    stage_deltas,
+)
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry", "Histogram", "DuplicateInstrumentError",
+    "register_with_sim",
+    "Span", "SpanRecorder", "spans_for", "lifecycle_groups", "stage_deltas",
+    "METRICS_SCHEMA", "BENCH_SCHEMA",
+    "metrics_payload", "validate_metrics",
+    "to_prometheus", "parse_prometheus",
+    "bench_envelope", "validate_bench_report", "write_bench_report",
+    "config_digest",
+]

@@ -1,0 +1,42 @@
+"""The observability bundle injected into a :class:`Simulator`.
+
+One :class:`Observability` object carries the three mechanisms that
+used to be disjoint — the metrics registry, the span recorder, and the
+tracer — so a deployment builder attaches all of them with one
+argument::
+
+    obs = Observability(spans=True)
+    deployment = build_pmnet_switch(config, obs=obs)
+    ...
+    obs.registry.summaries()     # every component's instruments
+    obs.spans.spans()            # request lifecycle spans
+
+With no bundle attached (the default everywhere), components register
+nothing and record nothing: observability is strictly opt-in and the
+simulated results are byte-identical either way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.spans import SpanRecorder
+from repro.sim.trace import Tracer
+
+
+class Observability:
+    """Registry + spans + tracer, attached to one simulation."""
+
+    def __init__(self, spans: bool = True, trace: bool = False,
+                 span_capacity: Optional[int] = None,
+                 trace_capacity: Optional[int] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.spans = SpanRecorder(enabled=spans, capacity=span_capacity)
+        self.tracer = Tracer(enabled=trace, capacity=trace_capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Observability instruments={len(self.registry)} "
+                f"spans={len(self.spans)} trace="
+                f"{'on' if self.tracer.enabled else 'off'}>")

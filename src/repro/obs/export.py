@@ -1,0 +1,231 @@
+"""Exporters: the ``pmnet-repro-metrics/1`` JSON schema, Prometheus
+text format, and the shared ``pmnet-repro-bench/1`` report envelope.
+
+The JSON payload is the machine-readable face of one instrumented run:
+every registered instrument's unified summary plus the span-derived
+lifecycle breakdown.  :func:`validate_metrics` checks a payload against
+the schema *and* its arithmetic invariant (per group, stage sums equal
+the end-to-end total) — CI's metrics-export smoke job runs it on a
+fresh ``pmnet-repro metrics`` emission.
+
+The Prometheus exporter is deliberately plain text-format output
+(counters and gauges as single samples, histograms as summaries with
+exact quantiles); :func:`parse_prometheus` parses it back so tests can
+round-trip JSON ↔ Prometheus values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import asdict, is_dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Schema tag on every metrics JSON payload.
+METRICS_SCHEMA = "pmnet-repro-metrics/1"
+
+#: Schema tag on every benchmark report envelope.
+BENCH_SCHEMA = "pmnet-repro-bench/1"
+
+_INSTRUMENT_KINDS = ("counter", "gauge", "histogram", "meter", "timeseries")
+
+_PROM_NAME_RE = re.compile(r"[^a-zA-Z0-9_]")
+_PROM_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>[-+0-9.eE]+|NaN)$")
+
+
+def config_digest(config: object) -> str:
+    """A short stable digest of a configuration dataclass.
+
+    Identifies which calibration constants produced a report, so two
+    reports are comparable only when their digests match.
+    """
+    payload = asdict(config) if is_dataclass(config) else config
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# pmnet-repro-metrics/1
+# ----------------------------------------------------------------------
+def metrics_payload(summaries: List[dict], span_report: dict,
+                    **meta: object) -> dict:
+    """Assemble one ``pmnet-repro-metrics/1`` payload."""
+    payload = {
+        "schema": METRICS_SCHEMA,
+        "instruments": summaries,
+        "spans": span_report,
+    }
+    payload.update(meta)
+    return payload
+
+
+def validate_metrics(payload: dict) -> List[str]:
+    """Validate a metrics payload; returns a list of problems (empty =
+    valid).  Checks the schema shape and the telescoping invariant."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    if payload.get("schema") != METRICS_SCHEMA:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, expected {METRICS_SCHEMA!r}")
+    instruments = payload.get("instruments")
+    if not isinstance(instruments, list):
+        problems.append("instruments is not a list")
+        instruments = []
+    seen: set = set()
+    for index, summary in enumerate(instruments):
+        if not isinstance(summary, dict):
+            problems.append(f"instruments[{index}] is not an object")
+            continue
+        name = summary.get("name")
+        kind = summary.get("kind")
+        if not name or not isinstance(name, str):
+            problems.append(f"instruments[{index}] has no name")
+        elif name in seen:
+            problems.append(f"duplicate instrument name {name!r}")
+        else:
+            seen.add(name)
+        if kind not in _INSTRUMENT_KINDS:
+            problems.append(
+                f"instruments[{index}] ({name!r}) has unknown kind {kind!r}")
+    spans = payload.get("spans")
+    if not isinstance(spans, dict):
+        problems.append("spans is not an object")
+        return problems
+    for field in ("count", "dropped", "groups"):
+        if field not in spans:
+            problems.append(f"spans.{field} is missing")
+    for gi, group in enumerate(spans.get("groups") or []):
+        stages = group.get("stages", [])
+        stage_sum = sum(stage.get("total_ns", 0) for stage in stages)
+        end_to_end = group.get("end_to_end", {}).get("total_ns")
+        if end_to_end is None:
+            problems.append(f"spans.groups[{gi}] has no end_to_end total")
+        elif stage_sum != end_to_end:
+            problems.append(
+                f"spans.groups[{gi}]: stage sum {stage_sum} != "
+                f"end-to-end total {end_to_end}")
+        if len(stages) != max(0, len(group.get("signature", [])) - 1):
+            problems.append(
+                f"spans.groups[{gi}]: {len(stages)} stages do not match "
+                f"signature of {len(group.get('signature', []))} milestones")
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+def _prom_name(name: str, prefix: str) -> str:
+    return f"{prefix}_{_PROM_NAME_RE.sub('_', name)}"
+
+
+def to_prometheus(summaries: Iterable[dict], prefix: str = "pmnet") -> str:
+    """Render unified instrument summaries as Prometheus text format."""
+    lines: List[str] = []
+    for summary in summaries:
+        name = _prom_name(summary["name"], prefix)
+        kind = summary["kind"]
+        if kind == "counter":
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {summary['value']}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {summary['value']}")
+            lines.append(f"# TYPE {name}_highwater gauge")
+            lines.append(f"{name}_highwater {summary['highwater']}")
+        elif kind == "histogram":
+            # Exact quantiles -> Prometheus summary type.
+            lines.append(f"# TYPE {name} summary")
+            count = summary["count"]
+            if count:
+                lines.append(f'{name}{{quantile="0.5"}} {summary["p50"]}')
+                lines.append(f'{name}{{quantile="0.99"}} {summary["p99"]}')
+                lines.append(f"{name}_sum {summary['mean'] * count}")
+            else:
+                lines.append(f"{name}_sum 0")
+            lines.append(f"{name}_count {count}")
+        elif kind == "meter":
+            lines.append(f"# TYPE {name}_count counter")
+            lines.append(f"{name}_count {summary['count']}")
+            ops = summary.get("ops_per_second")
+            if ops is not None:
+                lines.append(f"# TYPE {name}_ops_per_second gauge")
+                lines.append(f"{name}_ops_per_second {ops}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, str], float]:
+    """Parse text-format samples back into ``{(name, labels): value}``.
+
+    ``labels`` is the raw label string (``''`` when absent).  Enough of
+    a parser for the export round-trip tests and smoke validation; not
+    a general Prometheus client.
+    """
+    samples: Dict[Tuple[str, str], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _PROM_LINE_RE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable Prometheus sample line: {line!r}")
+        key = (match.group("name"), match.group("labels") or "")
+        samples[key] = float(match.group("value"))
+    return samples
+
+
+# ----------------------------------------------------------------------
+# pmnet-repro-bench/1: the shared benchmark report envelope
+# ----------------------------------------------------------------------
+def bench_envelope(bench_id: str, payload: dict, quick: bool = True,
+                   config: Optional[object] = None) -> dict:
+    """Wrap one benchmark result in the common report envelope.
+
+    All ``bench-*`` subcommands and ``profile`` emit this shape instead
+    of their historical ad-hoc top-level dicts; the benchmark-specific
+    result lives unchanged under ``payload``.
+    """
+    if config is None:
+        from repro.config import SystemConfig
+        config = SystemConfig()
+    return {
+        "schema": BENCH_SCHEMA,
+        "id": bench_id,
+        "config_digest": config_digest(config),
+        "quick": quick,
+        "payload": payload,
+    }
+
+
+def validate_bench_report(report: dict) -> List[str]:
+    """Validate a benchmark report envelope; returns problems (empty =
+    valid)."""
+    problems: List[str] = []
+    if not isinstance(report, dict):
+        return ["report is not an object"]
+    if report.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema is {report.get('schema')!r}, expected {BENCH_SCHEMA!r}")
+    if not report.get("id"):
+        problems.append("id is missing")
+    if not isinstance(report.get("config_digest"), str):
+        problems.append("config_digest is missing")
+    if not isinstance(report.get("quick"), bool):
+        problems.append("quick is not a bool")
+    if not isinstance(report.get("payload"), dict):
+        problems.append("payload is not an object")
+    return problems
+
+
+def write_bench_report(bench_id: str, payload: dict, path: str,
+                       quick: bool = True,
+                       config: Optional[object] = None) -> str:
+    """Write one enveloped benchmark report as JSON; returns the path."""
+    report = bench_envelope(bench_id, payload, quick=quick, config=config)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from repro.obs.registry import register_with_sim
 from repro.protocol.packet import PMNetPacket
 from repro.sim.monitor import Counter
 
@@ -53,6 +54,13 @@ class LogRegion:
         self.bypassed_collision = Counter(f"{name}.bypassed_collision")
         self.bypassed_queue_busy = Counter(f"{name}.bypassed_queue_busy")
         self.lost_in_crash = Counter(f"{name}.lost_in_crash")
+        register_with_sim(sim, self)
+
+    def instruments(self) -> tuple:
+        """This log region's typed instruments (explicit registration)."""
+        return (self.logged, self.invalidated, self.bypassed_full,
+                self.bypassed_collision, self.bypassed_queue_busy,
+                self.lost_in_crash)
 
     # ------------------------------------------------------------------
     # Logging path (MAT PM-access stage)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Callable, Tuple
 
+from repro.obs.registry import register_with_sim
 from repro.sim.monitor import Counter
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,6 +50,16 @@ class LogQueue:
         self.accepted = Counter(f"{name}.accepted")
         self.rejected = Counter(f"{name}.rejected")
         self.high_water_bytes = 0
+        register_with_sim(sim, self)
+
+    def instruments(self) -> tuple:
+        """This queue's typed instruments (explicit registration).
+
+        ``high_water_bytes`` stays a plain int (it is compared and
+        assigned numerically on the enqueue path) and is therefore not an
+        instrument; the experiment summary reads it directly.
+        """
+        return (self.accepted, self.rejected)
 
     # ------------------------------------------------------------------
     def try_enqueue(self, nbytes: int, on_complete: Callable[..., None],

@@ -39,6 +39,7 @@ from repro.sim.monitor import (
     ThroughputMeter,
     TimeSeries,
     component_summary,
+    instruments_summary,
 )
 from repro.sim.process import AllOf, AnyOf, Interrupted, Process
 from repro.sim.profiler import EventProfiler
@@ -49,7 +50,19 @@ from repro.sim.rand import (
     exponential_delay,
     zipfian_ranks,
 )
-from repro.sim.trace import GLOBAL_TRACER, TraceRecord, Tracer
+from repro.sim.trace import TraceRecord, Tracer
+
+
+def __getattr__(name: str):
+    # Deprecated: GLOBAL_TRACER survives as a lazy re-export so old
+    # imports keep working (with a DeprecationWarning) for one release
+    # without the warning firing at package-import time.
+    if name == "GLOBAL_TRACER":
+        from repro.sim import trace
+
+        return trace.GLOBAL_TRACER
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "NANOSECOND", "MICROSECOND", "MILLISECOND", "SECOND",
@@ -60,8 +73,8 @@ __all__ = [
     "Simulator",
     "Process", "AllOf", "AnyOf", "Interrupted",
     "Counter", "Gauge", "LatencyRecorder", "ThroughputMeter", "TimeSeries",
-    "component_summary", "EventProfiler",
+    "component_summary", "instruments_summary", "EventProfiler",
     "RandomStreams", "LatencyJitter", "zipfian_ranks",
     "exponential_delay", "choose_weighted",
-    "Tracer", "TraceRecord", "GLOBAL_TRACER",
+    "Tracer", "TraceRecord",
 ]

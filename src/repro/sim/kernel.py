@@ -25,12 +25,13 @@ from repro.sim.clock import format_time
 from repro.sim.event import EventQueue, ScheduledCall, SimEvent
 from repro.sim.process import Process
 from repro.sim.rand import RandomStreams
+from repro.sim.trace import Tracer
 
 
 class Simulator:
     """A deterministic discrete-event simulator with integer-ns time."""
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, obs: Optional[Any] = None) -> None:
         self._now = 0
         self._queue = EventQueue()
         self._running = False
@@ -40,6 +41,14 @@ class Simulator:
         self.executed_events = 0
         #: Opt-in event accounting (see :mod:`repro.sim.profiler`).
         self._profiler = None
+        #: Optional :class:`~repro.obs.context.Observability` bundle
+        #: (metrics registry + span recorder + tracer).  ``None`` means
+        #: components neither register nor record — the zero-cost default.
+        self.obs = obs
+        #: The tracer components inherit when none is injected directly.
+        #: Always present so call sites need no ``None`` checks; disabled
+        #: (and therefore free) unless the bundle enables tracing.
+        self.tracer: Tracer = obs.tracer if obs is not None else Tracer(enabled=False)
 
     # ------------------------------------------------------------------
     # Profiling

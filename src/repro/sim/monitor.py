@@ -8,13 +8,19 @@ out) so the analysis layer can also use them on non-simulated data.
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Sentinel for "no default supplied" (``None`` is a legitimate default).
+_UNSET = object()
 
 
 class Counter:
     """A named monotonically-increasing event counter."""
 
     __slots__ = ("name", "value")
+
+    kind = "counter"
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -36,6 +42,10 @@ class Counter:
     def __int__(self) -> int:
         return self.value
 
+    def summary(self) -> Dict[str, object]:
+        """The unified ``{"name", "kind", ...}`` summary shape."""
+        return {"name": self.name, "kind": self.kind, "value": self.value}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Counter {self.name}={self.value}>"
 
@@ -50,6 +60,8 @@ class Gauge:
     """
 
     __slots__ = ("name", "value", "highwater")
+
+    kind = "gauge"
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -67,18 +79,50 @@ class Gauge:
     def __int__(self) -> int:
         return self.value
 
+    def summary(self) -> Dict[str, object]:
+        """The unified ``{"name", "kind", ...}`` summary shape."""
+        return {"name": self.name, "kind": self.kind, "value": self.value,
+                "highwater": self.highwater}
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Gauge {self.name}={self.value} high={self.highwater}>"
 
 
-def component_summary(component: object) -> Dict[str, int]:
-    """All :class:`Counter`/:class:`Gauge` instruments on one component.
+def instruments_summary(instruments: Iterable[object]) -> Dict[str, int]:
+    """Flatten counters/gauges into one ``{short_name: value}`` dict.
 
-    Scans the component's attributes and returns ``{attribute: value}``
-    (gauges contribute both their level and ``<name>_highwater``), so a
-    monitoring surface can report any instrumented component — channels,
-    devices, queues — without per-class plumbing.
+    The short name is the instrument name's last dot-separated segment
+    (instrument names are ``"{component}.{metric}"``); gauges contribute
+    both their level and ``{short_name}_highwater``.  This is the flat
+    shape component ``summary()`` helpers report.
     """
+    summary: Dict[str, int] = {}
+    for instrument in instruments:
+        short = instrument.name.rsplit(".", 1)[-1]  # type: ignore[attr-defined]
+        if isinstance(instrument, Gauge):
+            summary[short] = instrument.value
+            summary[f"{short}_highwater"] = instrument.highwater
+        elif isinstance(instrument, Counter):
+            summary[short] = instrument.value
+    return summary
+
+
+def component_summary(component: object) -> Dict[str, int]:
+    """Deprecated: use the ``instruments()`` protocol instead.
+
+    Instrumented components now declare their counters/gauges explicitly
+    through ``instruments()`` (see :mod:`repro.obs.registry`); this shim
+    delegates to it when present and only falls back to the historical
+    attribute-scanning reflection for components that predate the
+    protocol.  It will be removed next release.
+    """
+    warnings.warn(
+        "component_summary() is deprecated: call the component's "
+        "instruments() protocol (repro.obs) instead",
+        DeprecationWarning, stacklevel=2)
+    instruments = getattr(component, "instruments", None)
+    if callable(instruments):
+        return instruments_summary(instruments())
     attributes = getattr(component, "__dict__", None)
     if attributes is None:  # slotted components
         attributes = {name: getattr(component, name, None)
@@ -100,6 +144,8 @@ class LatencyRecorder:
     Stores raw samples (simulations here are small enough that exact
     percentiles beat streaming sketches for clarity and testability).
     """
+
+    kind = "histogram"
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -176,15 +222,23 @@ class LatencyRecorder:
             curve.append((self._sorted[idx], frac))
         return curve
 
-    def summary(self) -> Dict[str, float]:
-        """Mean/median/p99/min/max in one dict (nanoseconds)."""
+    def summary(self) -> Dict[str, object]:
+        """The unified ``{"name", "kind", ...}`` summary (nanoseconds).
+
+        Never raises: with zero samples the statistics are ``None``
+        (matching :class:`ThroughputMeter`'s degenerate-window summary)
+        rather than the ``ValueError`` the point accessors raise.
+        """
+        empty = not self._samples
         return {
+            "name": self.name,
+            "kind": self.kind,
             "count": self.count,
-            "mean": self.mean(),
-            "p50": float(self.median()),
-            "p99": float(self.p99()),
-            "min": float(self.minimum()),
-            "max": float(self.maximum()),
+            "mean": None if empty else self.mean(),
+            "p50": None if empty else float(self.median()),
+            "p99": None if empty else float(self.p99()),
+            "min": None if empty else float(self.minimum()),
+            "max": None if empty else float(self.maximum()),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -193,6 +247,8 @@ class LatencyRecorder:
 
 class ThroughputMeter:
     """Counts completions over simulated time and reports ops/second."""
+
+    kind = "meter"
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -207,18 +263,38 @@ class ThroughputMeter:
         self._last_ns = now_ns
         self.completions += 1
 
-    def ops_per_second(self) -> float:
-        """Completions per simulated second over the observed window."""
+    def ops_per_second(self, default: object = _UNSET) -> float:
+        """Completions per simulated second over the observed window.
+
+        A rate needs at least two spread-out completions; below that,
+        ``default`` is returned when supplied (so summaries and smoke
+        runs degrade gracefully) and :class:`ValueError` is raised when
+        not (the historical contract — a real experiment asking for a
+        throughput it cannot have is a bug worth surfacing).
+        """
         if self.completions < 2 or self._first_ns == self._last_ns:
+            if default is not _UNSET:
+                return default  # type: ignore[return-value]
             raise ValueError(
                 f"need >= 2 spread-out completions in {self.name!r} to "
                 "compute throughput")
         window_ns = self._last_ns - self._first_ns  # type: ignore[operator]
         return (self.completions - 1) * 1e9 / window_ns
 
+    def summary(self) -> Dict[str, object]:
+        """The unified ``{"name", "kind", ...}`` summary shape.
+
+        ``ops_per_second`` is ``None`` when the window is degenerate.
+        """
+        return {"name": self.name, "kind": self.kind,
+                "count": self.completions,
+                "ops_per_second": self.ops_per_second(default=None)}
+
 
 class TimeSeries:
     """Records ``(time_ns, value)`` observations for later inspection."""
+
+    kind = "timeseries"
 
     def __init__(self, name: str = "") -> None:
         self.name = name

@@ -354,12 +354,12 @@ class TestChannelSummary:
             a.ports[0].transmit(Frame("a", "b", None, 1000))
         summary = link.forward.summary()
         # One in flight (folded), four waiting behind it.
-        assert summary["queue_depth_highwater"] == 4
+        assert summary["queue_depth"] == 4
         sim.run()
         drained = link.forward.summary()
-        assert drained["queue_depth_highwater"] == 0
+        assert drained["queue_depth"] == 0
         # The gauge's mark keeps the worst pressure seen.
-        assert drained["queue_depth_highwater_highwater"] == 4
+        assert drained["queue_depth_highwater"] == 4
 
     def test_dropped_full_bytes_counted(self):
         sim = Simulator()

@@ -1,0 +1,146 @@
+"""Exporter tests: metrics schema validation, Prometheus round-trips,
+and the shared benchmark report envelope."""
+
+import json
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.obs.export import (
+    BENCH_SCHEMA,
+    METRICS_SCHEMA,
+    bench_envelope,
+    config_digest,
+    metrics_payload,
+    parse_prometheus,
+    to_prometheus,
+    validate_bench_report,
+    validate_metrics,
+    write_bench_report,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.sim.monitor import ThroughputMeter
+
+
+def _valid_payload():
+    registry = MetricsRegistry()
+    registry.counter("switch.forwarded").increment(3)
+    gauge = registry.gauge("link.queue_depth")
+    gauge.update(4)
+    gauge.update(1)
+    registry.histogram("span.e2e").extend([10, 20, 30])
+    meter = ThroughputMeter("run.throughput")
+    meter.record(0)
+    meter.record(1_000_000)
+    registry.register(meter)
+    span_report = {
+        "count": 2, "dropped": 0, "incomplete": 0,
+        "groups": [{
+            "signature": ["client_send", "hop", "completed"],
+            "requests": 2,
+            "stages": [
+                {"from": "client_send", "to": "hop",
+                 "total_ns": 11, "mean_ns": 5.5},
+                {"from": "hop", "to": "completed",
+                 "total_ns": 45, "mean_ns": 22.5},
+            ],
+            "end_to_end": {"total_ns": 56, "mean_ns": 28.0},
+        }],
+    }
+    return metrics_payload(registry.summaries(), span_report,
+                           scenario="unit")
+
+
+class TestValidateMetrics:
+    def test_valid_payload_has_no_problems(self):
+        assert validate_metrics(_valid_payload()) == []
+
+    def test_wrong_schema_flagged(self):
+        payload = _valid_payload()
+        payload["schema"] = "bogus/9"
+        assert any("schema" in p for p in validate_metrics(payload))
+
+    def test_duplicate_instrument_name_flagged(self):
+        payload = _valid_payload()
+        payload["instruments"].append(dict(payload["instruments"][0]))
+        assert any("duplicate" in p for p in validate_metrics(payload))
+
+    def test_unknown_kind_flagged(self):
+        payload = _valid_payload()
+        payload["instruments"][0]["kind"] = "dial"
+        assert any("unknown kind" in p for p in validate_metrics(payload))
+
+    def test_broken_telescoping_flagged(self):
+        payload = _valid_payload()
+        payload["spans"]["groups"][0]["stages"][0]["total_ns"] += 1
+        assert any("stage sum" in p for p in validate_metrics(payload))
+
+    def test_survives_json_round_trip(self):
+        payload = json.loads(json.dumps(_valid_payload()))
+        assert validate_metrics(payload) == []
+
+
+class TestPrometheusRoundTrip:
+    def test_all_kinds_round_trip(self):
+        payload = _valid_payload()
+        text = to_prometheus(payload["instruments"])
+        samples = parse_prometheus(text)
+        assert samples[("pmnet_switch_forwarded", "")] == 3.0
+        assert samples[("pmnet_link_queue_depth", "")] == 1.0
+        assert samples[("pmnet_link_queue_depth_highwater", "")] == 4.0
+        assert samples[("pmnet_span_e2e", 'quantile="0.5"')] == 20.0
+        assert samples[("pmnet_span_e2e", 'quantile="0.99"')] == 30.0
+        assert samples[("pmnet_span_e2e_sum", "")] == 60.0
+        assert samples[("pmnet_span_e2e_count", "")] == 3.0
+        assert samples[("pmnet_run_throughput_count", "")] == 2.0
+        assert samples[("pmnet_run_throughput_ops_per_second", "")] == (
+            pytest.approx(1000.0))
+
+    def test_empty_histogram_exports_zero_count(self):
+        registry = MetricsRegistry()
+        registry.histogram("empty.lat")
+        samples = parse_prometheus(to_prometheus(registry.summaries()))
+        assert samples[("pmnet_empty_lat_count", "")] == 0.0
+        assert samples[("pmnet_empty_lat_sum", "")] == 0.0
+
+    def test_unparseable_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("what even is this {")
+
+
+class TestBenchEnvelope:
+    def test_envelope_shape(self):
+        report = bench_envelope("kernel", {"benchmark": "kernel_events"})
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["id"] == "kernel"
+        assert report["quick"] is True
+        assert report["payload"] == {"benchmark": "kernel_events"}
+        assert report["config_digest"] == config_digest(SystemConfig())
+        assert validate_bench_report(report) == []
+
+    def test_validate_flags_missing_fields(self):
+        problems = validate_bench_report({"schema": BENCH_SCHEMA})
+        assert problems  # id, digest, quick, payload all missing
+        assert any("id" in p for p in problems)
+        assert any("payload" in p for p in problems)
+
+    def test_write_bench_report(self, tmp_path):
+        path = tmp_path / "report.json"
+        written = write_bench_report("pipeline", {"x": 1}, str(path),
+                                     quick=False)
+        assert written == str(path)
+        report = json.loads(path.read_text())
+        assert validate_bench_report(report) == []
+        assert report["quick"] is False
+        assert report["payload"] == {"x": 1}
+
+    def test_digest_is_config_sensitive(self):
+        base = config_digest(SystemConfig())
+        other = config_digest(SystemConfig(seed=123))
+        assert base != other
+        assert len(base) == 16
+
+
+class TestMetricsSchemaTag:
+    def test_payload_carries_schema(self):
+        assert _valid_payload()["schema"] == METRICS_SCHEMA

@@ -1,0 +1,108 @@
+"""Unit tests for the explicit metrics registry."""
+
+import pytest
+
+from repro.obs.context import Observability
+from repro.obs.registry import (
+    DuplicateInstrumentError,
+    Histogram,
+    MetricsRegistry,
+    register_with_sim,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.monitor import Counter, Gauge
+
+
+class TestMetricsRegistry:
+    def test_register_and_lookup(self):
+        registry = MetricsRegistry()
+        counter = Counter("switch.forwarded")
+        assert registry.register(counter) is counter
+        assert "switch.forwarded" in registry
+        assert registry.get("switch.forwarded") is counter
+        assert len(registry) == 1
+
+    def test_duplicate_name_raises(self):
+        registry = MetricsRegistry()
+        registry.register(Counter("dup"))
+        with pytest.raises(DuplicateInstrumentError):
+            registry.register(Counter("dup"))
+
+    def test_duplicate_is_a_value_error(self):
+        # Callers catching the pre-redesign ValueError keep working.
+        assert issubclass(DuplicateInstrumentError, ValueError)
+
+    def test_same_object_reregistration_is_noop(self):
+        registry = MetricsRegistry()
+        counter = Counter("once")
+        registry.register(counter)
+        registry.register(counter)
+        assert len(registry) == 1
+
+    def test_unnamed_instrument_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().register(Counter())
+
+    def test_factories_create_and_register(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("a.count")
+        gauge = registry.gauge("a.depth")
+        histogram = registry.histogram("a.lat")
+        assert isinstance(counter, Counter)
+        assert isinstance(gauge, Gauge)
+        assert isinstance(histogram, Histogram)
+        assert registry.names() == ["a.count", "a.depth", "a.lat"]
+
+    def test_summaries_are_sorted_and_unified(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last")
+        registry.gauge("a.first")
+        summaries = registry.summaries()
+        assert [s["name"] for s in summaries] == ["a.first", "z.last"]
+        for summary in summaries:
+            assert {"name", "kind"} <= set(summary)
+
+    def test_register_component(self):
+        class Component:
+            def __init__(self):
+                self.hits = Counter("c.hits")
+                self.depth = Gauge("c.depth")
+
+            def instruments(self):
+                return (self.hits, self.depth)
+
+        registry = MetricsRegistry()
+        registry.register_component(Component())
+        assert registry.names() == ["c.depth", "c.hits"]
+
+
+class TestRegisterWithSim:
+    def _component(self):
+        class Component:
+            def __init__(self):
+                self.hits = Counter("c.hits")
+
+            def instruments(self):
+                return (self.hits,)
+
+        return Component()
+
+    def test_noop_without_observability(self):
+        sim = Simulator(seed=0)
+        # Must not raise — and two same-named components must coexist,
+        # which is exactly what legacy unit tests rely on.
+        register_with_sim(sim, self._component())
+        register_with_sim(sim, self._component())
+
+    def test_registers_when_observability_attached(self):
+        obs = Observability(spans=False)
+        sim = Simulator(seed=0, obs=obs)
+        register_with_sim(sim, self._component())
+        assert "c.hits" in obs.registry
+
+    def test_duplicate_components_raise_with_registry(self):
+        obs = Observability(spans=False)
+        sim = Simulator(seed=0, obs=obs)
+        register_with_sim(sim, self._component())
+        with pytest.raises(DuplicateInstrumentError):
+            register_with_sim(sim, self._component())

@@ -1,0 +1,111 @@
+"""Unit tests for the request-lifecycle span recorder."""
+
+from repro.obs.spans import (
+    CLIENT_SEND,
+    COMPLETED,
+    RECOVERY,
+    REQUEST,
+    SpanRecorder,
+    lifecycle_groups,
+    stage_deltas,
+)
+
+
+def _record_request(recorder, key, milestones):
+    for stage, time_ns in milestones:
+        recorder.record(key, stage, time_ns)
+
+
+class TestSpanRecorder:
+    def test_disabled_records_nothing(self):
+        recorder = SpanRecorder(enabled=False)
+        recorder.record(1, CLIENT_SEND, 0)
+        assert len(recorder) == 0
+        assert recorder.dropped == 0
+
+    def test_records_ordered_milestones(self):
+        recorder = SpanRecorder()
+        _record_request(recorder, 7, [(CLIENT_SEND, 10), ("hop", 20),
+                                      (COMPLETED, 35)])
+        span = recorder.get(7)
+        assert span.stages() == [CLIENT_SEND, "hop", COMPLETED]
+        assert span.start_ns == 10
+        assert span.end_ns == 35
+        assert span.kind == REQUEST
+
+    def test_capacity_bounds_spans_not_milestones(self):
+        recorder = SpanRecorder(capacity=1)
+        recorder.record("a", CLIENT_SEND, 0)
+        recorder.record("b", CLIENT_SEND, 1)  # refused: at capacity
+        recorder.record("b", COMPLETED, 2)    # still refused
+        recorder.record("a", COMPLETED, 3)    # open span always completes
+        assert len(recorder) == 1
+        assert recorder.dropped == 2
+        assert recorder.get("a").stages() == [CLIENT_SEND, COMPLETED]
+        assert recorder.get("b") is None
+
+    def test_clear_resets_spans_and_dropped(self):
+        recorder = SpanRecorder(capacity=0)
+        recorder.record("a", CLIENT_SEND, 0)
+        assert recorder.dropped == 1
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.dropped == 0
+
+    def test_kind_filter(self):
+        recorder = SpanRecorder()
+        recorder.record(1, CLIENT_SEND, 0)
+        recorder.record(("recovery", "dev", 0), "replay_start", 5,
+                        kind=RECOVERY)
+        assert len(recorder.spans(kind=REQUEST)) == 1
+        assert len(recorder.spans(kind=RECOVERY)) == 1
+        assert len(recorder.spans()) == 2
+
+
+class TestLifecycleGroups:
+    def test_stage_sums_telescope_to_end_to_end(self):
+        recorder = SpanRecorder()
+        _record_request(recorder, 1, [(CLIENT_SEND, 0), ("hop", 7),
+                                      (COMPLETED, 30)])
+        _record_request(recorder, 2, [(CLIENT_SEND, 100), ("hop", 104),
+                                      (COMPLETED, 126)])
+        groups, incomplete = lifecycle_groups(recorder)
+        assert incomplete == 0
+        assert len(groups) == 1
+        group = groups[0]
+        assert group["signature"] == [CLIENT_SEND, "hop", COMPLETED]
+        assert group["requests"] == 2
+        stage_sum = sum(stage["total_ns"] for stage in group["stages"])
+        assert stage_sum == group["end_to_end"]["total_ns"] == 56
+
+    def test_incomplete_spans_counted_not_grouped(self):
+        recorder = SpanRecorder()
+        recorder.record(1, CLIENT_SEND, 0)  # never completes
+        _record_request(recorder, 2, [(CLIENT_SEND, 0), (COMPLETED, 9)])
+        groups, incomplete = lifecycle_groups(recorder)
+        assert incomplete == 1
+        assert len(groups) == 1
+        assert groups[0]["requests"] == 1
+
+    def test_distinct_signatures_group_separately(self):
+        recorder = SpanRecorder()
+        _record_request(recorder, 1, [(CLIENT_SEND, 0), ("a", 1),
+                                      (COMPLETED, 2)])
+        _record_request(recorder, 2, [(CLIENT_SEND, 0), ("b", 1),
+                                      (COMPLETED, 2)])
+        _record_request(recorder, 3, [(CLIENT_SEND, 0), ("a", 1),
+                                      (COMPLETED, 2)])
+        groups, _ = lifecycle_groups(recorder)
+        assert [g["requests"] for g in groups] == [2, 1]  # busiest first
+
+
+class TestStageDeltas:
+    def test_deltas_per_transition(self):
+        recorder = SpanRecorder()
+        _record_request(recorder, 1, [(CLIENT_SEND, 0), ("hop", 4),
+                                      (COMPLETED, 10)])
+        _record_request(recorder, 2, [(CLIENT_SEND, 0), ("hop", 5),
+                                      (COMPLETED, 12)])
+        deltas = stage_deltas(recorder)
+        assert sorted(deltas[(CLIENT_SEND, "hop")]) == [4, 5]
+        assert sorted(deltas[("hop", COMPLETED)]) == [6, 7]

@@ -5,9 +5,12 @@ from hypothesis import given, strategies as st
 
 from repro.sim.monitor import (
     Counter,
+    Gauge,
     LatencyRecorder,
     ThroughputMeter,
     TimeSeries,
+    component_summary,
+    instruments_summary,
 )
 
 
@@ -61,10 +64,19 @@ class TestLatencyRecorder:
         assert len(recorder.cdf(points=50)) == 50
 
     def test_summary_keys(self):
-        recorder = LatencyRecorder()
+        recorder = LatencyRecorder("lat")
         recorder.extend([1, 2, 3])
         summary = recorder.summary()
-        assert set(summary) == {"count", "mean", "p50", "p99", "min", "max"}
+        assert set(summary) == {"name", "kind", "count", "mean", "p50",
+                                "p99", "min", "max"}
+        assert summary["name"] == "lat"
+        assert summary["kind"] == "histogram"
+
+    def test_summary_empty_is_none_not_raise(self):
+        summary = LatencyRecorder("lat").summary()
+        assert summary["count"] == 0
+        assert summary["mean"] is None
+        assert summary["p99"] is None
 
     @given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=1))
     def test_percentile_bounds_property(self, samples):
@@ -96,6 +108,57 @@ class TestThroughputMeter:
         meter.record(0)
         with pytest.raises(ValueError):
             meter.ops_per_second()
+
+    def test_default_returned_for_degenerate_window(self):
+        meter = ThroughputMeter()
+        assert meter.ops_per_second(default=None) is None
+        meter.record(5)
+        assert meter.ops_per_second(default=0.0) == 0.0
+        meter.record(5)  # two completions at the same instant
+        assert meter.ops_per_second(default=None) is None
+
+    def test_summary_never_raises(self):
+        meter = ThroughputMeter("m")
+        meter.record(7)
+        summary = meter.summary()
+        assert summary == {"name": "m", "kind": "meter", "count": 1,
+                           "ops_per_second": None}
+
+
+class TestInstrumentsSummary:
+    def _component(self):
+        class Component:
+            def __init__(self):
+                self.hits = Counter("comp.hits")
+                self.depth = Gauge("comp.depth")
+                self.hits.increment(3)
+                self.depth.update(2)
+                self.depth.update(1)
+
+            def instruments(self):
+                return (self.hits, self.depth)
+
+        return Component()
+
+    def test_flattens_to_short_names(self):
+        summary = instruments_summary(self._component().instruments())
+        assert summary == {"hits": 3, "depth": 1, "depth_highwater": 2}
+
+    def test_component_summary_shim_warns_and_delegates(self):
+        component = self._component()
+        with pytest.warns(DeprecationWarning, match="instruments"):
+            summary = component_summary(component)
+        assert summary == {"hits": 3, "depth": 1, "depth_highwater": 2}
+
+    def test_component_summary_reflection_fallback(self):
+        class Legacy:  # predates the instruments() protocol
+            def __init__(self):
+                self.sent = Counter("sent")
+                self.sent.increment(4)
+
+        with pytest.warns(DeprecationWarning):
+            summary = component_summary(Legacy())
+        assert summary == {"sent": 4}
 
 
 class TestTimeSeries:

@@ -1,5 +1,7 @@
 """Unit tests for the trace log."""
 
+import pytest
+
 from repro.sim.trace import Tracer
 
 
@@ -38,6 +40,34 @@ class TestTracer:
         tracer.emit(2, "x", "e")
         tracer.clear()
         assert tracer.records == [] and tracer.dropped == 0
+
+
+class TestGlobalTracerDeprecation:
+    def test_module_attribute_warns(self):
+        import repro.sim.trace as trace_module
+
+        with pytest.warns(DeprecationWarning, match="GLOBAL_TRACER"):
+            tracer = trace_module.GLOBAL_TRACER
+        assert isinstance(tracer, Tracer)
+        assert tracer.enabled is False
+
+    def test_package_reexport_warns(self):
+        import repro.sim as sim_package
+
+        with pytest.warns(DeprecationWarning, match="GLOBAL_TRACER"):
+            tracer = sim_package.GLOBAL_TRACER
+        assert isinstance(tracer, Tracer)
+
+    def test_simulator_carries_injected_tracer(self):
+        from repro.obs.context import Observability
+        from repro.sim.kernel import Simulator
+
+        obs = Observability(trace=True)
+        sim = Simulator(seed=0, obs=obs)
+        assert sim.tracer is obs.tracer
+        assert sim.tracer.enabled is True
+        # Default: a disabled per-simulator tracer, no shared state.
+        assert Simulator(seed=0).tracer.enabled is False
 
 
 class TestTracedDeployment:

@@ -96,7 +96,10 @@ class TestBenchExperiments:
                      "--jobs", "2", "--output", str(out)]) == 0
         printed = capsys.readouterr().out
         assert "experiment harness" in printed
-        result = json.loads(out.read_text())
+        report = json.loads(out.read_text())
+        assert report["schema"] == "pmnet-repro-bench/1"
+        assert report["id"] == "experiments"
+        result = report["payload"]
         assert result["benchmark"] == "experiment_harness"
         assert result["outputs_identical"] is True
         assert result["job_count"] > 0
@@ -114,7 +117,10 @@ class TestBenchKernel:
                      "--output", str(out)]) == 0
         printed = capsys.readouterr().out
         assert "kernel events/sec" in printed
-        result = json.loads(out.read_text())
+        report = json.loads(out.read_text())
+        assert report["schema"] == "pmnet-repro-bench/1"
+        assert report["id"] == "kernel"
+        result = report["payload"]
         assert result["benchmark"] == "kernel_events"
         assert result["num_events"] == 5000
         assert result["events_per_second"] > 0
@@ -132,7 +138,10 @@ class TestBenchPipeline:
         printed = capsys.readouterr().out
         assert "pipeline events/request" in printed
         assert "identical" in printed
-        result = json.loads(out.read_text())
+        report = json.loads(out.read_text())
+        assert report["schema"] == "pmnet-repro-bench/1"
+        assert report["id"] == "pipeline"
+        result = report["payload"]
         assert result["benchmark"] == "pipeline_events"
         assert result["latencies_identical"] is True
         assert (result["fold"]["events_per_request"]
@@ -151,6 +160,18 @@ class TestProfile:
         assert "Channel._deliver" in out
         assert "TOTAL" in out
 
+    def test_json_writes_enveloped_report(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("PMNET_NO_FOLD", raising=False)
+        out = tmp_path / "profile.json"
+        assert main(["profile", "--clients", "2", "--requests", "5",
+                     "--json", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "pmnet-repro-bench/1"
+        assert report["id"] == "profile"
+        assert report["payload"]["benchmark"] == "event_profile"
+        assert report["payload"]["executed_events"] > 0
+        assert "latency_samples" not in report["payload"]
+
     def test_no_fold_flag_profiles_unfolded_paths(self, capsys, monkeypatch):
         monkeypatch.delenv("PMNET_NO_FOLD", raising=False)
         assert main(["profile", "--clients", "2", "--requests", "5",
@@ -159,3 +180,33 @@ class TestProfile:
         assert "folding off" in out
         # The per-stage hops only execute on the unfolded paths.
         assert "Channel._launch" in out or "Switch._forward" in out
+
+
+class TestMetrics:
+    def test_prints_breakdown_and_writes_exports(self, tmp_path, capsys):
+        json_path = tmp_path / "metrics.json"
+        prom_path = tmp_path / "metrics.prom"
+        assert main(["metrics", "--experiment", "fig02",
+                     "--json", str(json_path),
+                     "--prometheus", str(prom_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out
+        assert "end-to-end" in out
+        payload = json.loads(json_path.read_text())
+        from repro.obs.export import parse_prometheus, validate_metrics
+        assert payload["schema"] == "pmnet-repro-metrics/1"
+        assert validate_metrics(payload) == []
+        assert parse_prometheus(prom_path.read_text())
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["metrics", "--experiment", "fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_dumps_filtered_records(self, capsys):
+        assert main(["trace", "--experiment", "pmnet", "--component",
+                     "pmnet1", "--limit", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "pmnet1" in captured.out
+        assert "matching record(s)" in captured.err
