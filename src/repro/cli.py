@@ -20,6 +20,11 @@ Usage::
                                       #   breakdown (+ --json/--prometheus)
     pmnet-repro trace --experiment pmnet
                                       # dump the structured trace log
+    pmnet-repro chaos --seed 7        # one seeded chaos run, verdict +
+                                      #   trace digest
+    pmnet-repro chaos --runs 48 --jobs 8 --json chaos.json
+                                      # seed sweep; failing seeds are
+                                      #   shrunk to minimal repros
 
 ``run`` executes every sweep point of every selected experiment as an
 independent job (see ``repro.experiments.jobs``): points fan out over
@@ -295,6 +300,94 @@ def _cmd_profile(clients: int, requests: int, no_fold: bool, top: int,
     return 0
 
 
+def _cmd_chaos(start_seed: int, runs: int, jobs: Optional[int],
+               json_path: Optional[str], faults_arg: Optional[str],
+               shrink_on_failure: bool, corpus_path: Optional[str]) -> int:
+    from repro.experiments.parallel import default_jobs, run_jobs
+    from repro.failure import chaos
+
+    if faults_arg is not None and runs != 1:
+        print("--faults replays one schedule; use it with --runs 1",
+              file=sys.stderr)
+        return 2
+
+    values: List[dict]
+    if runs == 1 and faults_arg is not None:
+        plan = chaos.generate_plan(start_seed)
+        try:
+            indices = chaos.parse_fault_selector(faults_arg,
+                                                 len(plan.faults))
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        values = [chaos.run_plan(plan, indices).to_dict()]
+    else:
+        specs = chaos.jobs(quick=True, start_seed=start_seed, runs=runs)
+        workers = jobs if jobs is not None else default_jobs()
+
+        def progress(result) -> None:
+            print(f"[{result.spec.point}] "
+                  f"{result.elapsed_s:.2f}s", file=sys.stderr)
+
+        results = run_jobs(specs, jobs=workers, cache=None,
+                           progress=progress if runs > 1 else None)
+        errored = [r for r in results if r.error is not None]
+        for result in errored:
+            print(f"chaos {result.spec.point} crashed: {result.error}",
+                  file=sys.stderr)
+        if errored:
+            return 1
+        if runs > 1:
+            print(chaos.assemble(results))
+        values = sorted((r.value for r in results),
+                        key=lambda v: v["seed"])
+
+    status = 0
+    repros: Dict[int, str] = {}
+    for value in values:
+        if runs == 1:
+            print(value["plan"])
+            print(f"verdict: {'clean' if value['ok'] else 'FAIL'} — "
+                  f"{value['completions']} completion(s), "
+                  f"{value['trace_events']} trace event(s), "
+                  f"digest {value['trace_digest']}")
+        if value["ok"]:
+            continue
+        status = 1
+        for violation in value["violations"]:
+            print(f"seed {value['seed']}: {violation}")
+        if shrink_on_failure:
+            minimal = chaos.shrink(chaos.generate_plan(value["seed"]))
+            line = chaos.repro_line(minimal)
+            repros[value["seed"]] = line
+            print(f"seed {value['seed']}: minimal repro: {line}")
+        if corpus_path:
+            try:
+                if chaos.append_to_corpus(corpus_path, value["seed"],
+                                          note=value["violations"][0][:70]):
+                    print(f"seed {value['seed']} appended to {corpus_path}",
+                          file=sys.stderr)
+            except OSError as error:
+                print(f"could not update corpus {corpus_path}: {error}",
+                      file=sys.stderr)
+
+    if json_path:
+        from repro.obs.export import write_bench_report
+        payload = {
+            "benchmark": "chaos",
+            "start_seed": start_seed,
+            "runs": runs,
+            "clean": sum(1 for v in values if v["ok"]),
+            "failing_seeds": [v["seed"] for v in values if not v["ok"]],
+            "repros": {str(seed): line for seed, line in repros.items()},
+            "results": values,
+        }
+        written = write_bench_report("chaos", payload, json_path,
+                                     quick=True)
+        print(f"wrote {written}", file=sys.stderr)
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="pmnet-repro",
@@ -400,6 +493,32 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="only records with this event name")
     trace_parser.add_argument("--seed", type=int, default=None,
                               help="override the scenario seed")
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="seeded chaos sweep: random deployments + fault schedules "
+             "checked against R1-R6 and the durability oracle")
+    chaos_parser.add_argument("--seed", type=int, default=0,
+                              help="first chaos seed (default 0)")
+    chaos_parser.add_argument("--runs", type=int, default=1,
+                              help="consecutive seeds to run (default 1)")
+    chaos_parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                              help="worker processes for the sweep "
+                                   "(default: all cores; 1 = serial)")
+    chaos_parser.add_argument("--json", default=None, metavar="PATH",
+                              dest="json_path",
+                              help="write the pmnet-repro-bench/1 report "
+                                   "to PATH")
+    chaos_parser.add_argument("--faults", default=None, metavar="SELECTOR",
+                              help="replay a subset of the fault schedule: "
+                                   "'all', 'none', or comma-separated "
+                                   "indices (requires --runs 1)")
+    chaos_parser.add_argument("--no-shrink", action="store_true",
+                              help="report failures without bisecting the "
+                                   "fault schedule to a minimal repro")
+    chaos_parser.add_argument("--corpus", default="tests/failure/"
+                              "chaos_corpus.txt", metavar="PATH",
+                              help="regression corpus failing seeds are "
+                                   "appended to ('' disables)")
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -419,6 +538,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "trace":
         return _cmd_trace(args.scenario, args.limit, args.component,
                           args.event, args.seed)
+    if args.command == "chaos":
+        return _cmd_chaos(args.seed, args.runs, args.jobs, args.json_path,
+                          args.faults, not args.no_shrink,
+                          args.corpus or None)
     return _cmd_run(args.experiments, quick=not args.full, jobs=args.jobs,
                     json_path=args.json_path, use_cache=not args.no_cache,
                     cache_dir=args.cache_dir)

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Hashable, Optional
 
-from repro.sim.monitor import Counter
+from repro.sim.monitor import Counter, Gauge, instruments_summary
 
 
 class CacheState(str, Enum):
@@ -49,7 +49,22 @@ class CacheLine:
 
 
 class ReadCache:
-    """An LRU key-value cache with the Fig 11 coherence state machine."""
+    """An LRU key-value cache with the Fig 11 coherence state machine.
+
+    Capacity is enforced against *evictable* lines only: PENDING and
+    STALE lines are pinned by in-flight coherence state (dropping one
+    would lose the only record that an update is outstanding), so a
+    write-heavy burst against a slow server can push the cache past
+    ``capacity_entries``.  That overflow is tracked honestly in the
+    ``pinned_overflow`` gauge (current excess + high-water mark) rather
+    than hidden; it drains as server ACKs land and the pinned lines
+    become evictable again.
+
+    Eviction is O(1): PERSISTED (evictable) lines are kept in their own
+    LRU ordering (``_persisted``), touched on every hit, so the victim
+    is always the least-recently-used persisted line — no scan of the
+    pinned population.
+    """
 
     def __init__(self, capacity_entries: int = 4096, name: str = "cache") -> None:
         if capacity_entries <= 0:
@@ -57,9 +72,14 @@ class ReadCache:
         self.capacity_entries = capacity_entries
         self.name = name
         self._lines: "OrderedDict[Hashable, CacheLine]" = OrderedDict()
+        #: LRU of keys currently in PERSISTED state (values unused).
+        #: Invariant: ``key in _persisted`` iff ``_lines[key].state is
+        #: PERSISTED``; ordering is hit/transition recency.
+        self._persisted: "OrderedDict[Hashable, None]" = OrderedDict()
         self.hits = Counter(f"{name}.hits")
         self.misses = Counter(f"{name}.misses")
         self.evictions = Counter(f"{name}.evictions")
+        self.pinned_overflow = Gauge(f"{name}.pinned_overflow")
 
     # ------------------------------------------------------------------
     # Read path (Fig 10 steps 1-3)
@@ -71,6 +91,8 @@ class ReadCache:
             self.misses.increment()
             return None
         self._lines.move_to_end(key)
+        if line.state is CacheState.PERSISTED:
+            self._persisted.move_to_end(key)
         self.hits.increment()
         return line.value
 
@@ -88,7 +110,8 @@ class ReadCache:
             # T1: fresh entry, not yet persisted on the server.
             self._insert(key, CacheLine(CacheState.PENDING, value))
         elif line.state is CacheState.PERSISTED:
-            # T3: replaces a committed value; back to pending.
+            # T3: replaces a committed value; back to pending (pinned).
+            del self._persisted[key]
             line.state = CacheState.PENDING
             line.value = value
             self._lines.move_to_end(key)
@@ -111,6 +134,8 @@ class ReadCache:
         if line is None:
             return
         if line.state in SERVABLE:
+            if line.state is CacheState.PERSISTED:
+                del self._persisted[key]
             line.state = CacheState.STALE
             line.value = None
 
@@ -123,11 +148,13 @@ class ReadCache:
         if line is None:
             return
         if line.state is CacheState.PENDING:
-            line.state = CacheState.PERSISTED  # T2
+            line.state = CacheState.PERSISTED  # T2 — evictable again
+            self._persisted[key] = None
         elif line.state is CacheState.STALE:
             # T6: the prior update persisted but newer ones may still be
             # in flight; drop to invalid and let a read refill.
             del self._lines[key]
+            self._track_overflow()
 
     # ------------------------------------------------------------------
     # Fill path (Fig 10 step 5)
@@ -147,24 +174,53 @@ class ReadCache:
     def _insert(self, key: Hashable, line: CacheLine) -> None:
         if key in self._lines:
             del self._lines[key]
-        while len(self._lines) >= self.capacity_entries:
-            victim = self._find_victim()
-            if victim is None:
-                break  # everything is pinned by in-flight state
+            self._persisted.pop(key, None)
+        while len(self._lines) >= self.capacity_entries and self._persisted:
+            victim, _ = self._persisted.popitem(last=False)  # LRU, O(1)
             del self._lines[victim]
             self.evictions.increment()
+        # When every resident line is pinned (PENDING/STALE), coherence
+        # requires accepting the insert anyway: refusing it would lose
+        # the record of an in-flight update.  The growth past capacity
+        # is tracked, not hidden.
         self._lines[key] = line
+        if line.state is CacheState.PERSISTED:
+            self._persisted[key] = None
+        self._track_overflow()
 
-    def _find_victim(self) -> Optional[Hashable]:
-        """Oldest entry not pinned by in-flight coherence state."""
-        for key, line in self._lines.items():
-            if line.state is CacheState.PERSISTED:
-                return key
-        return None
+    def _track_overflow(self) -> None:
+        """Record how far pinned lines have pushed us past capacity."""
+        self.pinned_overflow.update(
+            max(0, len(self._lines) - self.capacity_entries))
+
+    # ------------------------------------------------------------------
+    def wipe(self) -> int:
+        """Erase every line (blank-replacement semantics, Sec IV-E2).
+
+        Contents are gone — the data on the dead board cannot be served
+        — but the instruments survive: counters stay cumulative across
+        the swap so the metrics registry keeps observing the same
+        objects it registered at construction.  Returns the number of
+        erased lines.
+        """
+        erased = len(self._lines)
+        self._lines.clear()
+        self._persisted.clear()
+        self._track_overflow()
+        return erased
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._lines)
+
+    def instruments(self) -> tuple:
+        """This cache's typed instruments (the explicit registration
+        protocol; see :mod:`repro.obs.registry`)."""
+        return (self.hits, self.misses, self.evictions,
+                self.pinned_overflow)
+
+    def summary(self) -> dict:
+        return instruments_summary(self.instruments())
 
     def hit_rate(self) -> float:
         total = int(self.hits) + int(self.misses)

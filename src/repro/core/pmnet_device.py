@@ -86,9 +86,18 @@ class PMNetDevice(Node):
         register_with_sim(sim, self)
 
     def instruments(self) -> tuple:
-        """This device's typed instruments (explicit registration)."""
-        return (self.acks_sent, self.cache_responses, self.retrans_served,
-                self.forwarded_plain, self.redo_resends, self.folded_stages)
+        """This device's typed instruments (explicit registration).
+
+        The embedded :class:`ReadCache` has no registration hook of its
+        own (it is not a :class:`~repro.net.device.Node`), so its
+        hits/misses/evictions/overflow ride along here — otherwise
+        cache statistics silently vanish from every metrics export.
+        """
+        own = (self.acks_sent, self.cache_responses, self.retrans_served,
+               self.forwarded_plain, self.redo_resends, self.folded_stages)
+        if self.cache is not None:
+            return own + self.cache.instruments()
+        return own
 
     # ------------------------------------------------------------------
     # Frame entry point

@@ -44,6 +44,7 @@ from repro.experiments import (
 )
 from repro.experiments.common import Scale
 from repro.experiments.jobs import JobResult, JobSpec
+from repro.failure import chaos
 
 
 @dataclass(frozen=True)
@@ -154,6 +155,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "ablations": Experiment("ablations", "Design-choice ablations",
                             _ablations, ablations.jobs, ablations.run_point,
                             _ablations_assemble, ablations),
+    "chaos": Experiment("chaos",
+                        "Seeded chaos sweep: random faults vs R1-R6 + "
+                        "durability oracle",
+                        chaos.run, chaos.jobs, chaos.run_point,
+                        chaos.assemble, chaos),
 }
 
 

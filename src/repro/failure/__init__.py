@@ -1,6 +1,17 @@
-"""Failure injection and the paper's Fig 12/13 recovery scenarios."""
+"""Failure injection, the Fig 12/13 recovery scenarios, chaos sweeps."""
 
 from repro.failure.autorecover import RecoveryManager, attach_recovery_manager
+from repro.failure.chaos import (
+    ChaosPlan,
+    ChaosRunResult,
+    Fault,
+    append_to_corpus,
+    generate_plan,
+    load_corpus,
+    repro_line,
+    run_plan,
+    shrink,
+)
 from repro.failure.injector import FailureInjector, FailureRecord
 from repro.failure.scenarios import (
     ScenarioOutcome,
@@ -20,4 +31,7 @@ __all__ = [
     "device_failure_before_receive",
     "client_failure_mid_run",
     "permanent_device_failure_with_replication",
+    "ChaosPlan", "ChaosRunResult", "Fault",
+    "generate_plan", "run_plan", "shrink", "repro_line",
+    "load_corpus", "append_to_corpus",
 ]

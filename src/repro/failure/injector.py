@@ -119,8 +119,14 @@ class FailureInjector:
         def swap() -> None:
             device.log.wipe()
             if device.cache is not None:
-                device.cache = type(device.cache)(
-                    device.cache.capacity_entries, device.cache.name)
+                # Wipe in place rather than constructing a fresh
+                # ReadCache: the metrics registry holds the counters the
+                # device registered at construction, and a replacement
+                # object would either strand those (every post-swap hit
+                # invisible) or raise DuplicateInstrumentError on
+                # re-registration.  Contents are blank-board blank;
+                # counters stay cumulative, like the log's own wipe().
+                device.cache.wipe()
             device.recover()
             if record is not None:
                 record.recovered_at_ns = at_ns

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Deque, Optional
 
 from repro.config import folding_enabled
+from repro.errors import SimulationError
 from repro.net.device import Port
 from repro.net.packet import Frame
 from repro.sim.clock import transmission_delay
@@ -96,8 +97,11 @@ class Channel:
         #: — the pending ``_serialized`` callback owns the restart, so
         #: a same-nanosecond send must queue behind it (matching the
         #: pre-fold boolean-busy semantics tick for tick).  Folded
-        #: transmissions leave this False and free the transmitter the
-        #: instant ``now`` reaches ``_busy_until``.
+        #: transmissions leave this False; they free the transmitter
+        #: only once their deferred record has been re-sequenced past
+        #: the serialize-end slot, which happens at the same
+        #: sub-nanosecond point the unfolded ``_serialized`` would run
+        #: (see :meth:`send`).
         self._transmitting = False
         #: The heap record of the newest *folded* transmission whose
         #: serialization has begun (a plain-send fold, or a reservation
@@ -135,7 +139,22 @@ class Channel:
         """Enqueue a frame for transmission (drop-tail when full)."""
         if self._reservations:
             self.revoke_unstarted()
+        serializing = self._serializing
+        if serializing is not None and not serializing.defer_ns:
+            # The folded record has been re-sequenced past its
+            # serialize-end slot: the instant the unfolded
+            # ``_serialized`` would have run is behind us, so the
+            # transmitter really is free.
+            self._serializing = serializing = None
+        # At exactly ``now == _busy_until`` a still-deferred record means
+        # the unfolded ``_serialized`` (same heap slot) has NOT run yet
+        # relative to this event — the kernel re-sequences folded records
+        # in (time, seq) order, so ``defer_ns`` being truthy is precisely
+        # "our seq comes later this nanosecond".  The unfolded timeline
+        # would find ``_transmitting`` still True and queue this frame,
+        # so the folded one must too (converting the record in place).
         if (self._fold and not self._transmitting and not self._queue
+                and serializing is None
                 and self.sim.now >= self._busy_until
                 and not self.impairments.any_enabled()):
             # Fast path: idle transmitter, empty queue, no impairments —
@@ -157,14 +176,20 @@ class Channel:
         self._queue.append(frame)
         self.queue_depth_highwater.update(len(self._queue))
         if not self._transmitting:
-            if self.sim.now >= self._busy_until:
+            if serializing is not None:
+                # A *folded* frame still owns the transmitter (either
+                # mid-serialization, or ending this very nanosecond with
+                # its record not yet re-sequenced): nothing would call
+                # `_transmit_next` when it frees, so rewrite the folded
+                # record into the unfolded `_serialized` callback at its
+                # exact heap slot.
+                self._unfold_inflight()
+            elif self.sim.now >= self._busy_until:
                 self._transmit_next()
             else:
-                # Mid-serialization of a *folded* frame: nothing would
-                # call `_transmit_next` when the transmitter frees, so
-                # rewrite the folded record into the unfolded
-                # `_serialized` callback at its exact heap slot.
-                self._unfold_inflight()
+                raise SimulationError(
+                    f"channel {self.name}: busy transmitter with no "
+                    f"in-flight record to convert")
 
     def send_in(self, pre_delay_ns: int, frame: Frame,
                 on_revoke: Optional[Callable[[Frame], None]] = None) -> bool:
@@ -314,15 +339,36 @@ class Channel:
         self._transmit_next()
 
     def _launch(self, frame: Frame) -> None:
+        if not self.impairments.any_enabled():
+            self.sim.schedule(self.profile.propagation_ns,
+                              self._deliver, frame)
+            return
+        # Draw order per frame: loss(original), duplicate, then per
+        # surviving copy a reorder draw and — for the duplicate — its
+        # own loss draw.  Each copy is an independent wire traversal,
+        # so each gets independent loss and reorder draws (sharing the
+        # original's draws made duplicate+loss and duplicate+reorder
+        # unreachable); duplication is decided once per frame, so a
+        # duplicate cannot spawn further duplicates.  All draws come
+        # from the channel's dedicated stream, keeping runs seeded.
+        imp = self.impairments
+        rng = self._rng
+        lost = rng.random() < imp.loss_probability
+        duplicated = rng.random() < imp.duplicate_probability
+        self._launch_copy(frame, lost, imp, rng)
+        if duplicated:
+            self._launch_copy(frame, rng.random() < imp.loss_probability,
+                              imp, rng)
+
+    def _launch_copy(self, frame: Frame, lost: bool,
+                     imp: Impairments, rng) -> None:
+        """Deliver (or drop) one copy of an impaired frame."""
+        if lost:
+            self.dropped_loss.increment()
+            return
         delay = self.profile.propagation_ns
-        if self.impairments.any_enabled():
-            if self._rng.random() < self.impairments.loss_probability:
-                self.dropped_loss.increment()
-                return
-            if self._rng.random() < self.impairments.duplicate_probability:
-                self.sim.schedule(delay, self._deliver, frame)
-            if self._rng.random() < self.impairments.reorder_probability:
-                delay += self.impairments.reorder_extra_ns
+        if rng.random() < imp.reorder_probability:
+            delay += imp.reorder_extra_ns
         self.sim.schedule(delay, self._deliver, frame)
 
     def _deliver(self, frame: Frame) -> None:

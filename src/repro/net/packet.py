@@ -23,6 +23,13 @@ PLAIN_UDP_PORT = 9000
 _frame_ids = itertools.count(1)
 
 
+def reset_frame_ids(start: int = 1) -> None:
+    """Restart the frame-id sequence (fresh-simulation determinism);
+    see :func:`repro.protocol.packet.reset_request_ids`."""
+    global _frame_ids
+    _frame_ids = itertools.count(start)
+
+
 def is_pmnet_port(udp_port: int) -> bool:
     """Whether a UDP port falls inside the reserved PMNet range."""
     return PMNET_UDP_PORT_MIN <= udp_port <= PMNET_UDP_PORT_MAX

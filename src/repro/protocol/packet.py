@@ -23,6 +23,20 @@ def next_request_id() -> int:
     return next(_request_ids)
 
 
+def reset_request_ids(start: int = 1) -> None:
+    """Restart the request-id sequence (fresh-simulation determinism).
+
+    Request ids only need to be unique within one simulation; the
+    counter is process-global purely for convenience.  Harnesses that
+    promise bit-identical traces across repeated runs in one process
+    (the chaos engine's seed replay) reset it before each deployment
+    so ids — which appear in traces and violation reports — depend on
+    the seed alone, not on how many runs preceded this one.
+    """
+    global _request_ids
+    _request_ids = itertools.count(start)
+
+
 @dataclass
 class PMNetPacket:
     """One PMNet fragment as it travels through the fabric."""

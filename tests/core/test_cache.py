@@ -87,6 +87,88 @@ class TestCapacity:
         assert cache.state_of("a") is CacheState.PENDING
         assert cache.state_of("b") is CacheState.PENDING
 
+    def test_pinned_overflow_is_tracked_not_hidden(self):
+        # A write burst against a slow server (no ACKs yet) pins every
+        # line: the cache must accept the inserts for coherence but
+        # report the growth past capacity honestly.
+        cache = ReadCache(capacity_entries=4)
+        for i in range(10):
+            cache.on_update_logged(f"k{i}", i)  # all PENDING: pinned
+        assert len(cache) == 10
+        assert cache.pinned_overflow.value == 6
+        assert cache.pinned_overflow.highwater == 6
+        summary = cache.summary()
+        assert summary["pinned_overflow"] == 6
+        assert summary["pinned_overflow_highwater"] == 6
+
+    def test_overflow_drains_as_acks_land(self):
+        cache = ReadCache(capacity_entries=4)
+        for i in range(8):
+            cache.on_update_logged(f"k{i}", i)
+        assert cache.pinned_overflow.value == 4
+        for i in range(8):
+            cache.on_server_ack(f"k{i}")  # all PERSISTED: evictable
+        # The next insert evicts down below capacity again.
+        cache.on_server_response("fresh", 99)
+        assert len(cache) <= cache.capacity_entries
+        assert cache.pinned_overflow.value == 0
+        assert cache.pinned_overflow.highwater == 4  # worst pressure kept
+        assert int(cache.evictions) >= 5
+
+    def test_bounded_when_acks_keep_pace(self):
+        # Regression: with the server keeping up, the cache never
+        # exceeds capacity no matter how many keys stream through.
+        cache = ReadCache(capacity_entries=8)
+        for i in range(1000):
+            key = f"k{i}"
+            cache.on_update_logged(key, i)
+            cache.on_server_ack(key)
+            assert len(cache) <= 8
+        assert cache.pinned_overflow.highwater == 0
+
+    def test_eviction_prefers_least_recently_used_persisted(self):
+        cache = ReadCache(capacity_entries=3)
+        for key in ("a", "b", "c"):
+            cache.on_server_response(key, key)
+        cache.lookup("a")  # refresh: "b" is now the LRU persisted line
+        cache.on_server_response("d", "d")
+        assert cache.state_of("b") is CacheState.INVALID  # evicted
+        assert cache.state_of("a") is CacheState.PERSISTED
+
+    def test_eviction_skips_pinned_lines_in_constant_time(self):
+        # The victim comes from the persisted-only LRU, so a large
+        # pinned population never gets scanned and never shields a
+        # persisted line from eviction.
+        cache = ReadCache(capacity_entries=4)
+        for i in range(3):
+            cache.on_update_logged(f"pin{i}", i)   # pinned
+        cache.on_server_response("old", 1)         # evictable
+        cache.on_server_response("new", 2)         # must evict "old"
+        assert cache.state_of("old") is CacheState.INVALID
+        assert all(cache.state_of(f"pin{i}") is CacheState.PENDING
+                   for i in range(3))
+
+    def test_wipe_clears_lines_but_keeps_instruments(self):
+        cache = ReadCache(capacity_entries=2)
+        cache.on_server_response("k", 1)
+        cache.lookup("k")
+        hits_before = cache.hits
+        assert cache.wipe() == 1
+        assert len(cache) == 0
+        assert cache.lookup("k") is None  # contents gone
+        cache.on_server_response("k", 2)
+        cache.lookup("k")
+        # Same Counter object, still counting after the wipe.
+        assert cache.hits is hits_before
+        assert int(cache.hits) == 2
+
+    def test_instruments_protocol(self):
+        cache = ReadCache(name="dev.cache")
+        names = {inst.name for inst in cache.instruments()}
+        assert names == {"dev.cache.hits", "dev.cache.misses",
+                         "dev.cache.evictions",
+                         "dev.cache.pinned_overflow"}
+
     def test_zero_capacity_rejected(self):
         with pytest.raises(ValueError):
             ReadCache(capacity_entries=0)

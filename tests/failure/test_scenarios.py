@@ -74,6 +74,40 @@ class TestInjectorBookkeeping:
         assert record.recovered_at_ns == microseconds(50)
 
 
+class TestReplacementKeepsInstrumentIdentity:
+    def test_replaced_device_cache_is_wiped_in_place(self):
+        # Regression: replace_device_at used to swap in a fresh
+        # ReadCache whose new counters were never registered, so every
+        # post-replacement hit was invisible to the metrics registry.
+        from repro.experiments.deploy import build_pmnet_switch
+        from repro.obs.context import Observability
+
+        obs = Observability(spans=False)
+        deployment = build_pmnet_switch(
+            SystemConfig().with_clients(1), enable_cache=True, obs=obs)
+        device = deployment.devices[0]
+        cache = device.cache
+        cache.on_update_logged("k", "v")
+        assert cache.lookup("k") == "v"
+        hits_before = int(cache.hits)
+
+        injector = FailureInjector(deployment.sim)
+        injector.kill_device_permanently_at(device, microseconds(10))
+        injector.replace_device_at(device, microseconds(50))
+        deployment.sim.run(until=microseconds(100))
+
+        assert device.cache is cache, "replacement must wipe in place"
+        assert len(cache) == 0, "blank board: old contents gone"
+        assert cache.lookup("k") is None
+
+        # Post-replacement hits land in the counter the registry holds.
+        cache.on_update_logged("k2", "v2")
+        assert cache.lookup("k2") == "v2"
+        registered = obs.registry.get(f"{device.name}.cache.hits")
+        assert registered is cache.hits
+        assert int(registered) == hits_before + 1
+
+
 class TestAdditionalScenarios:
     def test_device_failure_before_receive(self):
         from repro.failure import device_failure_before_receive

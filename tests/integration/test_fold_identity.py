@@ -177,6 +177,28 @@ class TestFoldIdentityProperty:
         assert folded == unfolded
 
 
+class TestFoldBoundaryRegression:
+    def test_send_at_exact_serialize_end_queues_behind_pending_record(self):
+        # h1's second frame lands at exactly the nanosecond its first
+        # frame finishes serializing, via an event whose seq was
+        # allocated *before* the pending folded record's: the unfolded
+        # timeline finds `_transmitting` still True and queues it behind
+        # `_serialized`.  The folded path used to treat `now ==
+        # _busy_until` as a free transmitter and fold, letting h1's
+        # frame overtake h0's contending frame at the switch downlink.
+        sends = [(4300, 1, 0, 1250), (5300, 1, 0, 1250), (5300, 0, 0, 1250)]
+        folded, folded_events = _run_star(
+            2, sends, no_fold=False, profile=_COLLISION_PROFILE)
+        unfolded, unfolded_events = _run_star(
+            2, sends, no_fold=True, profile=_COLLISION_PROFILE)
+        assert folded == unfolded
+        assert folded_events <= unfolded_events
+        # h0's frame reaches the switch with the earlier seq and must
+        # win the downlink tie in both modes.
+        assert folded[0] == [(6800, "h1", 0), (7800, "h0", 2),
+                             (8800, "h1", 1)]
+
+
 class TestImpairedNeverFolds:
     def test_lossy_channel_takes_unfolded_path(self):
         sends = [(i * 5_000, 0, 1, 100) for i in range(10)]

@@ -102,6 +102,98 @@ class TestImpairments:
         sim.run()
         assert b.arrivals[0][0] > 5_000
 
+    def test_duplicate_copy_draws_its_own_loss(self):
+        # loss=0.5 + duplicate=1.0: each copy draws independently, so
+        # frames arriving exactly once (one copy lost) and exactly
+        # twice (both survive) must both occur — combinations the old
+        # shared-draw code made unreachable.
+        sim = Simulator()
+        a, b, link = _pair(sim, loss_probability=0.5,
+                           duplicate_probability=1.0)
+        n = 200
+        for i in range(n):
+            sim.schedule(i * 50_000, a.ports[0].transmit,
+                         Frame("a", "b", i, 10))
+        sim.run()
+        delivered = len(b.arrivals)
+        dropped = int(link.forward.dropped_loss)
+        # Every one of the 2n copies met exactly one fate.
+        assert delivered + dropped == 2 * n
+        per_frame = {}
+        for _t, frame in b.arrivals:
+            per_frame[frame.payload] = per_frame.get(frame.payload, 0) + 1
+        counts = set(per_frame.values())
+        assert 1 in counts, "a lone surviving copy never happened"
+        assert 2 in counts, "both copies surviving never happened"
+        assert len(per_frame) < n, "a fully-lost frame never happened"
+
+    def test_duplicate_copy_draws_its_own_reorder(self):
+        # duplicate=1.0 + reorder=0.5: some frame must arrive with one
+        # copy on time and the other delayed by exactly
+        # reorder_extra_ns — impossible when the copy skipped the
+        # reorder draw.
+        sim = Simulator()
+        profile = NetworkProfile(propagation_ns=100)
+        a, b = _Sink(sim, "a"), _Sink(sim, "b")
+        Link(sim, profile, a.add_port(), b.add_port(),
+             impairments_ab=Impairments(duplicate_probability=1.0,
+                                        reorder_probability=0.5,
+                                        reorder_extra_ns=5_000))
+        n = 100
+        for i in range(n):
+            sim.schedule(i * 50_000, a.ports[0].transmit,
+                         Frame("a", "b", i, 10))
+        sim.run()
+        assert len(b.arrivals) == 2 * n
+        gaps = {}
+        for t, frame in b.arrivals:
+            gaps.setdefault(frame.payload, []).append(t)
+        split = [times for times in gaps.values()
+                 if max(times) - min(times) == 5_000]
+        together = [times for times in gaps.values()
+                    if max(times) == min(times)]
+        assert split, "copies never took different reorder fates"
+        assert together, "copies never shared a reorder fate"
+
+    def test_impaired_draw_sequence_is_pinned(self):
+        # The corrected per-frame draw order is load-bearing for seeded
+        # reproducibility: loss(original), duplicate, then per surviving
+        # copy a reorder draw, plus the duplicate's own loss draw.  This
+        # replays the channel's dedicated stream and predicts every
+        # arrival/drop exactly.
+        import random as _random
+
+        seed = 11
+        imp = dict(loss_probability=0.4, duplicate_probability=0.5,
+                   reorder_probability=0.3)
+        sim = Simulator(seed=seed)
+        a, b, link = _pair(sim, **imp)
+        n = 150
+        for i in range(n):
+            sim.schedule(i * 50_000, a.ports[0].transmit,
+                         Frame("a", "b", i, 10))
+        sim.run()
+
+        rng = _random.Random(f"{seed}/channel:a->b")
+        expected_delivered = 0
+        expected_dropped = 0
+        for _ in range(n):
+            lost = rng.random() < imp["loss_probability"]
+            duplicated = rng.random() < imp["duplicate_probability"]
+            if lost:
+                expected_dropped += 1
+            else:
+                rng.random()  # the original's reorder draw
+                expected_delivered += 1
+            if duplicated:
+                if rng.random() < imp["loss_probability"]:
+                    expected_dropped += 1
+                else:
+                    rng.random()  # the duplicate's reorder draw
+                    expected_delivered += 1
+        assert len(b.arrivals) == expected_delivered
+        assert int(link.forward.dropped_loss) == expected_dropped
+
     def test_failed_node_blackholes(self):
         sim = Simulator()
         a, b, _link = _pair(sim)

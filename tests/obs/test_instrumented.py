@@ -58,6 +58,28 @@ class TestRunInstrumented:
         assert "client_send" in text
 
 
+class TestCacheInstrumentsExported:
+    def test_cache_counters_reach_the_registry(self):
+        # Regression: PMNetDevice.instruments() used to omit the
+        # embedded ReadCache, so exports silently lacked cache stats.
+        obs = Observability(spans=False)
+        config = SystemConfig(seed=3).with_clients(2).with_payload(128)
+        deployment = build_pmnet_switch(config, enable_cache=True, obs=obs)
+        names = obs.registry.names()
+        device = deployment.devices[0].name
+        for metric in ("hits", "misses", "evictions", "pinned_overflow"):
+            assert f"{device}.cache.{metric}" in names
+        # The registered objects ARE the live cache counters.
+        cache = deployment.devices[0].cache
+        assert obs.registry.get(f"{device}.cache.hits") is cache.hits
+
+    def test_no_cache_no_cache_instruments(self):
+        obs = Observability(spans=False)
+        config = SystemConfig(seed=3).with_clients(2).with_payload(128)
+        build_pmnet_switch(config, enable_cache=False, obs=obs)
+        assert not [n for n in obs.registry.names() if ".cache." in n]
+
+
 class TestResultNeutrality:
     def _run(self, obs):
         config = SystemConfig(seed=3).with_clients(4).with_payload(256)
