@@ -1,28 +1,63 @@
 """Events/request benchmark: the latency-folded path scorecard.
 
-Runs the Fig 16 stress shape with folding on and off and holds the
-folded path to its contract:
+Runs the Fig 16 stress shape at every fold level and holds the folded
+paths to their contract:
 
-* **floor guard** — the folded run must need at most 70 % of the
-  unfolded run's events per request (a >= 30 % reduction, the target
-  the fold was built for).  Event counts are deterministic, so this
-  never trips on machine noise; it trips when someone un-folds a path.
-* **identity** — every per-request latency must match across the modes.
+* **floor guard** — the whole-request fold must need at most 70 % of
+  the unfolded run's events per request, and at least 20 % fewer than
+  the stage fold (the margin the whole-request extension was built
+  for).  Event counts are deterministic, so these never trip on
+  machine noise; they trip when someone un-folds a path.
+* **identity** — every per-request latency must match across levels.
+* **loadgen floor** — the flow-level generator leg models >= 10^4
+  closed-loop users and the whole fold holds its per-request event
+  budget at that scale.
 
 Run with:  pytest benchmarks/test_pipeline_events.py --benchmark-only -s
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.experiments.pipeline_bench import (format_result,
+from repro.experiments.pipeline_bench import (LOADGEN_MIN_USERS,
+                                              format_result,
                                               run_pipeline_benchmark)
 
-#: Folded events/request over unfolded, at most.  The measured ratio on
-#: the reference container is ~0.64 (35 % fewer events); 0.70 is the
-#: target the fold was built to beat.
+#: Whole-fold events/request over unfolded, at most.  The measured
+#: ratio on the reference container is ~0.50; 0.70 is the floor the
+#: fold tiers were built to beat.
 MAX_EVENT_RATIO = 0.70
+
+#: Whole-request events/request over stage-folded: the whole-request
+#: extension must remove at least a fifth of the stage fold's events
+#: (measured: ~23 % on the reference container).
+MIN_WHOLE_VS_STAGE_REDUCTION = 0.20
+
+#: Events/request ceiling for the >= 10^4-user loadgen leg (measured:
+#: ~24 on the reference container).
+MAX_LOADGEN_EVENTS_PER_REQUEST = 30.0
+
+
+def _assert_contract(result):
+    assert result["latencies_identical"], (
+        "fold levels produced different request latencies")
+    whole = result["fold"]["events_per_request"]
+    stage = result["stage"]["events_per_request"]
+    off = result["no_fold"]["events_per_request"]
+    assert whole <= MAX_EVENT_RATIO * off, (
+        f"whole fold spends {whole:.2f} events/request vs {off:.2f} "
+        f"unfolded — ratio {whole / off:.2f} exceeds {MAX_EVENT_RATIO}")
+    assert result["whole_vs_stage_reduction"] >= MIN_WHOLE_VS_STAGE_REDUCTION, (
+        f"whole fold spends {whole:.2f} events/request vs {stage:.2f} "
+        f"stage-folded — only {result['whole_vs_stage_reduction']:.1%} "
+        f"fewer, needs >= {MIN_WHOLE_VS_STAGE_REDUCTION:.0%}")
+    loadgen = result["loadgen"]
+    assert loadgen["modeled_users"] >= LOADGEN_MIN_USERS
+    assert loadgen["completed"] > loadgen["modeled_users"]
+    assert (loadgen["events_per_request"]
+            <= MAX_LOADGEN_EVENTS_PER_REQUEST), (
+        f"loadgen leg spends {loadgen['events_per_request']:.2f} "
+        f"events/request at {loadgen['modeled_users']:,} users — "
+        f"ceiling is {MAX_LOADGEN_EVENTS_PER_REQUEST}")
 
 
 class TestPipelineEvents:
@@ -34,13 +69,7 @@ class TestPipelineEvents:
             rounds=1, iterations=1)
         with capsys.disabled():
             print(f"\n{format_result(result)}\n")
-        assert result["latencies_identical"], (
-            "folded and unfolded runs produced different request latencies")
-        on = result["fold"]["events_per_request"]
-        off = result["no_fold"]["events_per_request"]
-        assert on <= MAX_EVENT_RATIO * off, (
-            f"folded path spends {on:.2f} events/request vs {off:.2f} "
-            f"unfolded — ratio {on / off:.2f} exceeds {MAX_EVENT_RATIO}")
+        _assert_contract(result)
 
     def test_floor_holds_with_spans_enabled(self, benchmark, capsys):
         """The observability overhead guarantee: recording lifecycle
@@ -54,11 +83,4 @@ class TestPipelineEvents:
         with capsys.disabled():
             print(f"\n[spans enabled] {format_result(result)}\n")
         assert result["spans"] is True
-        assert result["latencies_identical"], (
-            "span recording perturbed request latencies")
-        on = result["fold"]["events_per_request"]
-        off = result["no_fold"]["events_per_request"]
-        assert on <= MAX_EVENT_RATIO * off, (
-            f"with spans on, folded path spends {on:.2f} events/request "
-            f"vs {off:.2f} unfolded — ratio {on / off:.2f} exceeds "
-            f"{MAX_EVENT_RATIO}")
+        _assert_contract(result)

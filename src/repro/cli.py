@@ -268,16 +268,16 @@ def _cmd_trace(scenario_id: str, limit: int, component: Optional[str],
     return 0
 
 
-def _cmd_profile(clients: int, requests: int, no_fold: bool, top: int,
+def _cmd_profile(clients: int, requests: int, fold: str, top: int,
                  json_path: Optional[str] = None) -> int:
     from repro.experiments.pipeline_bench import _run_mode
     from repro.sim.profiler import EventProfiler  # noqa: F401 (re-export)
     try:
-        run = _run_mode(no_fold, clients, requests, seed=0)
+        run = _run_mode(fold, clients, requests, seed=0)
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
-    mode = "folding off (PMNET_NO_FOLD)" if no_fold else "folding on"
+    mode = f"fold level {fold!r}"
     print(f"event profile — {mode}, {clients} clients x {requests} requests")
     total = max(1, run["executed_events"])
     sites = sorted(run["top_call_sites"].items(), key=lambda kv: -kv[1])
@@ -455,7 +455,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     profile_parser.add_argument("--requests", type=int, default=20,
                                 help="requests per client (default 20)")
     profile_parser.add_argument("--no-fold", action="store_true",
-                                help="profile the unfolded paths instead")
+                                help="profile the unfolded paths instead "
+                                     "(same as --fold none)")
+    profile_parser.add_argument("--fold", default=None,
+                                choices=("none", "stage", "whole"),
+                                help="fold level to profile "
+                                     "(default: whole)")
     profile_parser.add_argument("--top", type=int, default=15,
                                 help="call sites to show (default 15)")
     profile_parser.add_argument("--json", "--output", default=None,
@@ -530,7 +535,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "bench-pipeline":
         return _cmd_bench_pipeline(args.clients, args.requests, args.output)
     if args.command == "profile":
-        return _cmd_profile(args.clients, args.requests, args.no_fold,
+        fold = args.fold or ("none" if args.no_fold else "whole")
+        return _cmd_profile(args.clients, args.requests, fold,
                             args.top, args.output)
     if args.command == "metrics":
         return _cmd_metrics(args.scenario, args.json_path, args.prometheus,

@@ -27,21 +27,52 @@ from repro.errors import ConfigurationError
 from repro.sim.clock import microseconds, nanoseconds
 
 
-def folding_enabled() -> bool:
-    """Whether the latency-folded fast paths are active.
+#: ``PMNET_FOLD`` spellings accepted per fold level.
+_FOLD_LEVELS = {"none": 0, "off": 0, "0": 0,
+                "stage": 1, "1": 1,
+                "whole": 2, "2": 2}
 
-    Unimpaired channels and the PMNet MAT pipeline fold consecutive
-    deterministic stage delays into single scheduled events (same
-    virtual times, fewer heap operations).  ``PMNET_NO_FOLD=1`` in the
-    environment restores the one-event-per-stage paths; results must be
-    byte-identical either way (``tests/integration/test_fold_identity``
-    asserts it), so the switch exists for A/B measurement and for
-    debugging the folded paths, never for correctness.
 
-    Read at component construction time: toggling the variable affects
-    deployments built afterwards, not ones already wired.
+def fold_level() -> int:
+    """The active folding level (0, 1, or 2).
+
+    * **0** — every stage is its own scheduled event (``PMNET_NO_FOLD=1``
+      or ``PMNET_FOLD=none``).
+    * **1** — stage folding: unimpaired channels and the PMNet MAT
+      pipeline fold consecutive deterministic delays into single
+      scheduled events (``PMNET_FOLD=stage``).
+    * **2** — whole-request folding (the default): on top of stage
+      folding, uncontended request legs extend across component
+      boundaries — channel arrival chains run straight into the device
+      pipeline or the client's receive stack, elided timeout timers,
+      and inline completion dispatch (``PMNET_FOLD=whole``).
+
+    Every level produces byte-identical results (same virtual times,
+    same RNG draws, same tie-breaks); only the executed-event count
+    changes.  ``tests/integration/test_fold_identity`` holds that claim
+    to account.  Read at component construction time: toggling the
+    variables affects deployments built afterwards, not ones already
+    wired.
     """
-    return os.environ.get("PMNET_NO_FOLD", "0") in ("", "0")
+    if os.environ.get("PMNET_NO_FOLD", "0") not in ("", "0"):
+        return 0
+    name = os.environ.get("PMNET_FOLD", "whole").strip().lower()
+    try:
+        return _FOLD_LEVELS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"PMNET_FOLD must be one of {sorted(set(_FOLD_LEVELS))}, "
+            f"got {name!r}") from None
+
+
+def folding_enabled() -> bool:
+    """Whether the stage-level latency-folded fast paths are active."""
+    return fold_level() >= 1
+
+
+def whole_request_folding_enabled() -> bool:
+    """Whether the cross-component whole-request folds are active."""
+    return fold_level() >= 2
 
 # ---------------------------------------------------------------------------
 # Host network stacks

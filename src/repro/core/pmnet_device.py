@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Optional
 
-from repro.config import folding_enabled
+from repro.config import folding_enabled, whole_request_folding_enabled
 from repro.core.cache import ReadCache
 from repro.core.mat import MATAction, classify, pmnet_packet
 from repro.core.recovery import ResendEngine
@@ -82,6 +82,7 @@ class PMNetDevice(Node):
         self.redo_resends = Counter(f"{name}.redo_resends")
         self.folded_stages = Counter(f"{name}.folded_stages")
         self._fold = folding_enabled()
+        self._whole = whole_request_folding_enabled()
         self._scrub_armed = False
         register_with_sim(sim, self)
 
@@ -150,6 +151,59 @@ class PMNetDevice(Node):
                 return
         self.sim.schedule(self.config.pipeline.ingress_ns,
                           self._after_ingress, frame)
+
+    def arrival_extension(self, frame: Frame):
+        """Whole-request folding: extend an inbound wire chain through
+        the deterministic head of this device's pipeline.
+
+        Classification is pure (it reads only the frame), so it can run
+        at reservation time just as the stage-folded path runs it at
+        arrival time.  Two actions extend — their interior hops mutate
+        nothing, every side effect lives in the barrier:
+
+        * **LOG_AND_FORWARD** rides ingress + PM-access and lands in
+          :meth:`_express_ingest` at the exact ``_log_update`` instant;
+        * **INVALIDATE_AND_FORWARD** rides ingress and lands in
+          :meth:`_express_server_ack` at the ``_after_ingress`` instant.
+
+        Everything else — notably the cache read path, whose lookup
+        outcome steers mid-pipeline branching — stays on the per-stage
+        paths, so a cache-capable request never whole-request folds.
+        The barriers re-check ``failed``, matching the stage-folded
+        interior checks; a crash inside the window drops the frame on
+        both timelines.
+        """
+        if not self._whole:
+            return None
+        action = classify(frame)
+        if action is MATAction.LOG_AND_FORWARD:
+            return ((self.config.pipeline.ingress_ns,
+                     self.config.pipeline.pm_stage_ns),
+                    self._express_ingest, (frame, pmnet_packet(frame)), None)
+        if action is MATAction.INVALIDATE_AND_FORWARD:
+            return ((self.config.pipeline.ingress_ns,),
+                    self._express_server_ack,
+                    (frame, pmnet_packet(frame)), None)
+        return None
+
+    def _express_ingest(self, frame: Frame, packet: PMNetPacket) -> None:
+        """Barrier of an extended update chain: the ``_log_update``
+        instant, with the ``receive``-time bookkeeping the chain
+        subsumed."""
+        if self.failed:
+            return
+        frame.hops += 1
+        self.folded_stages.increment()
+        self._log_update(frame, packet)
+
+    def _express_server_ack(self, frame: Frame, packet: PMNetPacket) -> None:
+        """Barrier of an extended server-ACK chain: the
+        ``_after_ingress`` instant for an INVALIDATE_AND_FORWARD."""
+        if self.failed:
+            return
+        frame.hops += 1
+        self.folded_stages.increment()
+        self._handle_server_ack(frame, packet)
 
     def _after_ingress(self, frame: Frame) -> None:
         if self.failed:

@@ -1,0 +1,106 @@
+"""Load-generator experiment: flow-level users against the PMNet switch.
+
+Two points per scale — one closed-loop (think-time users) and one
+open-loop (Poisson arrivals) — driven through the shared job protocol
+so the CLI, the parallel runner, and the determinism tests all execute
+the same :class:`~repro.experiments.jobs.JobSpec`s.  The quick sweep
+models a few thousand users; the full sweep models 10^5, the scale the
+flow-level engine exists for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.report import format_table
+from repro.config import SystemConfig
+from repro.experiments.common import Scale
+from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
+from repro.workloads.loadgen import LoadGenConfig, run_loadgen
+
+#: The swept arrival processes, by point name.
+QUICK_POINTS: Dict[str, LoadGenConfig] = {
+    "closed": LoadGenConfig(mode="closed", users=2_000, total_requests=4_000,
+                            window=64, warmup_requests=8),
+    "open": LoadGenConfig(mode="open", total_requests=3_000,
+                          mean_interarrival_ns=2_000, window=64,
+                          warmup_requests=8),
+}
+
+FULL_POINTS: Dict[str, LoadGenConfig] = {
+    "closed": LoadGenConfig(mode="closed", users=100_000,
+                            total_requests=150_000, window=256,
+                            warmup_requests=64),
+    "open": LoadGenConfig(mode="open", total_requests=50_000,
+                          mean_interarrival_ns=1_000, window=256,
+                          warmup_requests=64),
+}
+
+
+@dataclass
+class LoadGenExperimentResult:
+    """Per-point totals plus the digests the identity tests compare."""
+
+    #: point name -> summary dict (ops/s, latency, digest, ...).
+    points: Dict[str, Dict[str, object]]
+
+    def format(self) -> str:
+        headers = ["point", "users", "requests", "ops/s", "mean us",
+                   "digest"]
+        rows: List[List[object]] = []
+        for name, summary in sorted(self.points.items()):
+            rows.append([name, summary["modeled_users"],
+                         summary["completed"],
+                         round(summary["ops_per_second"]),
+                         round(summary["mean_latency_us"], 2),
+                         summary["digest"]])
+        return format_table(
+            headers, rows,
+            title="Load generator — flow-level users, PMNet switch")
+
+
+def jobs(config: SystemConfig = None,  # type: ignore[assignment]
+         quick: bool = True) -> List[JobSpec]:
+    """One job per arrival process."""
+    cfg = config if config is not None else SystemConfig()
+    quick = Scale.resolve_quick(quick)
+    points = QUICK_POINTS if quick else FULL_POINTS
+    return [JobSpec(experiment="loadgen", point=f"mode={name}",
+                    params={"point": name,
+                            "loadgen": points[name].to_params()},
+                    seed=cfg.seed, quick=quick, config=config)
+            for name in sorted(points)]
+
+
+def run_point(spec: JobSpec) -> Dict[str, object]:
+    """Run one arrival process; returns a JSON-safe summary."""
+    cfg = spec.resolved_config()
+    scale = Scale.exact(spec.quick)
+    loadgen = LoadGenConfig.from_params(spec.params["loadgen"])
+    deployment = build_pmnet_switch(
+        cfg.with_clients(scale.clients).with_payload(loadgen.payload_bytes))
+    result = run_loadgen(deployment, loadgen)
+    return {
+        "mode": result.mode,
+        "modeled_users": result.modeled_users,
+        "shards": result.shards,
+        "issued": result.issued,
+        "completed": result.completed,
+        "errors": result.errors,
+        "duration_ns": result.duration_ns,
+        "ops_per_second": result.ops_per_second(),
+        "mean_latency_us": result.mean_latency_us(),
+        "digest": result.digest(),
+    }
+
+
+def assemble(results: Sequence[JobResult]) -> LoadGenExperimentResult:
+    return LoadGenExperimentResult(
+        {result.spec.params["point"]: result.value for result in results})
+
+
+def run(config: SystemConfig = None,  # type: ignore[assignment]
+        quick: bool = True) -> LoadGenExperimentResult:
+    return assemble(execute_serial(jobs(config, quick), run_point))

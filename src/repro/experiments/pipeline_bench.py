@@ -1,20 +1,21 @@
-"""End-to-end pipeline benchmark: events/request with folding on vs off.
+"""End-to-end pipeline benchmark: events/request across fold levels.
 
 Runs the Fig 16 stress shape (many closed-loop clients hammering the
-PMNet-switch deployment with 1000 B updates) twice in one process —
-once with the latency-folded fast paths active and once with
-``PMNET_NO_FOLD=1`` semantics — with an
+PMNet-switch deployment with 1000 B updates) three times in one process
+— once per fold level (``none``, ``stage``, ``whole``) — with an
 :class:`~repro.sim.profiler.EventProfiler` attached to each run.  The
-result captures the whole point of the folded paths in three numbers:
+result captures the whole point of the folded paths in a few numbers:
 
-* **events/request** in each mode (the fold removes intermediate hops),
-* **requests/sec of wall clock** in each mode (fewer events -> faster), and
+* **events/request** at each level (each fold removes scheduled hops),
+* **requests/sec of wall clock** at each level (fewer events -> faster),
 * **latencies_identical** — every per-request latency sample must be
-  byte-identical across the modes, the folding correctness bar.
+  byte-identical across all levels, the folding correctness bar, and
+* **loadgen** — a flow-level closed-loop run with >= 10^4 modeled users
+  proving the whole-request fold holds its event budget at user scale.
 
 Two entry points use this module: ``pmnet-repro bench-pipeline``
 (writes ``BENCH_pipeline.json``) and
-``benchmarks/test_pipeline_events.py`` (guards the reduction floor).
+``benchmarks/test_pipeline_events.py`` (guards the reduction floors).
 """
 
 from __future__ import annotations
@@ -34,11 +35,18 @@ BENCH_RESULT_FILE = "BENCH_pipeline.json"
 
 PAYLOAD = 1000
 
+#: The three fold levels, in ascending order of aggressiveness.
+FOLD_MODES = ("none", "stage", "whole")
 
-def _run_mode(no_fold: bool, clients: int, requests_per_client: int,
+#: The loadgen leg must model at least this many users in one run.
+LOADGEN_MIN_USERS = 10_000
+
+
+def _run_mode(fold: str, clients: int, requests_per_client: int,
               seed: int, spans: bool = False) -> Dict[str, object]:
-    """One measured run; folding is toggled via the same environment
-    switch users have (read at deployment construction time).
+    """One measured run at fold level ``fold`` ("none"/"stage"/"whole");
+    the level is toggled via the same ``PMNET_FOLD`` environment switch
+    users have (read at deployment construction time).
 
     ``spans=True`` attaches an :class:`~repro.obs.context.Observability`
     with the span recorder enabled — the overhead-guarantee benchmark
@@ -46,21 +54,24 @@ def _run_mode(no_fold: bool, clients: int, requests_per_client: int,
     """
     from repro.obs.context import Observability
 
-    previous = os.environ.get("PMNET_NO_FOLD")
+    if fold not in FOLD_MODES:
+        raise ValueError(f"fold must be one of {FOLD_MODES}, got {fold!r}")
+    previous = os.environ.get("PMNET_FOLD")
+    previous_no_fold = os.environ.get("PMNET_NO_FOLD")
     try:
-        if no_fold:
-            os.environ["PMNET_NO_FOLD"] = "1"
-        else:
-            os.environ.pop("PMNET_NO_FOLD", None)
+        os.environ.pop("PMNET_NO_FOLD", None)
+        os.environ["PMNET_FOLD"] = fold
         config = SystemConfig(seed=seed).with_clients(clients).with_payload(
             PAYLOAD)
         obs = Observability(spans=True) if spans else None
         deployment = build_pmnet_switch(config, obs=obs)
     finally:
         if previous is None:
-            os.environ.pop("PMNET_NO_FOLD", None)
+            os.environ.pop("PMNET_FOLD", None)
         else:
-            os.environ["PMNET_NO_FOLD"] = previous
+            os.environ["PMNET_FOLD"] = previous
+        if previous_no_fold is not None:
+            os.environ["PMNET_NO_FOLD"] = previous_no_fold
 
     profiler = EventProfiler()
     deployment.sim.attach_profiler(profiler)
@@ -75,7 +86,7 @@ def _run_mode(no_fold: bool, clients: int, requests_per_client: int,
     wall_seconds = time.perf_counter() - started
     requests = stats.update_latencies.count
     return {
-        "mode": "no_fold" if no_fold else "fold",
+        "mode": fold,
         "requests": requests,
         "executed_events": deployment.sim.executed_events,
         "events_per_request": profiler.events_per_request(requests),
@@ -87,35 +98,76 @@ def _run_mode(no_fold: bool, clients: int, requests_per_client: int,
     }
 
 
-def _best_of(no_fold: bool, clients: int, requests_per_client: int,
+def _best_of(fold: str, clients: int, requests_per_client: int,
              seed: int, repeats: int, spans: bool = False) -> Dict[str, object]:
-    """Repeat one mode, keeping the least-disturbed wall clock.
+    """Repeat one fold level, keeping the least-disturbed wall clock.
 
     Event counts and latency samples are deterministic — identical on
     every repeat — so only the wall-clock fields take the best-of-N
     microbenchmark reduction."""
-    best = _run_mode(no_fold, clients, requests_per_client, seed, spans)
+    best = _run_mode(fold, clients, requests_per_client, seed, spans)
     for _ in range(repeats - 1):
-        again = _run_mode(no_fold, clients, requests_per_client, seed, spans)
+        again = _run_mode(fold, clients, requests_per_client, seed, spans)
         if again["wall_seconds"] < best["wall_seconds"]:
             best["wall_seconds"] = again["wall_seconds"]
             best["requests_per_second"] = again["requests_per_second"]
     return best
 
 
+def _run_loadgen_floor(seed: int) -> Dict[str, object]:
+    """The user-scale leg: >= 10^4 modeled closed-loop users through the
+    flow-level generator, profiled under whole-request folding."""
+    from repro.workloads.loadgen import LoadGenConfig, run_loadgen
+
+    previous = os.environ.get("PMNET_FOLD")
+    previous_no_fold = os.environ.get("PMNET_NO_FOLD")
+    try:
+        os.environ.pop("PMNET_NO_FOLD", None)
+        os.environ["PMNET_FOLD"] = "whole"
+        config = SystemConfig(seed=seed).with_payload(PAYLOAD)
+        deployment = build_pmnet_switch(config)
+    finally:
+        if previous is None:
+            os.environ.pop("PMNET_FOLD", None)
+        else:
+            os.environ["PMNET_FOLD"] = previous
+        if previous_no_fold is not None:
+            os.environ["PMNET_NO_FOLD"] = previous_no_fold
+
+    profiler = EventProfiler()
+    deployment.sim.attach_profiler(profiler)
+    # window=8 keeps total in-flight at 512 (64 shards), comfortably
+    # under the ~1.2k frames whose queueing delay would cross the 1 ms
+    # client timeout and turn the measurement into a retransmission
+    # storm; the other 9.5k users model think/wait state in O(1).
+    loadgen = LoadGenConfig(mode="closed", users=LOADGEN_MIN_USERS,
+                            total_requests=LOADGEN_MIN_USERS + 2_000,
+                            window=8)
+    result = run_loadgen(deployment, loadgen)
+    return {
+        "modeled_users": loadgen.users,
+        "completed": result.completed,
+        "events_per_request": profiler.events_per_request(result.completed),
+        "ops_per_second": result.ops_per_second(),
+        "sample_digest": result.digest(),
+    }
+
+
 def run_pipeline_benchmark(clients: int = 32, requests_per_client: int = 20,
                            seed: int = 0, repeats: int = 3,
                            spans: bool = False) -> Dict[str, object]:
-    """Measure both modes; return the comparison (JSON-ready)."""
+    """Measure every fold level; return the comparison (JSON-ready)."""
     if clients <= 0 or requests_per_client <= 0 or repeats <= 0:
         raise ValueError(
             "clients, requests_per_client, and repeats must be positive")
-    fold = _best_of(False, clients, requests_per_client, seed, repeats, spans)
-    no_fold = _best_of(True, clients, requests_per_client, seed, repeats,
-                       spans)
-    identical = fold.pop("latency_samples") == no_fold.pop("latency_samples")
-    on = fold["events_per_request"]
-    off = no_fold["events_per_request"]
+    by_mode = {fold: _best_of(fold, clients, requests_per_client, seed,
+                              repeats, spans)
+               for fold in FOLD_MODES}
+    samples = [mode.pop("latency_samples") for mode in by_mode.values()]
+    identical = all(current == samples[0] for current in samples[1:])
+    off = by_mode["none"]["events_per_request"]
+    stage = by_mode["stage"]["events_per_request"]
+    whole = by_mode["whole"]["events_per_request"]
     return {
         "benchmark": "pipeline_events",
         "clients": clients,
@@ -123,10 +175,16 @@ def run_pipeline_benchmark(clients: int = 32, requests_per_client: int = 20,
         "seed": seed,
         "repeats": repeats,
         "spans": spans,
-        "fold": fold,
-        "no_fold": no_fold,
-        "events_per_request_reduction": (off - on) / off if off else 0.0,
+        # Historical key names: "fold" is the default (most aggressive)
+        # level, "no_fold" the fully unfolded baseline.
+        "fold": by_mode["whole"],
+        "stage": by_mode["stage"],
+        "no_fold": by_mode["none"],
+        "events_per_request_reduction": (off - whole) / off if off else 0.0,
+        "whole_vs_stage_reduction": ((stage - whole) / stage
+                                     if stage else 0.0),
         "latencies_identical": identical,
+        "loadgen": _run_loadgen_floor(seed),
     }
 
 
@@ -141,16 +199,23 @@ def write_result(result: Dict[str, object],
 
 def format_result(result: Dict[str, object]) -> str:
     fold = result["fold"]
+    stage = result["stage"]
     no_fold = result["no_fold"]
     reduction = result["events_per_request_reduction"]
+    whole_vs_stage = result["whole_vs_stage_reduction"]
+    loadgen = result["loadgen"]
     identical = ("identical" if result["latencies_identical"]
                  else "DIVERGED (bug!)")
     return "\n".join([
-        f"pipeline events/request: {fold['events_per_request']:.2f} folded "
+        f"pipeline events/request: {fold['events_per_request']:.2f} whole "
+        f"vs {stage['events_per_request']:.2f} stage "
         f"vs {no_fold['events_per_request']:.2f} unfolded "
-        f"({reduction:.1%} fewer)",
-        f"wall-clock requests/sec: {fold['requests_per_second']:,.0f} folded "
+        f"({reduction:.1%} fewer than unfolded, "
+        f"{whole_vs_stage:.1%} fewer than stage)",
+        f"wall-clock requests/sec: {fold['requests_per_second']:,.0f} whole "
         f"vs {no_fold['requests_per_second']:,.0f} unfolded",
         f"per-request latencies: {identical} across modes "
         f"({fold['requests']} requests, {result['clients']} clients)",
+        f"loadgen floor: {loadgen['modeled_users']:,} modeled users, "
+        f"{loadgen['events_per_request']:.2f} events/request",
     ])

@@ -37,6 +37,7 @@ from repro.experiments import (
     fig20_cdf_caching,
     fig21_replication,
     fig22_vma,
+    loadgen,
     motivation,
     multirack,
     sec6b6_recovery,
@@ -144,6 +145,9 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "sec6b6": _entry("sec6b6", "Server failure recovery", sec6b6_recovery),
     "sec7": _entry("sec7", "Scaling to faster ports (Sec VII)",
                    sec7_scaling),
+    "loadgen": _entry("loadgen",
+                      "Flow-level load generator: closed/open-loop users",
+                      loadgen),
     "motivation": _entry("motivation",
                          "Sync vs async vs sync-over-PMNet (Sec II-A)",
                          motivation),

@@ -245,6 +245,11 @@ def _horizon_ns(plan: ChaosPlan) -> int:
 
 def _set_impairments(channel, impairments: Impairments) -> None:
     channel.impairments = impairments
+    # A fault window opening mid-run invalidates folded in-flight work
+    # whose impairment draws would only happen from here on — convert it
+    # back to the unfolded path so the draws land draw-for-draw where
+    # the PMNET_NO_FOLD timeline puts them.
+    channel.on_impairments_changed()
 
 
 def _schedule_fault(sim, injector: FailureInjector, deployment,

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
+from repro.config import whole_request_folding_enabled
 from repro.core.replication import ReplicationPolicy, SINGLE_LOG
 from repro.errors import SessionError
 from repro.host.node import HostNode
@@ -60,6 +61,9 @@ class _PendingRequest:
     server_acked: List[bool] = field(default_factory=list)
     retransmissions: int = 0
     timer_token: object = None
+    #: The armed timeout's heap record (whole-request folding cancels it
+    #: on completion instead of letting it fire as a no-op).
+    timer_call: object = None
 
     def __post_init__(self) -> None:
         if not self.pmnet_origins:
@@ -94,6 +98,9 @@ class PMNetClient:
         self.session: Optional[Session] = None
         self._pending: Dict[int, _PendingRequest] = {}
         self._by_seq: Dict[Tuple[int, int], Tuple[_PendingRequest, int]] = {}
+        #: Latest-expiring no-op timeout of a completed request, kept
+        #: armed so the end-of-run clock matches the unfolded timeline.
+        self._stale_timer = None
         self._mtu_payload = max_fragment_payload(
             config.network.mtu_bytes, config.network.header_overhead_bytes)
         self.completed_pmnet = Counter(f"{host.name}.completed_pmnet")
@@ -106,6 +113,14 @@ class PMNetClient:
         # so a folded send dies with the host exactly as an unfolded
         # one would.  Fold the stack send cost into the NIC channel.
         host.fold_outbound = True
+        self._whole = whole_request_folding_enabled()
+        if self._whole:
+            # Whole-request folding: inbound ACK chains may extend
+            # through the stack receive cost (revocable pre-draw), the
+            # completion timeout is cancelled instead of firing as a
+            # no-op, and the application wakeup dispatches inline at its
+            # unfolded heap slot.
+            host.express_inbound = True
         register_with_sim(sim, self)
 
     def instruments(self) -> tuple:
@@ -232,6 +247,26 @@ class PMNetClient:
                 (packet.session_id, packet.seq_num, state.is_update), None)
         self._pending.pop(state.packets[0].request_id, None)
         state.timer_token = None
+        if self._whole and state.timer_call is not None:
+            # The pending timeout would fire as a pure no-op (its token
+            # is cleared and the completion is triggered below, both
+            # checked first thing), so it can be cancelled — except that
+            # a run's *final* no-op timeout still advances the drained
+            # queue's end-of-run clock, which fold identity preserves.
+            # Keeping the latest-expiring stale timer armed (and only
+            # cancelling ones dominated by it) pins that tail event in
+            # place: one surviving no-op per client instead of one per
+            # request.
+            call = state.timer_call
+            state.timer_call = None
+            stale = self._stale_timer
+            if stale is None:
+                self._stale_timer = call
+            elif stale.time <= call.time:
+                stale.cancel()
+                self._stale_timer = call
+            else:
+                call.cancel()
         counter = {"pmnet": self.completed_pmnet,
                    "server": self.completed_server,
                    "cache": self.completed_cache}[via]
@@ -245,11 +280,26 @@ class PMNetClient:
                          seq=first.seq_num, via=via,
                          update=state.is_update, ok=result.ok)
         # The application wakeup (epoll + scheduler) is charged here.
+        # The draw goes through the host so an outstanding express-claim
+        # pre-draw is revoked before the jitter stream advances.
         completion = Completion(result=result, via=via,
                                 retransmissions=state.retransmissions)
-        self.sim.schedule(self.host.stack.dispatch_cost(),
-                          self._succeed, state.completion, completion,
-                          first.request_id)
+        cost = self.host.dispatch_cost()
+        if self._whole and state.completion.waiter_count == 1:
+            # Single waiter (the driver): run it inline at the wakeup
+            # instant.  The one-hop ``(0,)`` defer re-sequences the
+            # record at ``now + cost``, allocating the fresh seq exactly
+            # where the unfolded ``_succeed`` event would sit, so any
+            # same-instant tie-breaking is unchanged — but the waiter's
+            # resumption piggybacks on this event instead of costing its
+            # own.  Zero- or multi-waiter completions keep the plain
+            # path: their callback scheduling order is observable.
+            self.sim.schedule_deferred(cost, (0,), self._succeed_inline,
+                                       state.completion, completion,
+                                       first.request_id)
+        else:
+            self.sim.schedule(cost, self._succeed, state.completion,
+                              completion, first.request_id)
 
     def _succeed(self, event: SimEvent, value: Completion,
                  request_id: int) -> None:
@@ -261,14 +311,23 @@ class PMNetClient:
                 self._spans.record(request_id, spans.COMPLETED, self.sim.now)
             event.succeed(value)
 
+    def _succeed_inline(self, event: SimEvent, value: Completion,
+                        request_id: int) -> None:
+        """Whole-request folding's :meth:`_succeed`: same guards and span,
+        but the single waiter resumes synchronously inside this event."""
+        if not event.triggered:
+            if self._spans is not None:
+                self._spans.record(request_id, spans.COMPLETED, self.sim.now)
+            event.succeed_inline(value)
+
     # ------------------------------------------------------------------
     # Reliability: timeout retransmission and server Retrans requests
     # ------------------------------------------------------------------
     def _arm_timeout(self, state: _PendingRequest) -> None:
         token = object()
         state.timer_token = token
-        self.sim.schedule(self.config.client.timeout_ns,
-                          self._on_timeout, state, token)
+        state.timer_call = self.sim.schedule(self.config.client.timeout_ns,
+                                             self._on_timeout, state, token)
 
     def _on_timeout(self, state: _PendingRequest, token: object) -> None:
         if state.timer_token is not token or state.completion.triggered:

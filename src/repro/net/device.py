@@ -68,6 +68,21 @@ class Node:
         """Process one arriving frame; subclasses must implement."""
         raise NotImplementedError
 
+    def arrival_extension(self, frame: Frame):
+        """Whole-request folding hook, queried by :meth:`Channel.send_in`.
+
+        A node that can absorb this frame's arrival into deterministic
+        extra hops returns ``(extra_hops, callback, args, claim)``: the
+        wire chain is extended by ``extra_hops`` and ends in
+        ``callback(*args)`` — a barrier that must re-check the node's
+        liveness exactly as the stage-folded interior callbacks would —
+        instead of the usual :meth:`~Node.receive` delivery.  ``claim``
+        (or ``None``) is released on every in-place revocation so any
+        RNG state the node pre-drew rewinds.  The base node never
+        extends.
+        """
+        return None
+
     def fail(self) -> None:
         """Mark the node failed (volatile state handling is subclass duty).
 

@@ -39,6 +39,21 @@ reservation, and ``Node.fail`` revokes every reservation that has not
 started serializing — converting each back into that callback at its
 original heap slot, where the owner's ``failed`` check drops the frame
 exactly as the unfolded run would.
+
+**Whole-request folding** (fold level 2) extends a reservation's chain
+*through the receiving node*: at reservation time the channel asks the
+sink node for an :meth:`~repro.net.device.Node.arrival_extension` —
+extra deterministic hops (a PMNet device's ingress/PM stages, a client
+host's pre-drawn stack receive cost) appended to the serialize +
+propagation chain, ending in the node's own barrier callback instead of
+:meth:`_deliver`.  Each extra hop re-sequences at exactly the instant
+the stage-folded path would have allocated the corresponding event, so
+tie-breaking is unchanged; the barrier re-checks the receiver's
+liveness just as the stage-folded interior callbacks would.  Extended
+records revoke in place like base ones — a queueing frame, a competing
+send, a node failure, or (for claims) any competing RNG draw at the
+receiving host converts the record back to the exact stage-folded (or
+unfolded) shape via :meth:`strip_extension`.
 """
 
 from __future__ import annotations
@@ -77,6 +92,41 @@ class Impairments:
                 or self.reorder_probability > 0.0)
 
 
+def _remaining_hops(call) -> int:
+    """Hops a deferred record has not yet consumed (0 = final slot)."""
+    defer = call.defer_ns
+    if type(defer) is tuple:
+        return len(defer)
+    return 1 if defer else 0
+
+
+class _Reservation:
+    """Bookkeeping for one :meth:`Channel.send_in` reservation.
+
+    ``hops`` is the chain length at construction (2 for the base
+    serialize + propagation chain, more when an arrival extension was
+    appended): a record is *started* once its remaining hop count drops
+    below ``hops``, and past the serialize-end slot once it drops to
+    ``hops - 2``.  ``claim`` is the receiving host's pre-drawn RNG
+    claim, if any — every in-place revocation must release it so the
+    host's random stream rewinds to its unfolded position.
+    """
+
+    __slots__ = ("call", "frame", "start", "prev_busy_until", "wire_bytes",
+                 "on_revoke", "hops", "claim")
+
+    def __init__(self, call, frame, start, prev_busy_until, wire_bytes,
+                 on_revoke, hops, claim):
+        self.call = call
+        self.frame = frame
+        self.start = start
+        self.prev_busy_until = prev_busy_until
+        self.wire_bytes = wire_bytes
+        self.on_revoke = on_revoke
+        self.hops = hops
+        self.claim = claim
+
+
 class Channel:
     """One direction of a link: ``source`` port -> ``sink`` port."""
 
@@ -110,13 +160,17 @@ class Channel:
         #: frame queueing behind it converts it in place into the
         #: unfolded ``_serialized`` callback (see :meth:`_unfold_inflight`).
         self._serializing = None
-        #: Future-start reservations taken by :meth:`send_in`, oldest
-        #: first: ``(call, frame, start, prev_busy_until, wire_bytes,
-        #: on_revoke)``.  A plain :meth:`send` arriving before a
-        #: reservation's start revokes it (see :meth:`revoke_unstarted`),
-        #: so reservations can never overtake a frame that reached the
-        #: channel earlier.
-        self._reservations: Deque[tuple] = deque()
+        #: The :class:`_Reservation` backing :attr:`_serializing` when it
+        #: came from :meth:`send_in` (``None`` for plain-send folds) —
+        #: needed to interpret an *extended* record's remaining hops and
+        #: to release its claim on conversion.
+        self._serializing_res = None
+        #: Future-start :class:`_Reservation` records taken by
+        #: :meth:`send_in`, oldest first.  A plain :meth:`send` arriving
+        #: before a reservation's start revokes it (see
+        #: :meth:`revoke_unstarted`), so reservations can never overtake
+        #: a frame that reached the channel earlier.
+        self._reservations: Deque[_Reservation] = deque()
         #: Construction-time half of the fold gate; impairments are
         #: re-checked per send because experiments swap them mid-run
         #: (e.g. a timed loss window).  ``propagation_ns > 0`` keeps the
@@ -140,12 +194,17 @@ class Channel:
         if self._reservations:
             self.revoke_unstarted()
         serializing = self._serializing
-        if serializing is not None and not serializing.defer_ns:
-            # The folded record has been re-sequenced past its
-            # serialize-end slot: the instant the unfolded
-            # ``_serialized`` would have run is behind us, so the
-            # transmitter really is free.
-            self._serializing = serializing = None
+        if serializing is not None:
+            ext = (self._serializing_res.hops - 2
+                   if self._serializing_res is not None else 0)
+            if _remaining_hops(serializing) <= ext:
+                # The folded record has been re-sequenced past its
+                # serialize-end slot (only arrival-extension hops, if
+                # any, remain): the instant the unfolded ``_serialized``
+                # would have run is behind us, so the transmitter really
+                # is free.
+                self._serializing = serializing = None
+                self._serializing_res = None
         # At exactly ``now == _busy_until`` a still-deferred record means
         # the unfolded ``_serialized`` (same heap slot) has NOT run yet
         # relative to this event — the kernel re-sequences folded records
@@ -159,14 +218,41 @@ class Channel:
                 and not self.impairments.any_enabled()):
             # Fast path: idle transmitter, empty queue, no impairments —
             # serialization + propagation fold into one delivery event.
+            # The receiving node may extend the chain through its own
+            # pipeline head exactly as on the :meth:`send_in` path; a
+            # plain send starts serializing immediately, so the record
+            # goes straight into the :attr:`_serializing` slot (with a
+            # reservation alongside when extended, so hop accounting and
+            # claim release keep working on conversion).
             wire_bytes = frame.wire_size(self.profile.header_overhead_bytes)
             serialize = transmission_delay(wire_bytes,
                                            self.profile.bandwidth_bps)
             self.bytes_sent.increment(wire_bytes)
             self.folded_sends.increment()
-            self._busy_until = self.sim.now + serialize
-            self._serializing = self.sim.schedule_deferred(
-                serialize, self.profile.propagation_ns, self._deliver, frame)
+            now = self.sim.now
+            hops = (self.profile.propagation_ns,)
+            callback, args, claim = self._deliver, (frame,), None
+            extension = self.sink.node.arrival_extension(frame)
+            if extension is not None:
+                extra_hops, ext_callback, ext_args, claim = extension
+                hops = hops + tuple(extra_hops)
+                callback, args = self._deliver_ext, (ext_callback, ext_args)
+            call = self.sim.schedule_deferred(
+                serialize, hops if len(hops) > 1 else hops[0],
+                callback, *args)
+            self._serializing = call
+            if extension is not None:
+                # ``hops`` counts the serialize hop like send_in's chains
+                # (it lives in the record's surface delay here), so the
+                # started/free arithmetic stays uniform.
+                self._serializing_res = _Reservation(
+                    call, frame, now, self._busy_until, wire_bytes, None,
+                    len(hops) + 1, claim)
+                if claim is not None:
+                    claim.attach(call, self)
+            else:
+                self._serializing_res = None
+            self._busy_until = now + serialize
             return
         if len(self._queue) >= self.profile.queue_capacity_packets:
             self.dropped_full.increment()
@@ -236,26 +322,47 @@ class Channel:
         self.bytes_sent.increment(wire_bytes)
         self.folded_sends.increment()
         start = self.sim.now + pre_delay_ns
-        call = self.sim.schedule_deferred(
-            pre_delay_ns, (serialize, self.profile.propagation_ns),
-            self._deliver, frame)
-        self._reservations.append(
-            (call, frame, start, self._busy_until, wire_bytes, on_revoke))
+        hops = (serialize, self.profile.propagation_ns)
+        callback, args, claim = self._deliver, (frame,), None
+        extension = self.sink.node.arrival_extension(frame)
+        if extension is not None:
+            # Whole-request folding: the receiving node extends the
+            # chain through its own deterministic pipeline head, ending
+            # in a barrier callback that re-checks its liveness.
+            extra_hops, ext_callback, ext_args, claim = extension
+            hops = hops + tuple(extra_hops)
+            callback, args = self._deliver_ext, (ext_callback, ext_args)
+        call = self.sim.schedule_deferred(pre_delay_ns, hops, callback, *args)
+        reservation = _Reservation(call, frame, start, self._busy_until,
+                                   wire_bytes, on_revoke, len(hops), claim)
+        if claim is not None:
+            claim.attach(call, self)
+        self._reservations.append(reservation)
         self._busy_until = start + serialize
         return True
+
+    def _deliver_ext(self, callback, args) -> None:
+        """Barrier slot of an extension-carrying chain: count the wire
+        delivery (the chain subsumed the ``_deliver`` hop) and run the
+        receiving node's barrier callback."""
+        self.delivered.increment()
+        callback(*args)
 
     def _pop_started(self) -> None:
         """Drop reservations whose serialization began from tracking.
 
-        The kernel consumed the chain's first hop (``defer_ns`` is no
-        longer the 2-tuple), i.e. serialization began — they can no
-        longer be revoked.  The newest one popped owns the transmitter
-        whenever ``now < _busy_until``, so it becomes the
-        :attr:`_serializing` record a queueing frame may convert.
+        The kernel consumed the chain's first hop (the remaining hop
+        count dropped below the construction-time length), i.e.
+        serialization began — they can no longer be revoked.  The newest
+        one popped owns the transmitter whenever ``now < _busy_until``,
+        so it becomes the :attr:`_serializing` record a queueing frame
+        may convert.
         """
         res = self._reservations
-        while res and type(res[0][0].defer_ns) is not tuple:
-            self._serializing = res.popleft()[0]
+        while res and _remaining_hops(res[0].call) < res[0].hops:
+            started = res.popleft()
+            self._serializing = started.call
+            self._serializing_res = started
 
     def revoke_unstarted(self) -> None:
         """Fall every not-yet-started reservation back to the unfolded
@@ -277,17 +384,82 @@ class Channel:
         res = self._reservations
         restored = False
         while res:
-            call, frame, _start, prev_busy, wire_bytes, on_revoke = \
-                res.popleft()
+            entry = res.popleft()
             if not restored:
-                self._busy_until = prev_busy
+                self._busy_until = entry.prev_busy_until
                 restored = True
-            self.bytes_sent.rollback(wire_bytes)
+            self.bytes_sent.rollback(entry.wire_bytes)
             self.folded_sends.rollback(1)
+            if entry.claim is not None:
+                entry.claim.release()
+            call = entry.call
             call.defer_ns = 0
-            call.callback = (self._revoked_send if on_revoke is None
-                             else on_revoke)
-            call.args = (frame,)
+            call.callback = (self._revoked_send if entry.on_revoke is None
+                             else entry.on_revoke)
+            call.args = (entry.frame,)
+
+    def strip_extension(self, call, frame: Frame) -> None:
+        """Convert an extended in-flight record back to the stage-folded
+        chain (the receiving node revoked its arrival extension).
+
+        The claim's pre-drawn hop is removed and the record becomes a
+        plain ``_deliver`` chain: drop the trailing extension hop from
+        whatever shape the chain is currently in, so the record ends at
+        the wire-arrival instant with the seq the stage-folded path
+        allocates there.  Reservation bookkeeping shrinks to the base
+        two-hop interpretation so started/free detection keeps working.
+        """
+        defer = call.defer_ns
+        if type(defer) is tuple:
+            if len(defer) > 2:
+                call.defer_ns = defer[:-1]
+            elif len(defer) == 2:
+                call.defer_ns = defer[0]
+            elif defer:
+                # A post-serialization extension (``_launch``): the sole
+                # remaining hop IS the claim's — the record already sits
+                # at the wire-arrival slot.
+                call.defer_ns = 0
+            else:
+                return
+        elif defer:
+            call.defer_ns = 0
+        else:
+            return  # already at its final slot: nothing left to strip
+        call.callback = self._deliver
+        call.args = (frame,)
+        if self._serializing is call:
+            self._serializing_res = None
+        else:
+            for entry in self._reservations:
+                if entry.call is call:
+                    entry.hops = 2
+                    entry.claim = None
+                    break
+
+    def on_impairments_changed(self) -> None:
+        """Fall in-flight folded work back to the unfolded path after a
+        mid-run impairment swap (a chaos fault window opening).
+
+        Folding commits draws-free delivery up front, but the unfolded
+        timeline draws loss/duplicate/reorder at each frame's
+        serialize-end — so any folded record whose serialize-end lies
+        *after* this instant must be converted back: reservations still
+        in their pre-delay gap revoke wholesale, and a record
+        mid-serialization is rewritten in place into ``_serialized`` at
+        its serialize-end slot, where ``_launch`` re-checks impairments
+        and draws exactly as the unfolded run does.  Records already
+        past serialize-end committed before the swap on both timelines
+        and stay folded.
+        """
+        if self._reservations:
+            self.revoke_unstarted()
+        call = self._serializing
+        if call is not None:
+            ext = (self._serializing_res.hops - 2
+                   if self._serializing_res is not None else 0)
+            if _remaining_hops(call) == ext + 1:
+                self._unfold_inflight()
 
     def _revoked_send(self, frame: Frame) -> None:
         """Fallback for reservations taken without ``on_revoke``: re-send
@@ -311,13 +483,19 @@ class Channel:
         ``_launch`` does, and restarts the queue.
         """
         call = self._serializing
-        assert (call is not None and call.defer_ns
-                and type(call.defer_ns) is not tuple), \
+        res = self._serializing_res
+        ext = res.hops - 2 if res is not None else 0
+        assert call is not None and _remaining_hops(call) == ext + 1, \
             "busy transmitter without a convertible folded record"
+        if res is not None and res.claim is not None:
+            res.claim.release()
+            res.claim = None
         call.callback = self._serialized
+        call.args = (res.frame,) if res is not None else call.args
         call.defer_ns = 0
         self._transmitting = True
         self._serializing = None
+        self._serializing_res = None
 
     def _transmit_next(self) -> None:
         if not self._queue:
@@ -340,6 +518,25 @@ class Channel:
 
     def _launch(self, frame: Frame) -> None:
         if not self.impairments.any_enabled():
+            # Even an *unfolded* transmission (queued behind contention)
+            # can extend its delivery through the receiving node: the
+            # record's push seq lands at this serialize-end instant and
+            # each extension hop re-sequences exactly where the
+            # stage-folded interior would have allocated its events, so
+            # the chain is heap-order-identical with one event fewer.
+            # The record is already past the transmitter (nothing here
+            # tracks it), and claims stay revocable through the host
+            # hooks.  Impaired copies never extend, mirroring the fold
+            # gate.
+            extension = self.sink.node.arrival_extension(frame)
+            if extension is not None:
+                extra_hops, ext_callback, ext_args, claim = extension
+                call = self.sim.schedule_deferred(
+                    self.profile.propagation_ns, tuple(extra_hops),
+                    self._deliver_ext, ext_callback, ext_args)
+                if claim is not None:
+                    claim.attach(call, self)
+                return
             self.sim.schedule(self.profile.propagation_ns,
                               self._deliver, frame)
             return

@@ -210,6 +210,36 @@ class SimEvent:
         self._trigger(value, None)
         return self
 
+    @property
+    def waiter_count(self) -> int:
+        """Callbacks currently registered (0 once triggered)."""
+        return len(self._callbacks)
+
+    def succeed_inline(self, value: Any = None) -> "SimEvent":
+        """Trigger the event and run its single waiter synchronously.
+
+        The whole-request-folded completion barrier: the caller must be
+        executing at the exact ``(time, seq)`` slot where the unfolded
+        path's ``call_soon`` dispatch of that one waiter would run, so
+        invoking the callback inline elides one executed event without
+        moving anything.  Only valid with at most one registered waiter
+        — with more, each waiter gets its own seq slot in the unfolded
+        timeline and inlining would merge them (callers check
+        :attr:`waiter_count` and fall back to :meth:`succeed`).
+        """
+        if self._triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        if len(self._callbacks) > 1:
+            raise SimulationError(
+                f"event {self.name!r} has {len(self._callbacks)} waiters; "
+                "inline triggering is only seq-identical with one")
+        self._triggered = True
+        self._value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback, args in callbacks:
+            callback(self, *args)
+        return self
+
     def fail(self, exception: BaseException) -> "SimEvent":
         """Trigger the event with an error, raising it in each waiter."""
         if not isinstance(exception, BaseException):

@@ -63,6 +63,14 @@ class LatencyJitter:
         factor = self._rng.lognormvariate(self._mu, self.sigma)
         return max(base_ns // 2, round(base_ns * factor))
 
+    def getstate(self):
+        """Snapshot the underlying stream (for revocable pre-draws)."""
+        return self._rng.getstate()
+
+    def setstate(self, state) -> None:
+        """Rewind the underlying stream to a :meth:`getstate` snapshot."""
+        self._rng.setstate(state)
+
 
 def zipfian_ranks(rng: random.Random, population: int, theta: float,
                   count: int) -> list[int]:

@@ -173,7 +173,7 @@ class TestRegistry:
                     "fig20",
                     "fig21", "fig22", "sec6b6", "sec7", "multirack",
                     "motivation", "bdp",
-                    "ablations", "chaos"}
+                    "ablations", "chaos", "loadgen"}
         assert expected == set(EXPERIMENTS)
 
     def test_unknown_id_raises_with_suggestions(self):

@@ -84,6 +84,48 @@ class TestDeterministicReplay:
                                       * result.plan.requests_per_client)
 
 
+class TestWholeFoldReplay:
+    """The whole-request fold under the full chaos battery.
+
+    The chaos engine exercises every revocation trigger the fold has —
+    impairment windows opening mid-request, device crashes, server
+    outages, replacements — so replaying fault schedules with the fold
+    pinned to ``whole`` vs fully unfolded is the strongest identity
+    check in the suite: same trace digest, same R1-R6 violation set,
+    same durability-oracle verdict, request for request.
+    """
+
+    @staticmethod
+    def _assert_fold_invisible(plan, monkeypatch):
+        monkeypatch.delenv("PMNET_FOLD", raising=False)
+        monkeypatch.setenv("PMNET_NO_FOLD", "1")
+        unfolded = chaos.run_plan(plan)
+        monkeypatch.delenv("PMNET_NO_FOLD")
+        monkeypatch.setenv("PMNET_FOLD", "whole")
+        whole = chaos.run_plan(plan)
+        monkeypatch.delenv("PMNET_FOLD")
+        label = f"seed={plan.seed}"
+        assert whole.trace_digest == unfolded.trace_digest, label
+        assert whole.violations == unfolded.violations, label
+        assert whole.ok == unfolded.ok, label
+        assert whole.completions == unfolded.completions, label
+        assert whole.acknowledged == unfolded.acknowledged, label
+        # Folding only merges events; it never adds any.
+        assert whole.executed_events <= unfolded.executed_events, label
+
+    def test_shipped_corpus_replays_identically(self, monkeypatch):
+        seeds = chaos.load_corpus(str(CORPUS))
+        assert seeds
+        for seed in seeds:
+            self._assert_fold_invisible(chaos.generate_plan(seed),
+                                        monkeypatch)
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", range(1000, 1040))
+    def test_fresh_sweep_replays_identically(self, seed, monkeypatch):
+        self._assert_fold_invisible(chaos.generate_plan(seed), monkeypatch)
+
+
 def _plant_eager_invalidate(monkeypatch):
     """Plant the bug: invalidate the log entry right after the PMNet-ACK,
     before any server commit — a direct R3 violation and, if the server

@@ -24,6 +24,7 @@ queue decision, or an RNG draw.  This file holds that claim to account:
   format byte-identically in both modes.
 """
 
+import hashlib
 import os
 from contextlib import contextmanager
 
@@ -33,6 +34,8 @@ from hypothesis import strategies as st
 
 from repro.config import NetworkProfile, SystemConfig
 from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.driver import run_closed_loop
 from repro.failure.injector import FailureInjector
 from repro.failure.scenarios import client_failure_mid_run
 from repro.net.device import Node
@@ -42,9 +45,14 @@ from repro.net.switch import Switch
 from repro.net.topology import Topology
 from repro.sim import Simulator
 from repro.sim.clock import microseconds
+from repro.sim.trace import Tracer
 from repro.workloads.handlers import StructureHandler
 from repro.workloads.kv import OpKind, Operation
 from repro.workloads.pmdk.hashmap import PMHashmap
+from repro.workloads.ycsb import YCSBConfig, make_op_maker
+
+#: Every fold level the identity bar covers, least to most aggressive.
+FOLD_LEVELS = ("none", "stage", "whole")
 
 
 @contextmanager
@@ -62,6 +70,29 @@ def _fold_mode(no_fold):
             os.environ.pop("PMNET_NO_FOLD", None)
         else:
             os.environ["PMNET_NO_FOLD"] = previous
+
+
+@contextmanager
+def _fold_level(level):
+    """Build components at an explicit fold level (none/stage/whole)."""
+    previous_no_fold = os.environ.pop("PMNET_NO_FOLD", None)
+    previous = os.environ.get("PMNET_FOLD")
+    try:
+        os.environ["PMNET_FOLD"] = level
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("PMNET_FOLD", None)
+        else:
+            os.environ["PMNET_FOLD"] = previous
+        if previous_no_fold is not None:
+            os.environ["PMNET_NO_FOLD"] = previous_no_fold
+
+
+def _set_impairments(channel, impairments):
+    """Swap a channel's impairments mid-run, as the chaos engine does."""
+    channel.impairments = impairments
+    channel.on_impairments_changed()
 
 
 class _Host(Node):
@@ -316,6 +347,98 @@ class TestCrashIdentity:
         assert folded.client_completions == unfolded.client_completions
 
 
+def _whole_request_run(level, clients, replication, cache, update_ratio,
+                       seed, impair_window=None, crash_at=None):
+    """One full client->switch->PMNet->server run at a fold level.
+
+    Returns every observable the whole-request fold could plausibly
+    disturb: the per-request latency samples (byte-identity surface),
+    the completion routing, the final store contents, a digest of the
+    full trace, and the drained-queue end time.
+    """
+    from repro.protocol.packet import reset_request_ids
+
+    # Request ids are process-global; reset so the traces of the runs
+    # being compared are identical line for line, not just in shape.
+    reset_request_ids()
+    with _fold_level(level):
+        cfg = SystemConfig(seed=seed).with_clients(clients)
+        tracer = Tracer(enabled=True)
+        handler = StructureHandler(PMHashmap())
+        deployment = build_pmnet_switch(cfg, handler=handler,
+                                        replication=replication,
+                                        enable_cache=cache, tracer=tracer)
+    sim = deployment.sim
+    if impair_window is not None:
+        start, duration = impair_window
+        channel = deployment.clients[0].host.ports[0].channel
+        sim.schedule_at(start, _set_impairments, channel,
+                        Impairments(loss_probability=0.3))
+        sim.schedule_at(start + duration, _set_impairments, channel,
+                        Impairments())
+    if crash_at is not None:
+        injector = FailureInjector(sim)
+        device = deployment.devices[0]
+        record = injector.crash_device_at(device, crash_at)
+        injector.recover_device_at(device, crash_at + microseconds(400),
+                                   record)
+    op_maker = make_op_maker(YCSBConfig(update_ratio=update_ratio,
+                                        population=32))
+    stats = run_closed_loop(deployment, op_maker, requests_per_client=6)
+    digest = hashlib.sha256(
+        "\n".join(str(record) for record in tracer.records)
+        .encode("utf-8")).hexdigest()
+    return (tuple(stats.all_latencies.samples),
+            dict(sorted(stats.completions_by_via.items())),
+            stats.errors, stats.misses,
+            tuple(sorted(handler.structure.items())),
+            digest, sim.now)
+
+
+@st.composite
+def _whole_request_plans(draw):
+    """Random deployment shapes x YCSB mixes x impairment/fault windows."""
+    clients = draw(st.integers(min_value=1, max_value=4))
+    replication = draw(st.integers(min_value=1, max_value=3))
+    cache = draw(st.booleans())
+    update_ratio = draw(st.sampled_from([1.0, 0.5, 0.2]))
+    seed = draw(st.integers(min_value=0, max_value=9_999))
+    scenario = draw(st.sampled_from(["clean", "impair", "crash"]))
+    impair_window = None
+    crash_at = None
+    if scenario == "impair":
+        impair_window = (draw(st.integers(min_value=0, max_value=60_000)),
+                         draw(st.integers(min_value=5_000,
+                                          max_value=80_000)))
+    elif scenario == "crash":
+        crash_at = draw(st.integers(min_value=500, max_value=40_000))
+    return (clients, replication, cache, update_ratio, seed,
+            impair_window, crash_at)
+
+
+class TestWholeRequestFoldProperty:
+    """The whole-request fold holds the identity bar end to end.
+
+    Random star deployments — client count, replication depth, cache
+    on/off — crossed with YCSB mixes and impairment/fault windows must
+    produce byte-identical per-request latencies and trace digests at
+    every fold level: fully unfolded, stage-folded, and whole-request
+    folded.
+    """
+
+    @settings(max_examples=15, deadline=None)
+    @given(plan=_whole_request_plans())
+    def test_levels_agree_on_random_deployments(self, plan):
+        (clients, replication, cache, update_ratio, seed,
+         impair_window, crash_at) = plan
+        runs = {level: _whole_request_run(level, clients, replication,
+                                          cache, update_ratio, seed,
+                                          impair_window, crash_at)
+                for level in FOLD_LEVELS}
+        assert runs["stage"] == runs["none"]
+        assert runs["whole"] == runs["none"]
+
+
 class TestExperimentIdentity:
     @pytest.mark.slow
     def test_fig07_formats_identically_with_and_without_folding(self,
@@ -329,3 +452,19 @@ class TestExperimentIdentity:
         monkeypatch.setenv("PMNET_NO_FOLD", "1")
         unfolded = fig07_ordering.run(quick=True).format()
         assert folded == unfolded
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+    def test_every_registry_table_is_fold_level_invariant(self,
+                                                          experiment_id,
+                                                          monkeypatch):
+        """Every experiment's quick report, at every fold level."""
+        entry = EXPERIMENTS[experiment_id]
+        reports = {}
+        for level in FOLD_LEVELS:
+            monkeypatch.delenv("PMNET_NO_FOLD", raising=False)
+            monkeypatch.setenv("PMNET_FOLD", level)
+            reports[level] = entry.run(quick=True)
+        monkeypatch.delenv("PMNET_FOLD")
+        assert reports["stage"] == reports["none"], experiment_id
+        assert reports["whole"] == reports["none"], experiment_id

@@ -156,7 +156,7 @@ class TestProfile:
         monkeypatch.delenv("PMNET_NO_FOLD", raising=False)
         assert main(["profile", "--clients", "2", "--requests", "5"]) == 0
         out = capsys.readouterr().out
-        assert "folding on" in out
+        assert "fold level 'whole'" in out
         assert "Channel._deliver" in out
         assert "TOTAL" in out
 
@@ -177,9 +177,16 @@ class TestProfile:
         assert main(["profile", "--clients", "2", "--requests", "5",
                      "--no-fold"]) == 0
         out = capsys.readouterr().out
-        assert "folding off" in out
+        assert "fold level 'none'" in out
         # The per-stage hops only execute on the unfolded paths.
         assert "Channel._launch" in out or "Switch._forward" in out
+
+    def test_fold_flag_selects_the_level(self, capsys, monkeypatch):
+        monkeypatch.delenv("PMNET_NO_FOLD", raising=False)
+        assert main(["profile", "--clients", "2", "--requests", "5",
+                     "--fold", "stage"]) == 0
+        out = capsys.readouterr().out
+        assert "fold level 'stage'" in out
 
 
 class TestMetrics:
