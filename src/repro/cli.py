@@ -150,11 +150,18 @@ def _cmd_run(experiment_ids: List[str], quick: bool, jobs: Optional[int],
 
 
 def _cmd_bench_kernel(num_events: int, repeats: int,
+                      shapes: Optional[List[str]],
                       output: Optional[str]) -> int:
-    from repro.sim.benchmark import (format_result, run_kernel_benchmark,
-                                     write_result)
+    from repro.sim.benchmark import (SHAPES, format_result,
+                                     run_kernel_benchmark, write_result)
+    for shape in shapes or ():
+        if shape not in SHAPES:
+            print(f"unknown shape {shape!r}; choose from {' '.join(SHAPES)}",
+                  file=sys.stderr)
+            return 2
     try:
-        result = run_kernel_benchmark(num_events=num_events, repeats=repeats)
+        result = run_kernel_benchmark(num_events=num_events, repeats=repeats,
+                                      shapes=tuple(shapes) if shapes else SHAPES)
     except ValueError as error:
         print(error, file=sys.stderr)
         return 2
@@ -287,6 +294,10 @@ def _cmd_profile(clients: int, requests: int, fold: str, top: int,
               f"{count / run['requests']:>8.2f}  {site}")
     print(f"{run['executed_events']:>10}  {'100%':>6}  "
           f"{run['events_per_request']:>8.2f}  TOTAL")
+    kernel_stats = run.get("kernel_stats")
+    if kernel_stats:
+        from repro.sim.profiler import format_kernel_stats
+        print(format_kernel_stats(kernel_stats))
     if json_path is not None:
         from repro.obs.export import write_bench_report
         payload = {key: value for key, value in run.items()
@@ -412,11 +423,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                                  "or $PMNET_CACHE_DIR)")
     bench_parser = sub.add_parser(
         "bench-kernel",
-        help="measure raw simulator events/sec, write BENCH_kernel.json")
-    bench_parser.add_argument("--events", type=int, default=300_000,
-                              help="events per run (default 300000)")
-    bench_parser.add_argument("--repeats", type=int, default=3,
-                              help="runs to take the best of (default 3)")
+        help="measure simulator events/sec per queue shape and scheduler "
+             "backend, write BENCH_kernel.json")
+    bench_parser.add_argument("--events", type=int, default=100_000,
+                              help="events per run (default 100000: long "
+                                   "enough to swamp clock granularity, "
+                                   "short enough to fit one machine-speed "
+                                   "phase)")
+    bench_parser.add_argument("--repeats", type=int, default=5,
+                              help="adjacent heap/tiered pairs per shape "
+                                   "(default 5)")
+    bench_parser.add_argument("--shapes", nargs="+", default=None,
+                              metavar="SHAPE",
+                              help="queue shapes to measure (default: "
+                                   "mixed same_instant cancel_heavy)")
     bench_parser.add_argument("--json", "--output", default=None,
                               dest="output", metavar="PATH",
                               help="report path (default BENCH_kernel.json)")
@@ -528,7 +548,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "bench-kernel":
-        return _cmd_bench_kernel(args.events, args.repeats, args.output)
+        return _cmd_bench_kernel(args.events, args.repeats, args.shapes,
+                                 args.output)
     if args.command == "bench-experiments":
         return _cmd_bench_experiments(args.experiments, args.jobs,
                                       args.output)

@@ -74,6 +74,69 @@ def whole_request_folding_enabled() -> bool:
     """Whether the cross-component whole-request folds are active."""
     return fold_level() >= 2
 
+
+#: ``PMNET_KERNEL`` spellings accepted per scheduler backend.
+_KERNEL_BACKENDS = ("heap", "tiered", "compiled")
+
+
+def kernel_backend() -> str:
+    """The active event-scheduler backend (``heap`` or ``tiered``).
+
+    * ``heap`` — the single binary heap of ``(time, seq, call)`` tuples
+      (the pre-tiered scheduler, kept as the reference implementation).
+    * ``tiered`` (the default) — the tiered scheduler: a FIFO "now lane"
+      for same-instant events, a calendar of per-nanosecond buckets for
+      timers within the near horizon, and the binary heap as the far
+      tier.  Executes byte-identically to ``heap`` (same ``(time, seq)``
+      total order, same ``executed_events``); only wall-clock changes.
+    * ``compiled`` — hook point for a compiled (mypyc/Cython) backend:
+      resolves to ``repro.sim.compiled`` when that module is available
+      and falls back to ``tiered`` with a warning otherwise, so the
+      knob is always safe to set.
+
+    Read at :class:`~repro.sim.kernel.Simulator` construction time:
+    toggling the variable affects simulators built afterwards, not ones
+    already running.  ``tests/sim/test_scheduler_equivalence.py`` and
+    the CI backend-identity job hold the identical-execution claim to
+    account.
+    """
+    name = os.environ.get("PMNET_KERNEL", "tiered").strip().lower()
+    if name not in _KERNEL_BACKENDS:
+        raise ConfigurationError(
+            f"PMNET_KERNEL must be one of {sorted(_KERNEL_BACKENDS)}, "
+            f"got {name!r}")
+    return name
+
+
+#: Near-horizon width of the tiered scheduler's calendar, in ns.  Sized
+#: to the deployment's short deterministic delays — link propagation
+#: (100 ns), MTU serialization at 10 Gbps (~1.2 us), pipeline stages
+#: (150-250 ns), client think time (600 ns) all land inside it — while
+#: retransmission timeouts (1 ms), redo scrubbing (1.5 ms), and chaos
+#: fault windows fall through to the far tier.
+DEFAULT_KERNEL_HORIZON_NS = 4096
+
+
+def kernel_horizon_ns() -> int:
+    """Calendar width of the tiered backend (``PMNET_KERNEL_HORIZON``).
+
+    Must be positive; values are rounded up by the queue to keep bucket
+    arithmetic exact.  Purely a performance knob: any horizon executes
+    the same event order.
+    """
+    raw = os.environ.get("PMNET_KERNEL_HORIZON", "").strip()
+    if not raw:
+        return DEFAULT_KERNEL_HORIZON_NS
+    try:
+        horizon = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"PMNET_KERNEL_HORIZON must be an integer, got {raw!r}") from None
+    if horizon <= 0:
+        raise ConfigurationError(
+            f"PMNET_KERNEL_HORIZON must be positive, got {horizon}")
+    return horizon
+
 # ---------------------------------------------------------------------------
 # Host network stacks
 # ---------------------------------------------------------------------------

@@ -94,6 +94,7 @@ def _run_mode(fold: str, clients: int, requests_per_client: int,
         "requests_per_second": (requests / wall_seconds
                                 if wall_seconds > 0 else 0.0),
         "top_call_sites": dict(profiler.top(10)),
+        "kernel_stats": deployment.sim.kernel_stats(),
         "latency_samples": stats.update_latencies.samples,
     }
 

@@ -23,10 +23,17 @@ tie-breaking.  Transmitter occupancy is tracked as an absolute
 ``_busy_until`` time so back-to-back sends still serialize exactly: a
 frame arriving mid-serialization queues, and the folded record ahead of
 it is rewritten **in place** into the unfolded ``_serialized`` callback
-— its heap slot (serialize-end time, seq allocated at serialize start)
+— its queue slot (serialize-end time, seq allocated at serialize start)
 is exactly where the unfolded record would sit, so the queue restarts
 with bit-identical tie-breaking and the transmission finishes on the
-unfolded code path.  Impaired channels never fold — their per-frame
+unfolded code path.  In-place rewrites and revocations only ever touch
+a record's callback, args, and deferred chain — never its ``(time,
+seq)`` — which is what keeps them legal under every scheduler backend:
+the record keeps its slot whether it lives in the heap, the now lane,
+a calendar bucket, or the far tier (``PMNET_KERNEL``; see
+``docs/simulator.md``), and deferred hops re-sequence through the
+owning queue so each hop draws its fresh seq at the exact virtual
+instant the unfolded path would have.  Impaired channels never fold — their per-frame
 random draws and the loss/duplicate/reorder branching stay on the
 original path, preserving RNG stream positions draw for draw.
 
@@ -37,7 +44,7 @@ runs.  :meth:`Channel.send_in` therefore records an ``on_revoke``
 callback (the owner's unfolded fire-time callback) with every
 reservation, and ``Node.fail`` revokes every reservation that has not
 started serializing — converting each back into that callback at its
-original heap slot, where the owner's ``failed`` check drops the frame
+original queue slot, where the owner's ``failed`` check drops the frame
 exactly as the unfolded run would.
 
 **Whole-request folding** (fold level 2) extends a reservation's chain

@@ -30,8 +30,15 @@ from repro.sim.clock import (
     to_seconds,
     transmission_delay,
 )
-from repro.sim.event import EventQueue, ScheduledCall, SimEvent
-from repro.sim.kernel import Simulator
+from repro.sim.event import (
+    EventQueue,
+    HeapEventQueue,
+    ScheduledCall,
+    SimEvent,
+    TieredEventQueue,
+    make_event_queue,
+)
+from repro.sim.kernel import Simulator, resolve_kernel_backend
 from repro.sim.monitor import (
     Counter,
     Gauge,
@@ -69,8 +76,9 @@ __all__ = [
     "nanoseconds", "microseconds", "milliseconds", "seconds",
     "to_microseconds", "to_milliseconds", "to_seconds",
     "format_time", "transmission_delay",
-    "EventQueue", "ScheduledCall", "SimEvent",
-    "Simulator",
+    "EventQueue", "HeapEventQueue", "TieredEventQueue", "make_event_queue",
+    "ScheduledCall", "SimEvent",
+    "Simulator", "resolve_kernel_backend",
     "Process", "AllOf", "AnyOf", "Interrupted",
     "Counter", "Gauge", "LatencyRecorder", "ThroughputMeter", "TimeSeries",
     "component_summary", "instruments_summary", "EventProfiler",

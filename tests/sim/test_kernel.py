@@ -207,6 +207,92 @@ class TestFastPath:
         assert not live.cancelled
 
 
+class TestKernelBackends:
+    """Backend selection and the tier instrumentation on the run loop."""
+
+    @pytest.mark.parametrize("kernel", ["heap", "tiered"])
+    def test_explicit_backend_runs_in_order(self, kernel):
+        sim = Simulator(kernel=kernel)
+        order = []
+        sim.schedule(30, order.append, "c")
+        sim.schedule(10, order.append, "a")
+        sim.schedule(10_000, order.append, "far")
+        sim.schedule(10, lambda: sim.call_soon(order.append, "soon"))
+        sim.run()
+        assert sim.kernel == kernel
+        assert order == ["a", "soon", "c", "far"]
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("PMNET_KERNEL", "heap")
+        assert Simulator().kernel == "heap"
+        monkeypatch.setenv("PMNET_KERNEL", "tiered")
+        assert Simulator().kernel == "tiered"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(SimulationError):
+            Simulator(kernel="quantum")
+        monkeypatch.setenv("PMNET_KERNEL", "quantum")
+        with pytest.raises(ConfigurationError):
+            Simulator()
+
+    def test_compiled_backend_falls_back_with_warning(self):
+        # No repro.sim.compiled module ships yet: requesting it must
+        # degrade to the tiered backend, not crash (the warning is
+        # one-time per process, so only its type is asserted here).
+        import repro.sim.kernel as kernel_mod
+        import warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            kernel_mod._warned_compiled_fallback = False
+            sim = Simulator(kernel="compiled")
+        assert sim.kernel == "tiered"
+        assert any(issubclass(w.category, RuntimeWarning) for w in caught)
+
+    def test_kernel_stats_attribute_pops_to_tiers(self):
+        sim = Simulator(kernel="tiered")
+        sim.schedule(10, lambda: sim.call_soon(lambda: None))  # near + lane
+        sim.schedule(100_000, lambda: None)                    # far
+        sim.run()
+        stats = sim.kernel_stats()
+        assert stats["kernel"] == "tiered"
+        assert stats["near_pops"] == 1
+        assert stats["lane_pops"] == 1
+        assert stats["far_pops"] == 1
+        assert sim.executed_events == 3
+
+    def test_horizon_env_controls_routing(self, monkeypatch):
+        monkeypatch.setenv("PMNET_KERNEL_HORIZON", "8")
+        sim = Simulator(kernel="tiered")
+        sim.schedule(7, lambda: None)    # < 8  -> calendar
+        sim.schedule(9, lambda: None)    # >= 8 -> far
+        sim.run()
+        stats = sim.kernel_stats()
+        assert stats["near_pops"] == 1
+        assert stats["far_pops"] == 1
+
+    def test_invalid_horizon_env_rejected(self, monkeypatch):
+        from repro.errors import ConfigurationError
+
+        monkeypatch.setenv("PMNET_KERNEL_HORIZON", "0")
+        with pytest.raises(ConfigurationError):
+            Simulator(kernel="tiered")
+
+    @pytest.mark.parametrize("kernel", ["heap", "tiered"])
+    def test_step_matches_run_semantics(self, kernel):
+        sim = Simulator(kernel=kernel)
+        order = []
+        sim.schedule(5, order.append, "a")
+        sim.schedule(5, lambda: sim.call_soon(order.append, "b"))
+        sim.schedule(6, order.append, "c")
+        while sim.step():
+            pass
+        assert order == ["a", "b", "c"]
+        assert sim.now == 6
+
+
 class TestDeterminism:
     def test_same_seed_same_random_streams(self):
         a = Simulator(seed=7).random.stream("x").random()
