@@ -13,6 +13,8 @@ Usage::
                                       #   -> BENCH_experiments.json
     pmnet-repro bench-pipeline        # events/request fold on vs off
                                       #   -> BENCH_pipeline.json
+    pmnet-repro bench-e2e             # requests/CPU-sec per scheduler
+                                      #   backend -> BENCH_e2e.json
     pmnet-repro profile               # where do the events go? (a
                                       #   per-call-site event report)
     pmnet-repro metrics --experiment fig02
@@ -211,6 +213,28 @@ def _cmd_bench_pipeline(clients: int, requests: int,
     print(format_result(result))
     print(f"wrote {path}")
     return 0 if result["latencies_identical"] else 1
+
+
+def _cmd_bench_e2e(repeats: int, seed: int,
+                   chaos_seeds: Optional[List[int]],
+                   output: Optional[str]) -> int:
+    from repro.experiments.e2e_bench import (CHAOS_SEEDS, BackendDivergence,
+                                             format_result,
+                                             run_e2e_benchmark, write_result)
+    try:
+        result = run_e2e_benchmark(
+            repeats=repeats, seed=seed,
+            chaos_seeds=tuple(chaos_seeds) if chaos_seeds else CHAOS_SEEDS)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    except BackendDivergence as error:
+        print(f"backend divergence: {error}", file=sys.stderr)
+        return 1
+    path = write_result(result, output)
+    print(format_result(result))
+    print(f"wrote {path}")
+    return 0
 
 
 def _cmd_metrics(scenario_id: str, json_path: Optional[str],
@@ -466,6 +490,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench_pipe.add_argument("--json", "--output", default=None,
                             dest="output", metavar="PATH",
                             help="report path (default BENCH_pipeline.json)")
+    bench_e2e = sub.add_parser(
+        "bench-e2e",
+        help="measure end-to-end requests/CPU-second on every scheduler "
+             "backend (loadgen + chaos legs, digests must match), write "
+             "BENCH_e2e.json")
+    bench_e2e.add_argument("--repeats", type=int, default=3,
+                           help="adjacent heap/tiered/compiled groups "
+                                "(default 3)")
+    bench_e2e.add_argument("--seed", type=int, default=42,
+                           help="loadgen deployment seed (default 42)")
+    bench_e2e.add_argument("--chaos-seeds", nargs="+", type=int,
+                           default=None, metavar="SEED",
+                           help="chaos plan seeds per group (default 1 2)")
+    bench_e2e.add_argument("--json", "--output", default=None,
+                           dest="output", metavar="PATH",
+                           help="report path (default BENCH_e2e.json)")
     profile_parser = sub.add_parser(
         "profile",
         help="attribute executed events to call sites on the stress "
@@ -555,6 +595,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                                       args.output)
     if args.command == "bench-pipeline":
         return _cmd_bench_pipeline(args.clients, args.requests, args.output)
+    if args.command == "bench-e2e":
+        return _cmd_bench_e2e(args.repeats, args.seed, args.chaos_seeds,
+                              args.output)
     if args.command == "profile":
         fold = args.fold or ("none" if args.no_fold else "whole")
         return _cmd_profile(args.clients, args.requests, fold,

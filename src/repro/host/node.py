@@ -74,6 +74,11 @@ class _ExpressClaim:
 class HostNode(Node):
     """One machine: NIC + stack + the application endpoint."""
 
+    #: Host extensions pre-draw stack jitter and hold a claim slot per
+    #: frame, so channels must query :meth:`arrival_extension` on every
+    #: delivery — never cache the plan (see ``Node.arrival_plans_static``).
+    arrival_plans_static = False
+
     def __init__(self, sim: "Simulator", name: str, stack: "HostStack") -> None:
         super().__init__(sim, name)
         self.stack = stack

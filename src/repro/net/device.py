@@ -44,12 +44,27 @@ class Port:
 class Node:
     """Base class for every device attached to the fabric."""
 
+    #: Whether this node's :meth:`arrival_extension` answer is a pure
+    #: function of the frame *kind* (its classification), so channels
+    #: may cache the returned plan per (node, kind) and rebuild only the
+    #: per-frame ``args`` (see :meth:`Channel._sink_extension`).  Nodes
+    #: whose extensions carry per-frame state — pre-drawn RNG, claim
+    #: slots — must set this ``False`` and are queried per delivery.
+    arrival_plans_static = True
+
     def __init__(self, sim: "Simulator", name: str) -> None:
         self.sim = sim
         self.name = name
         self.ports: List[Port] = []
         #: Set by the failure injector; failed nodes drop all traffic.
         self.failed = False
+        #: Per-frame-kind arrival-extension plans cached by inbound
+        #: channels (``None`` disables caching entirely).  Invalidated
+        #: on failure, recovery, impairment change, and device
+        #: replacement — any event that could change what this node
+        #: answers.
+        self._arrival_plans: Optional[dict] = (
+            {} if self.arrival_plans_static else None)
 
     def add_port(self) -> Port:
         """Create one more port on this node."""
@@ -96,6 +111,7 @@ class Node:
         unfolded timeline had also committed those to the wire.
         """
         self.failed = True
+        self.invalidate_arrival_plans()
         for port in self.ports:
             if port.channel is not None:
                 port.channel.revoke_unstarted()
@@ -103,6 +119,18 @@ class Node:
     def recover(self) -> None:
         """Bring the node back after an intermittent failure."""
         self.failed = False
+        self.invalidate_arrival_plans()
+
+    def invalidate_arrival_plans(self) -> None:
+        """Drop every cached arrival-extension plan for this node.
+
+        Channels re-query :meth:`arrival_extension` per kind after this;
+        call it whenever the node's extension answers could change
+        (failure, recovery, reconfiguration, in-place replacement).
+        """
+        plans = self._arrival_plans
+        if plans:
+            plans.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "FAILED" if self.failed else "up"

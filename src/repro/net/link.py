@@ -72,7 +72,8 @@ from typing import TYPE_CHECKING, Callable, Deque, Optional
 from repro.config import folding_enabled
 from repro.errors import SimulationError
 from repro.net.device import Port
-from repro.net.packet import Frame
+from repro.net.packet import PMNET_UDP_PORT_MAX, PMNET_UDP_PORT_MIN, Frame
+from repro.protocol.packet import PMNetPacket
 from repro.sim.clock import transmission_delay
 from repro.obs.registry import register_with_sim
 from repro.sim.monitor import Counter, Gauge, instruments_summary
@@ -82,7 +83,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class Impairments:
     """Probabilistic misbehaviour of a directed channel."""
 
@@ -97,6 +98,13 @@ class Impairments:
         return (self.loss_probability > 0.0
                 or self.duplicate_probability > 0.0
                 or self.reorder_probability > 0.0)
+
+
+#: Frame-kind key for non-PMNet traffic in the arrival-plan cache.
+_PLAIN_KIND = object()
+
+#: Cache-miss sentinel (``None`` is a valid cached plan: "never extends").
+_NO_PLAN = object()
 
 
 def _remaining_hops(call) -> int:
@@ -196,6 +204,51 @@ class Channel:
         register_with_sim(sim, self)
 
     # ------------------------------------------------------------------
+    def _sink_extension(self, frame: Frame):
+        """The receiving node's arrival extension for ``frame``, served
+        from the per-(node, frame-kind) plan cache when the node allows.
+
+        The extension walk (classification + config lookups) is a pure
+        function of the frame kind on nodes that declare
+        ``arrival_plans_static`` — re-walking it on every delivery was
+        measurable at loadgen scale.  A cached plan stores only the
+        static half ``(hops, barrier)``; the per-frame ``args`` are
+        rebuilt as ``(frame, frame.payload)``, which is exactly what
+        every static extender passes.  A cache miss queries the node
+        through its instance attribute (so test spies intercept the
+        first delivery of each kind), and anything per-frame — a claim,
+        or unexpected args — is passed through uncached.  Plans are
+        dropped by ``Node.invalidate_arrival_plans`` on failure,
+        recovery, impairment change, and device replacement.
+        """
+        node = self.sink.node
+        plans = node._arrival_plans
+        if plans is None:
+            return node.arrival_extension(frame)
+        payload = frame.payload
+        if (PMNET_UDP_PORT_MIN <= frame.udp_port <= PMNET_UDP_PORT_MAX
+                and isinstance(payload, PMNetPacket)):
+            kind = payload.packet_type
+        else:
+            kind = _PLAIN_KIND
+        plan = plans.get(kind, _NO_PLAN)
+        if plan is _NO_PLAN:
+            extension = node.arrival_extension(frame)
+            if extension is None:
+                plans[kind] = None
+                return None
+            hops, callback, args, claim = extension
+            if claim is not None or args != (frame, payload):
+                # Per-frame state the rebuild could not reproduce:
+                # serve it, but never cache it.
+                return extension
+            plans[kind] = (tuple(hops), callback)
+            return extension
+        if plan is None:
+            return None
+        hops, callback = plan
+        return (hops, callback, (frame, payload), None)
+
     def send(self, frame: Frame) -> None:
         """Enqueue a frame for transmission (drop-tail when full)."""
         if self._reservations:
@@ -239,7 +292,7 @@ class Channel:
             now = self.sim.now
             hops = (self.profile.propagation_ns,)
             callback, args, claim = self._deliver, (frame,), None
-            extension = self.sink.node.arrival_extension(frame)
+            extension = self._sink_extension(frame)
             if extension is not None:
                 extra_hops, ext_callback, ext_args, claim = extension
                 hops = hops + tuple(extra_hops)
@@ -331,7 +384,7 @@ class Channel:
         start = self.sim.now + pre_delay_ns
         hops = (serialize, self.profile.propagation_ns)
         callback, args, claim = self._deliver, (frame,), None
-        extension = self.sink.node.arrival_extension(frame)
+        extension = self._sink_extension(frame)
         if extension is not None:
             # Whole-request folding: the receiving node extends the
             # chain through its own deterministic pipeline head, ending
@@ -458,7 +511,13 @@ class Channel:
         and draws exactly as the unfolded run does.  Records already
         past serialize-end committed before the swap on both timelines
         and stay folded.
+
+        Cached arrival plans on the receiving node are dropped too: the
+        plan cache must never outlive a reconfiguration of the path
+        that feeds it (the send paths also stop querying extensions
+        entirely while impairments are enabled).
         """
+        self.sink.node.invalidate_arrival_plans()
         if self._reservations:
             self.revoke_unstarted()
         call = self._serializing
@@ -535,7 +594,7 @@ class Channel:
             # tracks it), and claims stay revocable through the host
             # hooks.  Impaired copies never extend, mirroring the fold
             # gate.
-            extension = self.sink.node.arrival_extension(frame)
+            extension = self._sink_extension(frame)
             if extension is not None:
                 extra_hops, ext_callback, ext_args, claim = extension
                 call = self.sim.schedule_deferred(

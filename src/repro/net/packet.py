@@ -5,12 +5,18 @@ UDP destination port, a payload object, and the payload's wire size.  The
 payload is either an opaque :class:`RawPayload` (non-PMNet traffic) or a
 ``repro.protocol.PMNetPacket``; devices dispatch on the UDP port exactly
 like the paper's ingress pipeline (PMNet reserves ports 51000-52000).
+
+Both classes are hand-written ``__slots__`` classes, not dataclasses:
+every simulated request allocates several frames, so the per-instance
+``__dict__`` and the dataclass ``__init__`` indirection are measurable
+on the hot path (see the allocation-lean notes in
+``docs/simulator.md``).  Frames are identified by ``frame_id``, never
+compared structurally, so no generated ``__eq__`` is needed.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 #: UDP destination-port range reserved for PMNet traffic (Sec IV-A2).
@@ -35,15 +41,19 @@ def is_pmnet_port(udp_port: int) -> bool:
     return PMNET_UDP_PORT_MIN <= udp_port <= PMNET_UDP_PORT_MAX
 
 
-@dataclass
 class RawPayload:
     """Opaque application payload for non-PMNet traffic."""
 
-    data: Any = None
-    size_bytes: int = 0
+    __slots__ = ("data", "size_bytes")
+
+    def __init__(self, data: Any = None, size_bytes: int = 0) -> None:
+        self.data = data
+        self.size_bytes = size_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RawPayload(data={self.data!r}, size_bytes={self.size_bytes})"
 
 
-@dataclass
 class Frame:
     """One simulated network frame.
 
@@ -53,22 +63,27 @@ class Frame:
     makes every frame uniquely identifiable in traces.
     """
 
-    src: str
-    dst: str
-    payload: Any
-    payload_bytes: int
-    udp_port: int = PLAIN_UDP_PORT
-    hops: int = 0
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    __slots__ = ("src", "dst", "payload", "payload_bytes", "udp_port",
+                 "hops", "frame_id")
 
-    def __post_init__(self) -> None:
-        if self.payload_bytes < 0:
-            raise ValueError(f"payload size must be >= 0, got {self.payload_bytes}")
+    def __init__(self, src: str, dst: str, payload: Any,
+                 payload_bytes: int, udp_port: int = PLAIN_UDP_PORT,
+                 hops: int = 0, frame_id: Optional[int] = None) -> None:
+        if payload_bytes < 0:
+            raise ValueError(
+                f"payload size must be >= 0, got {payload_bytes}")
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.payload_bytes = payload_bytes
+        self.udp_port = udp_port
+        self.hops = hops
+        self.frame_id = next(_frame_ids) if frame_id is None else frame_id
 
     @property
     def is_pmnet(self) -> bool:
         """Whether this frame belongs to the PMNet protocol."""
-        return is_pmnet_port(self.udp_port)
+        return PMNET_UDP_PORT_MIN <= self.udp_port <= PMNET_UDP_PORT_MAX
 
     def wire_size(self, header_overhead_bytes: int) -> int:
         """Total on-wire size including framing overhead."""

@@ -56,7 +56,14 @@ _SPAN_STAGES = {
 
 
 class Switch(Node):
-    """Forwards every frame toward its destination after a fixed delay."""
+    """Forwards every frame toward its destination after a fixed delay.
+
+    A switch never extends inbound chains (``arrival_extension`` stays
+    the base ``None``), and that answer is static — the inherited
+    ``arrival_plans_static = True`` lets inbound channels cache the
+    "never extends" verdict per frame kind instead of re-asking on
+    every delivery.
+    """
 
     def __init__(self, sim: "Simulator", name: str,
                  profile: "NetworkProfile") -> None:

@@ -37,7 +37,7 @@ def reset_request_ids(start: int = 1) -> None:
     _request_ids = itertools.count(start)
 
 
-@dataclass
+@dataclass(slots=True)
 class PMNetPacket:
     """One PMNet fragment as it travels through the fabric."""
 
@@ -135,7 +135,7 @@ class PMNetPacket:
                 f"frag={self.frag_index}/{self.frag_count}>")
 
 
-@dataclass
+@dataclass(slots=True)
 class RetransRequest:
     """Payload of a RETRANS packet: which fragments the server is missing."""
 
@@ -146,7 +146,7 @@ class RetransRequest:
     missing_hash_vals: tuple[int, ...] = field(default_factory=tuple)
 
 
-@dataclass
+@dataclass(slots=True)
 class RecoveryPoll:
     """Payload of a RECOVERY_POLL: the recovering server's resume points.
 

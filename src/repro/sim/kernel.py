@@ -37,6 +37,18 @@ from repro.sim.trace import Tracer
 _warned_compiled_fallback = False
 
 
+def reset_compiled_fallback_warning() -> None:
+    """Re-arm the once-per-process compiled-fallback warning.
+
+    The latch makes the warning untestable after the first resolution in
+    a process; tests (and anything that swaps ``repro.sim.compiled`` in
+    or out at runtime) reset it through this hook instead of poking the
+    module global.
+    """
+    global _warned_compiled_fallback
+    _warned_compiled_fallback = False
+
+
 def resolve_kernel_backend(name: Optional[str] = None) -> str:
     """Resolve the configured scheduler backend to an available one.
 
@@ -81,6 +93,7 @@ class Simulator:
             self._queue = compiled.make_event_queue()
             self._compiled_run = getattr(compiled, "run_loop", None)
         else:
+            compiled = None
             self._queue = make_event_queue(self.kernel)
             self._compiled_run = None
         self._running = False
@@ -89,6 +102,13 @@ class Simulator:
             # Shadow the generic schedule/call_soon methods with
             # backend-specialized closures (see _bind_fast_scheduling).
             self._bind_fast_scheduling()
+        elif compiled is not None:
+            # The compiled module generates its own push closures (the
+            # horizon is constant-folded); absent the hook it keeps the
+            # generic methods.
+            bind = getattr(compiled, "bind_scheduling", None)
+            if bind is not None:
+                bind(self)
         self.random = RandomStreams(seed)
         #: Number of callbacks executed so far (observability/debugging).
         self.executed_events = 0
@@ -142,8 +162,8 @@ class Simulator:
         they shadow — the causality guard, the returned handle, and the
         exact routing mirror ``HeapEventQueue.push`` /
         ``TieredEventQueue.push``; any change there must be repeated
-        here.  Backends other than ``heap``/``tiered`` (the ``compiled``
-        hook) keep the generic methods.
+        here (and in ``repro.sim.compiled``, which generates the same
+        closures with the horizon constant-folded).
         """
         q = self._queue
         new = ScheduledCall.__new__

@@ -38,7 +38,7 @@ BYPASS_KINDS = frozenset({OpKind.GET, OpKind.LOCK, OpKind.UNLOCK,
                           OpKind.PROC_READ})
 
 
-@dataclass
+@dataclass(slots=True)
 class Operation:
     """One application request."""
 
@@ -76,7 +76,7 @@ class Operation:
 MISS_ERRORS = frozenset({"not_found"})
 
 
-@dataclass
+@dataclass(slots=True)
 class Result:
     """One application response."""
 

@@ -1,0 +1,117 @@
+"""Compiled-backend specifics: generation, caching, stats, push closures.
+
+Behavioural identity with the other backends is covered by the
+differential suites (``test_scheduler_equivalence``,
+``tests/integration/test_kernel_backend_identity.py``); this file pins
+the properties unique to the generated loop — variant caching keyed on
+the run shape, horizon constant-folding, real tier accounting, and the
+specialized push closures' causality guard.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.sim.compiled as compiled
+from repro.errors import SimulationError
+from repro.sim import Simulator
+from repro.sim.profiler import EventProfiler, format_kernel_stats
+
+
+def _drain_some(sim):
+    sim.schedule(10, lambda: sim.call_soon(lambda: None))  # near + lane
+    sim.schedule(100_000, lambda: None)                    # far
+    sim.run()
+
+
+class TestLoopGeneration:
+    def test_variants_are_cached_per_run_shape(self):
+        sim = Simulator(kernel="compiled")
+        _drain_some(sim)
+        key = (False, False, False, sim._queue._horizon)
+        assert key in compiled.generated_variants()
+        before = compiled._LOOPS[key]
+        # A second simulator with the same shape reuses the function.
+        other = Simulator(kernel="compiled")
+        _drain_some(other)
+        assert compiled._LOOPS[key] is before
+
+    def test_profiler_and_bounds_select_distinct_variants(self):
+        sim = Simulator(kernel="compiled")
+        horizon = sim._queue._horizon
+        sim.schedule(5, lambda: None)
+        sim.schedule(15, lambda: None)
+        sim.run(until=5)
+        sim.run(max_events=1)
+        profiler = EventProfiler()
+        sim.attach_profiler(profiler)
+        sim.schedule(5, lambda: None)
+        sim.run()
+        variants = compiled.generated_variants()
+        assert (True, False, False, horizon) in variants
+        assert (False, True, False, horizon) in variants
+        assert (False, False, True, horizon) in variants
+        assert profiler.total >= 1
+
+    def test_horizon_is_part_of_the_variant_key(self, monkeypatch):
+        monkeypatch.setenv("PMNET_KERNEL_HORIZON", "8")
+        sim = Simulator(kernel="compiled")
+        sim.schedule(7, lambda: None)    # < 8  -> calendar
+        sim.schedule(9, lambda: None)    # >= 8 -> far
+        sim.run()
+        stats = sim.kernel_stats()
+        assert stats["near_pops"] == 1
+        assert stats["far_pops"] == 1
+        assert (False, False, False, 8) in compiled.generated_variants()
+
+
+class TestCompiledStats:
+    def test_kernel_stats_report_real_tier_numbers(self):
+        sim = Simulator(kernel="compiled")
+        sim.schedule(10, lambda: sim.call_soon(lambda: None))  # near + lane
+        sim.schedule(100_000, lambda: None)                    # far
+        sim.run()
+        stats = sim.kernel_stats()
+        assert stats["kernel"] == "compiled"
+        assert stats["backend"] == "compiled"
+        assert stats["near_pops"] == 1
+        assert stats["lane_pops"] == 1
+        assert stats["far_pops"] == 1
+        assert sim.executed_events == 3
+
+    def test_profile_scheduler_line_renders_compiled_tiers(self):
+        sim = Simulator(kernel="compiled")
+        _drain_some(sim)
+        line = format_kernel_stats(sim.kernel_stats())
+        assert "kernel=compiled" in line
+        assert "lane=1" in line and "near=1" in line and "far=1" in line
+
+    def test_resequences_and_cancels_are_accounted(self):
+        sim = Simulator(kernel="compiled")
+        seen = []
+        sim.schedule_deferred(5, (3, 2), seen.append, "folded")
+        victim = sim.schedule(4, seen.append, "dead")
+        victim.cancel()
+        sim.run()
+        assert seen == ["folded"]
+        assert sim.now == 10
+        stats = sim.kernel_stats()
+        assert stats["resequences"] == 2
+        assert stats["cancelled_pending"] == 0
+        assert sim.executed_events == 1
+
+
+class TestCompiledScheduling:
+    def test_push_closures_keep_the_causality_guard(self):
+        sim = Simulator(kernel="compiled")
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_stop_halts_after_current_event(self):
+        sim = Simulator(kernel="compiled")
+        order = []
+        sim.schedule(1, lambda: (order.append("a"), sim.stop()))
+        sim.schedule(2, order.append, "b")
+        sim.run()
+        assert order == ["a"]
+        assert sim.pending_events() == 1

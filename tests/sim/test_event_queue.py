@@ -1,14 +1,17 @@
 """Unit tests for the raw event queues (ordering, cancellation, tiers).
 
-Every contract test runs against both scheduler backends — the single
-binary heap and the tiered lane/calendar/far queue — because the two
-must be observably interchangeable.  Tiered-only structure tests
-(routing, compaction of each tier) live in their own class.
+Every contract test runs against all scheduler backends — the single
+binary heap, the tiered lane/calendar/far queue, and the compiled
+queue (which inherits the tiered structures but is drained by a
+generated loop) — because they must be observably interchangeable.
+Tiered-only structure tests (routing, compaction of each tier) live in
+their own class.
 """
 
 import pytest
 
 from repro.errors import SimulationError
+from repro.sim.compiled import CompiledEventQueue
 from repro.sim.event import (
     COMPACT_MIN_CANCELLED,
     EventQueue,
@@ -17,7 +20,7 @@ from repro.sim.event import (
     make_event_queue,
 )
 
-BACKENDS = [HeapEventQueue, TieredEventQueue]
+BACKENDS = [HeapEventQueue, TieredEventQueue, CompiledEventQueue]
 
 
 @pytest.fixture(params=BACKENDS, ids=lambda cls: cls.backend)
@@ -189,6 +192,8 @@ class TestBackendSelection:
     def test_factory_builds_each_backend(self):
         assert make_event_queue("heap").backend == "heap"
         assert make_event_queue("tiered").backend == "tiered"
+        # "compiled" registers itself on first import (done above).
+        assert make_event_queue("compiled").backend == "compiled"
 
     def test_factory_rejects_unknown_backend(self):
         with pytest.raises(SimulationError):

@@ -27,7 +27,7 @@ from hypothesis import strategies as st
 
 from repro.sim import Simulator
 
-BACKENDS = ("heap", "tiered")
+BACKENDS = ("heap", "tiered", "compiled")
 
 #: Calendar widths the tiered backend is exercised at: degenerate
 #: (everything far), narrow (constant tier crossings), default, and
@@ -140,10 +140,14 @@ class TestSchedulerEquivalence:
     @settings(max_examples=60, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
     def test_backends_execute_identically(self, program, horizon, drive):
-        results = [_interpret(program, kernel, horizon, drive)
-                   for kernel in BACKENDS]
-        assert results[0] == results[1], (
-            f"heap and tiered diverged (horizon={horizon}, drive={drive})")
+        results = {kernel: _interpret(program, kernel, horizon, drive)
+                   for kernel in BACKENDS}
+        baseline = results[BACKENDS[0]]
+        diverged = [kernel for kernel, result in results.items()
+                    if result != baseline]
+        assert not diverged, (
+            f"backends diverged from heap: {diverged} "
+            f"(horizon={horizon}, drive={drive})")
 
     @given(program=_programs(), horizon=st.sampled_from(HORIZONS))
     @settings(max_examples=30, deadline=None,
