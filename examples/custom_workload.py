@@ -15,7 +15,7 @@ recovery guarantees hold for user code too.
 Run:  python examples/custom_workload.py
 """
 
-from repro import SystemConfig, build_pmnet_switch
+from repro import DeploymentSpec, SystemConfig, build
 from repro.experiments.driver import run_sessions
 from repro.failure.injector import FailureInjector
 from repro.host.handler import HandlerOutcome, RequestHandler
@@ -79,7 +79,8 @@ def ledger_session(index, api, rng, requests=120):
 def main() -> None:
     config = SystemConfig(seed=17).with_clients(6)
     handler = LedgerHandler()
-    deployment = build_pmnet_switch(config, handler=handler)
+    deployment = build(DeploymentSpec(placement="switch"), config,
+                       handler=handler)
     injector = FailureInjector(deployment.sim)
     # Crash the server mid-run: the ledger must survive via log replay.
     injector.crash_server_at(deployment.server, microseconds(600))

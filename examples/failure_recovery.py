@@ -10,7 +10,7 @@ up with every acknowledged update — the Sec IV-E/VI-B6 story.
 Run:  python examples/failure_recovery.py
 """
 
-from repro import SystemConfig, build_pmnet_switch
+from repro import DeploymentSpec, SystemConfig, build
 from repro.failure.injector import FailureInjector
 from repro.sim.clock import format_time, microseconds, milliseconds
 from repro.workloads.handlers import StructureHandler
@@ -21,7 +21,8 @@ from repro.workloads.pmdk.btree import PMBTree
 def main() -> None:
     config = SystemConfig(seed=3).with_clients(4)
     handler = StructureHandler(PMBTree())
-    deployment = build_pmnet_switch(config, handler=handler)
+    deployment = build(DeploymentSpec(placement="switch"), config,
+                       handler=handler)
     sim = deployment.sim
     injector = FailureInjector(sim)
     acknowledged = {}

@@ -8,7 +8,7 @@ and prints mean/p99 latency and throughput side by side.
 Run:  python examples/quickstart.py
 """
 
-from repro import SystemConfig, build_client_server, build_pmnet_switch
+from repro import DeploymentSpec, SystemConfig, build
 from repro.experiments.driver import run_closed_loop
 from repro.workloads.handlers import StructureHandler
 from repro.workloads.pmdk.btree import PMBTree
@@ -22,9 +22,9 @@ def main() -> None:
 
     print("Driving 8 clients x 200 updates against a PMDK B-tree store...\n")
     results = {}
-    for name, builder in [("Client-Server", build_client_server),
-                          ("PMNet-Switch", build_pmnet_switch)]:
-        deployment = builder(config, handler=StructureHandler(PMBTree()))
+    for name, spec in [("Client-Server", DeploymentSpec(placement="none")),
+                       ("PMNet-Switch", DeploymentSpec(placement="switch"))]:
+        deployment = build(spec, config, handler=StructureHandler(PMBTree()))
         stats = run_closed_loop(deployment, workload,
                                 requests_per_client=200,
                                 warmup_requests=20)

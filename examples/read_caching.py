@@ -9,7 +9,7 @@ the persistent read cache (hits are served by the switch).
 Run:  python examples/read_caching.py
 """
 
-from repro import SystemConfig, build_client_server, build_pmnet_switch
+from repro import DeploymentSpec, SystemConfig, build
 from repro.analysis.plot import ascii_cdf
 from repro.experiments.driver import run_closed_loop
 from repro.workloads.handlers import StructureHandler
@@ -28,13 +28,13 @@ def main() -> None:
         description="zipfian 50% updates")
 
     systems = {
-        "baseline": build_client_server(
-            config, handler=StructureHandler(PMHashmap())),
-        "pmnet": build_pmnet_switch(
-            config, handler=StructureHandler(PMHashmap())),
-        "pmnet+cache": build_pmnet_switch(
-            config, handler=StructureHandler(PMHashmap()),
-            enable_cache=True),
+        "baseline": build(DeploymentSpec(placement="none"), config,
+                          handler=StructureHandler(PMHashmap())),
+        "pmnet": build(DeploymentSpec(placement="switch"), config,
+                       handler=StructureHandler(PMHashmap())),
+        "pmnet+cache": build(DeploymentSpec(placement="switch",
+                                            enable_cache=True), config,
+                             handler=StructureHandler(PMHashmap())),
     }
     curves = {}
     for name, deployment in systems.items():

@@ -9,7 +9,7 @@ commits to two replicas before acknowledging.
 Run:  python examples/replicated_store.py
 """
 
-from repro import SystemConfig, build_pmnet_switch
+from repro import DeploymentSpec, SystemConfig, build
 from repro.baselines import build_server_replication
 from repro.experiments.driver import run_closed_loop
 from repro.workloads.handlers import StructureHandler
@@ -25,10 +25,11 @@ def main() -> None:
     config = SystemConfig(seed=5).with_clients(4)
     points = [
         ("PMNet x1 (no replication)",
-         build_pmnet_switch(config, handler=StructureHandler(PMHashmap()))),
+         build(DeploymentSpec(placement="switch"), config,
+               handler=StructureHandler(PMHashmap()))),
         ("PMNet x3 (in-network replication)",
-         build_pmnet_switch(config, handler=StructureHandler(PMHashmap()),
-                            replication=3)),
+         build(DeploymentSpec(placement="switch", chain_length=3), config,
+               handler=StructureHandler(PMHashmap()))),
         ("Server-side x3 replication",
          build_server_replication(config,
                                   handler=StructureHandler(PMHashmap()),

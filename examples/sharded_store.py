@@ -10,8 +10,7 @@ shard.  One shard power-fails mid-run — its clients keep completing
 Run:  python examples/sharded_store.py
 """
 
-from repro import SystemConfig
-from repro.experiments.deploy import build_sharded
+from repro import DeploymentSpec, SystemConfig, build
 from repro.failure.injector import FailureInjector
 from repro.sim.clock import format_time, microseconds, milliseconds
 from repro.workloads.handlers import StructureHandler
@@ -28,8 +27,9 @@ def main() -> None:
         handlers.append(handler)
         return handler
 
-    deployment = build_sharded(config, num_servers=3,
-                               handler_factory=handler_factory)
+    deployment = build(DeploymentSpec(placement="switch",
+                                      servers_per_rack=3), config,
+                       handler_factory=handler_factory)
     sim = deployment.sim
     injector = FailureInjector(sim)
     written = {}

@@ -10,15 +10,15 @@ the updates inside the critical section still commit in-network.
 Run:  python examples/tpcc_critical_sections.py
 """
 
-from repro import SystemConfig, build_client_server, build_pmnet_switch
+from repro import DeploymentSpec, SystemConfig, build
 from repro.experiments.driver import run_sessions
 from repro.workloads import tpcc
 
 
-def drive(name: str, builder, config: SystemConfig):
+def drive(name: str, spec: DeploymentSpec, config: SystemConfig):
     handler = tpcc.TPCCHandler(warehouses=2)
-    deployment = builder(
-        config, handler=handler,
+    deployment = build(
+        spec, config, handler=handler,
         transport="tcp" if name == "Client-Server" else "udp")
 
     def session(index, api, rng):
@@ -49,8 +49,8 @@ def main() -> None:
     config = SystemConfig(seed=23).with_clients(8)
     print("TPC-C: 8 terminals, 2 warehouses; ~8% of transactions enter "
           "the stock critical section\n")
-    base = drive("Client-Server", build_client_server, config)
-    pmnet = drive("PMNet-Switch", build_pmnet_switch, config)
+    base = drive("Client-Server", DeploymentSpec(placement="none"), config)
+    pmnet = drive("PMNet-Switch", DeploymentSpec(placement="switch"), config)
     print(f"\nPMNet throughput speedup: "
           f"{pmnet.ops_per_second() / base.ops_per_second():.2f}x")
     print("Lock requests pay the full RTT (correctness), everything else "

@@ -9,17 +9,17 @@ in-network; timeline reads bypass to the server.
 Run:  python examples/twitter_clone.py
 """
 
-from repro import SystemConfig, build_client_server, build_pmnet_switch
+from repro import DeploymentSpec, SystemConfig, build
 from repro.experiments.driver import run_sessions
 from repro.workloads import twitter
 from repro.workloads.twitter import TwitterHandler
 
 
-def drive(name: str, builder, config: SystemConfig) -> None:
+def drive(name: str, spec: DeploymentSpec, config: SystemConfig) -> None:
     handler = TwitterHandler()
-    deployment = builder(config, handler=handler,
-                         transport="tcp" if name == "Client-Server"
-                         else "udp")
+    deployment = build(spec, config, handler=handler,
+                       transport="tcp" if name == "Client-Server"
+                       else "udp")
 
     def session(index, api, rng):
         return twitter.session(index, api, rng, requests=150,
@@ -40,8 +40,8 @@ def main() -> None:
     config = SystemConfig(seed=11).with_clients(8)
     print("Retwis workload: 8 clients, 80% updates "
           "(posts/follows), 20% timeline reads\n")
-    drive("Client-Server", build_client_server, config)
-    drive("PMNet-Switch", build_pmnet_switch, config)
+    drive("Client-Server", DeploymentSpec(placement="none"), config)
+    drive("PMNet-Switch", DeploymentSpec(placement="switch"), config)
     print("\nNote: every client got a distinct UID from the shared "
           "lastUID counter\nwithout any cross-client ordering — the "
           "independence the paper's Sec III-C relies on.")

@@ -3,7 +3,9 @@
 The public API re-exports the pieces a downstream user needs:
 
 * :class:`~repro.config.SystemConfig` — every calibration constant;
-* deployment builders (baseline, PMNet switch/NIC, alternatives);
+* the declarative :class:`~repro.experiments.deploy.DeploymentSpec`
+  and its :func:`~repro.experiments.deploy.build` entry point
+  (baseline, PMNet switch/NIC, sharded, multi-rack fabric);
 * the Table I client/server libraries;
 * workloads (PMDK stores, PM-Redis, Twitter, TPC-C, YCSB);
 * the failure injector and recovery scenarios;
@@ -11,10 +13,11 @@ The public API re-exports the pieces a downstream user needs:
 
 Quickstart::
 
-    from repro import SystemConfig, build_pmnet_switch, run_closed_loop
+    from repro import DeploymentSpec, SystemConfig, build
     from repro.workloads import YCSBConfig, make_op_maker
 
-    deployment = build_pmnet_switch(SystemConfig().with_clients(4))
+    spec = DeploymentSpec(placement="switch")
+    deployment = build(spec, SystemConfig().with_clients(4))
     stats = run_closed_loop(deployment,
                             make_op_maker(YCSBConfig(update_ratio=1.0)),
                             requests_per_client=100)
@@ -37,6 +40,8 @@ from repro.core import (
 from repro.errors import ReproError
 from repro.experiments import (
     Deployment,
+    DeploymentSpec,
+    build,
     build_client_server,
     build_pmnet_nic,
     build_pmnet_switch,
@@ -56,8 +61,8 @@ __all__ = [
     "PMNetDevice", "ReadCache", "ReplicationPolicy", "SINGLE_LOG",
     "NO_PMNET",
     "PMNetClient", "PMNetServer", "RequestHandler", "IdealHandler",
-    "Deployment", "build_client_server", "build_pmnet_switch",
-    "build_pmnet_nic",
+    "Deployment", "DeploymentSpec", "build",
+    "build_client_server", "build_pmnet_switch", "build_pmnet_nic",
     "run_closed_loop", "run_sessions",
     "ReproError",
 ]

@@ -24,7 +24,8 @@ make in-network data persistence sound:
 Usage::
 
     tracer = Tracer(enabled=True)
-    deployment = build_pmnet_switch(config, tracer=tracer)
+    deployment = build(DeploymentSpec(placement="switch"), config,
+                       tracer=tracer)
     ...run...
     violations = PersistenceChecker(tracer).check()
     assert not violations

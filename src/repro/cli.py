@@ -337,7 +337,8 @@ def _cmd_profile(clients: int, requests: int, fold: str, top: int,
 
 def _cmd_chaos(start_seed: int, runs: int, jobs: Optional[int],
                json_path: Optional[str], faults_arg: Optional[str],
-               shrink_on_failure: bool, corpus_path: Optional[str]) -> int:
+               shrink_on_failure: bool, corpus_path: Optional[str],
+               fabric: bool = False) -> int:
     from repro.experiments.parallel import default_jobs, run_jobs
     from repro.failure import chaos
 
@@ -346,9 +347,11 @@ def _cmd_chaos(start_seed: int, runs: int, jobs: Optional[int],
               file=sys.stderr)
         return 2
 
+    generate = (chaos.generate_fabric_plan if fabric
+                else chaos.generate_plan)
     values: List[dict]
     if runs == 1 and faults_arg is not None:
-        plan = chaos.generate_plan(start_seed)
+        plan = generate(start_seed)
         try:
             indices = chaos.parse_fault_selector(faults_arg,
                                                  len(plan.faults))
@@ -357,7 +360,8 @@ def _cmd_chaos(start_seed: int, runs: int, jobs: Optional[int],
             return 2
         values = [chaos.run_plan(plan, indices).to_dict()]
     else:
-        specs = chaos.jobs(quick=True, start_seed=start_seed, runs=runs)
+        specs = chaos.jobs(quick=True, start_seed=start_seed, runs=runs,
+                           fabric=fabric)
         workers = jobs if jobs is not None else default_jobs()
 
         def progress(result) -> None:
@@ -392,7 +396,7 @@ def _cmd_chaos(start_seed: int, runs: int, jobs: Optional[int],
         for violation in value["violations"]:
             print(f"seed {value['seed']}: {violation}")
         if shrink_on_failure:
-            minimal = chaos.shrink(chaos.generate_plan(value["seed"]))
+            minimal = chaos.shrink(generate(value["seed"]))
             line = chaos.repro_line(minimal)
             repros[value["seed"]] = line
             print(f"seed {value['seed']}: minimal repro: {line}")
@@ -412,6 +416,7 @@ def _cmd_chaos(start_seed: int, runs: int, jobs: Optional[int],
             "benchmark": "chaos",
             "start_seed": start_seed,
             "runs": runs,
+            "fabric": fabric,
             "clean": sum(1 for v in values if v["ok"]),
             "failing_seeds": [v["seed"] for v in values if not v["ok"]],
             "repros": {str(seed): line for seed, line in repros.items()},
@@ -577,6 +582,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="replay a subset of the fault schedule: "
                                    "'all', 'none', or comma-separated "
                                    "indices (requires --runs 1)")
+    chaos_parser.add_argument("--fabric", action="store_true",
+                              help="sweep multi-rack fabric plans "
+                              "(rack outages, spine-uplink impairments, "
+                              "cross-rack chain-member loss)")
     chaos_parser.add_argument("--no-shrink", action="store_true",
                               help="report failures without bisecting the "
                                    "fault schedule to a minimal repro")
@@ -609,9 +618,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_trace(args.scenario, args.limit, args.component,
                           args.event, args.seed)
     if args.command == "chaos":
+        corpus = args.corpus
+        if args.fabric and corpus == "tests/failure/chaos_corpus.txt":
+            corpus = "tests/failure/chaos_fabric_corpus.txt"
         return _cmd_chaos(args.seed, args.runs, args.jobs, args.json_path,
                           args.faults, not args.no_shrink,
-                          args.corpus or None)
+                          corpus or None, fabric=args.fabric)
     return _cmd_run(args.experiments, quick=not args.full, jobs=args.jobs,
                     json_path=args.json_path, use_cache=not args.no_cache,
                     cache_dir=args.cache_dir)

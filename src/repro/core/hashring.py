@@ -1,0 +1,93 @@
+"""A consistent-hash ring mapping keys to shard owners.
+
+The fabric shards the keyspace across many PMNet devices/servers (the
+disaggregated-PM direction: many in-network persistence points instead
+of one).  Placement must be a *pure function of the key and the member
+list* — every client, the chaos oracle, and the experiment assembler
+recompute it independently and must agree — so the ring hashes with the
+repo's table-driven CRC-32 (same as ``PMNetHeader``), never Python's
+process-seeded ``hash``.
+
+Each member is projected onto the ring at ``replicas`` virtual points
+(``crc32(f"{member}#{i}")``); a key maps to the first member clockwise
+from ``crc32(repr(key))``.  Virtual points smooth the load split and
+keep remapping incremental when the member list changes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, List, Sequence, Tuple
+
+from repro.protocol.crc import crc32
+
+
+class HashRing:
+    """Deterministic consistent hashing over a fixed member list."""
+
+    def __init__(self, members: Sequence[str], replicas: int = 32) -> None:
+        if not members:
+            raise ValueError("hash ring needs at least one member")
+        if len(set(members)) != len(members):
+            raise ValueError(f"duplicate ring members: {list(members)}")
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.members: Tuple[str, ...] = tuple(members)
+        self.replicas = replicas
+        points = []
+        for member in self.members:
+            for index in range(replicas):
+                point = crc32(f"{member}#{index}".encode())
+                points.append((point, member))
+        # Ties between virtual points are broken by member name so the
+        # ring is identical regardless of construction order.
+        points.sort()
+        self._points = points
+        self._keys = [point for point, _ in points]
+
+    # ------------------------------------------------------------------
+    def key_point(self, key: Any) -> int:
+        """Where a key lands on the ring (CRC-32 of its repr)."""
+        return crc32(repr(key).encode())
+
+    def lookup(self, key: Any) -> str:
+        """The member owning ``key``: first virtual point clockwise."""
+        index = bisect_right(self._keys, self.key_point(key))
+        if index == len(self._points):
+            index = 0
+        return self._points[index][1]
+
+    def successors(self, key: Any, count: int) -> List[str]:
+        """The first ``count`` *distinct* members clockwise from the key.
+
+        ``successors(key, 1)[0] == lookup(key)``; the rest are the
+        natural replica placement for the key.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if count > len(self.members):
+            raise ValueError(
+                f"asked for {count} members, ring has {len(self.members)}")
+        start = bisect_right(self._keys, self.key_point(key))
+        found: List[str] = []
+        for offset in range(len(self._points)):
+            member = self._points[(start + offset) % len(self._points)][1]
+            if member not in found:
+                found.append(member)
+                if len(found) == count:
+                    break
+        return found
+
+    def spread(self, keys: Sequence[Any]) -> dict:
+        """How many of ``keys`` each member owns (diagnostics/tests)."""
+        counts = {member: 0 for member in self.members}
+        for key in keys:
+            counts[self.lookup(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<HashRing {len(self.members)} members × "
+                f"{self.replicas} points>")

@@ -35,10 +35,14 @@ class MATAction(Enum):
     CAPTURE_RESPONSE = auto()
     #: Recovery poll from a restarting server: start the resend engine.
     RECOVERY = auto()
+    #: chain-update: log in PM, then forward to the *next chain member*
+    #: (or ACK client + forward to server, at the tail).
+    CHAIN_LOG_AND_FORWARD = auto()
 
 
 _TYPE_ACTIONS = {
     PacketType.UPDATE_REQ: MATAction.LOG_AND_FORWARD,
+    PacketType.CHAIN_UPDATE: MATAction.CHAIN_LOG_AND_FORWARD,
     PacketType.BYPASS_REQ: MATAction.BYPASS,
     PacketType.PMNET_ACK: MATAction.FORWARD_ACK,
     PacketType.SERVER_ACK: MATAction.INVALIDATE_AND_FORWARD,

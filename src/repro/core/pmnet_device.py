@@ -18,6 +18,7 @@ the two differ only by placement (Sec VI-B1 finds their latency within
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.config import folding_enabled, whole_request_folding_enabled
@@ -227,6 +228,8 @@ class PMNetDevice(Node):
             self._handle_response(frame, packet)
         elif action is MATAction.RECOVERY:
             self._handle_recovery_poll(frame, packet)
+        elif action is MATAction.CHAIN_LOG_AND_FORWARD:
+            self._handle_chain_update(frame, packet)
 
     # ------------------------------------------------------------------
     # update-req: PM-access stage + egress (Fig 8 steps 3, 6, 7)
@@ -278,6 +281,114 @@ class PMNetDevice(Node):
                          req=packet.request_id, seq=packet.seq_num)
         self._delayed_transmit(self.config.pipeline.ack_generation_ns,
                                ack, packet.client)
+
+    # ------------------------------------------------------------------
+    # chain-update: NetChain-style replication across devices.  Store-
+    # and-forward: each member persists its copy before handing the
+    # write to the next member; only the tail ACKs the client (the
+    # paper's Sec IV-B1 "ACK from another PMNet", generalized across
+    # switches).  Chain packets ride the generic per-stage path in all
+    # fold modes, so fold/backend identity holds by construction.
+    # ------------------------------------------------------------------
+    def _handle_chain_update(self, frame: Frame, packet: PMNetPacket) -> None:
+        self.sim.schedule(self.config.pipeline.pm_stage_ns,
+                          self._log_chain_update, frame, packet)
+
+    def _log_chain_update(self, frame: Frame, packet: PMNetPacket) -> None:
+        if self.failed:
+            return
+        if self._spans is not None:
+            self._spans.record(packet.request_id, spans.LOG_WRITE,
+                               self.sim.now)
+        existing = self.log.lookup(packet.hash_val)
+        if existing is not None:
+            # A client retransmission re-walking the chain (some member
+            # downstream may still be missing its copy).  A durable
+            # entry continues the walk immediately; a still-volatile
+            # one advances through its original persist continuation.
+            self.tracer.emit(self.sim.now, self.name, "chain_duplicate",
+                             req=packet.request_id, seq=packet.seq_num)
+            if existing.durable:
+                self._advance_chain(packet)
+            return
+        if self.log.try_log(packet, self._on_chain_persisted):
+            self._arm_scrubber()
+            op = (packet.payload
+                  if isinstance(packet.payload, Operation) else None)
+            if (self.cache is not None and op is not None
+                    and packet.frag_count == 1 and op.is_cacheable_set):
+                self.cache.on_update_logged(op.key, op.value)
+            self.tracer.emit(self.sim.now, self.name, "update_logged",
+                             req=packet.request_id, seq=packet.seq_num)
+            return
+        # Log full / queue saturated: this member cannot hold a copy.
+        # Pass the write along with the chain marked broken — the tail
+        # withholds its early ACK, so the client completes on the
+        # server ACK instead (forward-without-ack, chain edition).
+        op = packet.payload if isinstance(packet.payload, Operation) else None
+        if (self.cache is not None and op is not None and op.is_update
+                and op.key is not None and packet.frag_count == 1):
+            self.cache.on_update_bypassed(op.key)
+        self.tracer.emit(self.sim.now, self.name, "update_bypassed",
+                         req=packet.request_id, seq=packet.seq_num)
+        self._advance_chain(replace(packet, chain_broken=True))
+
+    def _on_chain_persisted(self, entry: LogEntry) -> None:
+        """A chain member's copy is durable: continue the walk."""
+        if self.failed:
+            return
+        self._advance_chain(entry.packet)
+
+    def _advance_chain(self, packet: PMNetPacket) -> None:
+        chain = packet.chain
+        try:
+            index = chain.index(self.name)
+        except ValueError:
+            # Not a member (stale routing after a membership change):
+            # degrade to the plain-update behavior and push the write
+            # toward the server.
+            self._transmit_packet(packet, packet.server)
+            return
+        cost = (self.config.pipeline.egress_ns
+                + round(packet.wire_bytes * self.config.pipeline.per_byte_ns))
+        if index + 1 < len(chain):
+            self.tracer.emit(self.sim.now, self.name, "chain_forward",
+                             req=packet.request_id, seq=packet.seq_num,
+                             to=chain[index + 1])
+            self._delayed_transmit(cost, packet, chain[index + 1])
+            return
+        # Tail: every member upstream holds a durable copy unless one
+        # bypassed en route (chain_broken) — early-ACK the client, then
+        # hand the write to the shard server.
+        if not packet.chain_broken:
+            ack = packet.make_ack(PacketType.PMNET_ACK,
+                                  origin_device=self.name)
+            if self._spans is not None:
+                self._spans.record(packet.request_id, spans.PMNET_ACK,
+                                   self.sim.now)
+            self.acks_sent.increment()
+            self.tracer.emit(self.sim.now, self.name, "pmnet_ack",
+                             req=packet.request_id, seq=packet.seq_num)
+            self._delayed_transmit(self.config.pipeline.ack_generation_ns,
+                                   ack, packet.client)
+        self._delayed_transmit(cost, packet, packet.server)
+
+    def _propagate_chain_invalidate(self, packet: PMNetPacket) -> None:
+        """Walk a server ACK's invalidation toward the chain head.
+
+        Members upstream of the tail are not on the server-to-client
+        path, so the tail (and each member in turn) re-addresses the
+        ACK to its predecessor.  Each hop invalidates its local entry
+        in :meth:`_handle_server_ack` and keeps walking; the head stops.
+        """
+        index = packet.chain.index(self.name)
+        if index == 0:
+            return
+        self.tracer.emit(self.sim.now, self.name, "chain_invalidate",
+                         req=packet.request_id, seq=packet.seq_num,
+                         to=packet.chain[index - 1])
+        self._delayed_transmit(self.config.pipeline.egress_ns,
+                               packet, packet.chain[index - 1])
 
     # ------------------------------------------------------------------
     # bypass-req: cache lookup, else plain forwarding (Fig 10)
@@ -332,6 +443,12 @@ class PMNetDevice(Node):
             self.tracer.emit(self.sim.now, self.name, "log_invalidated",
                              req=packet.request_id, seq=packet.seq_num)
         self.resend_engine.on_server_ack(packet.hash_val)
+        if packet.chain and self.name in packet.chain:
+            self._propagate_chain_invalidate(packet)
+        if frame.dst == self.name:
+            # A chain-addressed invalidation terminates here; the
+            # propagation above keeps walking tail-to-head.
+            return
         # Always forward toward the client: an upstream PMNet in a
         # replication chain may hold its own copy (Sec IV-B1).
         self._egress(frame, payload_cost=False)

@@ -2,6 +2,8 @@
 
 from repro.experiments.deploy import (
     Deployment,
+    DeploymentSpec,
+    build,
     build_client_server,
     build_pmnet_nic,
     build_pmnet_switch,
@@ -17,7 +19,7 @@ from repro.experiments.multirack import build_two_rack
 from repro.experiments.summary import format_summary, health_check, summarize
 
 __all__ = [
-    "Deployment",
+    "Deployment", "DeploymentSpec", "build",
     "build_client_server", "build_pmnet_switch", "build_pmnet_nic",
     "build_two_rack", "build_sharded",
     "summarize", "health_check", "format_summary",

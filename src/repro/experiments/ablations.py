@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.report import format_table
 from repro.config import TCP_TO_UDP_CONVERSION_OVERHEAD, SystemConfig
 from repro.experiments.common import Scale
-from repro.experiments.deploy import build_client_server, build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.driver import run_closed_loop
 from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.host.stackmodel import TCP
@@ -57,7 +57,7 @@ def _log_queue_sizing_point(spec: JobSpec) -> List[object]:
     cfg = cfg.with_clients(max(scale.clients, 16)).with_payload(1000)
     size = spec.params["queue_bytes"]
     sized = replace(cfg, log=replace(cfg.log, write_queue_bytes=size))
-    deployment = build_pmnet_switch(sized)
+    deployment = build(DeploymentSpec(placement="switch"), sized)
     stats = run_closed_loop(deployment, _set_op_maker(1000),
                             scale.requests_per_client, scale.warmup)
     device = deployment.devices[0]
@@ -86,7 +86,7 @@ def _pm_latency_point(spec: JobSpec) -> List[object]:
     write_ns = spec.params["write_latency_ns"]
     sized = replace(cfg, network_pm=replace(cfg.network_pm,
                                             write_latency_ns=write_ns))
-    deployment = build_pmnet_switch(sized)
+    deployment = build(DeploymentSpec(placement="switch"), sized)
     stats = run_closed_loop(deployment, _set_op_maker(cfg.payload_bytes),
                             requests, 8)
     return [write_ns, round(stats.update_latencies.mean() / 1000.0, 2)]
@@ -111,8 +111,8 @@ def _log_capacity_point(spec: JobSpec) -> List[object]:
     # A deliberately slow handler keeps entries alive in the log.
     capacity = spec.params["num_entries"]
     sized = replace(cfg, log=replace(cfg.log, num_entries=capacity))
-    deployment = build_pmnet_switch(
-        sized, handler=StructureHandler(PMHashmap()))
+    deployment = build(DeploymentSpec(placement="switch"), sized,
+                       handler=StructureHandler(PMHashmap()))
     stats = run_closed_loop(deployment, _set_op_maker(cfg.payload_bytes),
                             scale.requests_per_client, scale.warmup)
     device = deployment.devices[0]
@@ -175,7 +175,8 @@ def _tcp_conversion_point(spec: JobSpec) -> float:
                 send_ns=round(sized.server_stack.send_ns * inflation),
                 recv_ns=round(sized.server_stack.recv_ns * inflation)))
     stats = run_closed_loop(
-        build_client_server(sized, handler=RedisHandler(), transport=TCP),
+        build(DeploymentSpec(placement="none", transport=TCP), sized,
+              handler=RedisHandler()),
         op_maker, scale.requests_per_client, scale.warmup)
     return stats.ops_per_second()
 

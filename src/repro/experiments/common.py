@@ -3,16 +3,11 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
 
 from repro.config import QUICK_SCALE_CLIENTS, SystemConfig
-from repro.experiments.deploy import (
-    Deployment,
-    build_client_server,
-    build_pmnet_nic,
-    build_pmnet_switch,
-)
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.driver import OpMaker, RunStats, run_closed_loop
 from repro.host.handler import RequestHandler
 
@@ -59,11 +54,11 @@ class Scale:
         return config.with_clients(self.clients)
 
 
-#: The paper's three design points (Sec VI-A4) by name.
-DESIGN_POINTS: Dict[str, Callable[..., Deployment]] = {
-    "client-server": build_client_server,
-    "pmnet-switch": build_pmnet_switch,
-    "pmnet-nic": build_pmnet_nic,
+#: The paper's three design points (Sec VI-A4) as deployment specs.
+DESIGN_POINTS: Dict[str, DeploymentSpec] = {
+    "client-server": DeploymentSpec(placement="none"),
+    "pmnet-switch": DeploymentSpec(placement="switch"),
+    "pmnet-nic": DeploymentSpec(placement="nic"),
 }
 
 
@@ -71,12 +66,11 @@ def run_design_point(design: str, config: SystemConfig, op_maker: OpMaker,
                      scale: Scale,
                      handler: Optional[RequestHandler] = None,
                      transport: str = "udp",
-                     **builder_kwargs) -> RunStats:
+                     **spec_overrides) -> RunStats:
     """Build one design point, drive it closed-loop, return its stats."""
-    builder = DESIGN_POINTS[design]
-    deployment = builder(scale.apply(config),
-                         handler=handler, transport=transport,
-                         **builder_kwargs)
+    spec = replace(DESIGN_POINTS[design], transport=transport,
+                   **spec_overrides)
+    deployment = build(spec, scale.apply(config), handler=handler)
     return run_closed_loop(deployment, op_maker,
                            requests_per_client=scale.requests_per_client,
                            warmup_requests=scale.warmup)

@@ -1,23 +1,31 @@
-"""Deployment builders: wire complete client-network-server systems.
+"""Declarative deployments: describe a system, then ``build(spec)`` it.
 
-These reproduce the paper's three design points (Sec VI-A4) plus the
-replication and caching variants:
+A :class:`DeploymentSpec` names *what* to stand up — racks, device
+placement, chain length, shards, cache, per-tier network profiles — and
+:func:`build` wires it: the paper's three single-rack design points
+(Sec VI-A4), the sharded single-ToR store, and the multi-rack
+spine/leaf fabric with cross-switch chain replication
+(:mod:`repro.net.fabric`).  The spec is frozen and JSON-round-trippable
+(:meth:`DeploymentSpec.to_params`), so experiment jobs and the chaos
+engine can ship deployments across process boundaries; live objects
+(handlers, tracers, observability) stay arguments of :func:`build`.
 
-* ``build_client_server``  — the baseline: clients - switch - server.
-* ``build_pmnet_switch``   — PMNet as the ToR switch (with the regular
-  merge switch of Sec VI-A1 between the clients and the FPGA).
-* ``build_pmnet_nic``      — PMNet as a bump-in-the-wire NIC at the
-  server (short wire to the host, like the SmartNIC setup).
+The four historical builders — ``build_client_server``,
+``build_pmnet_switch``, ``build_pmnet_nic``, ``build_sharded`` — remain
+as shims that construct the equivalent spec (with a DeprecationWarning);
+their wiring is reproduced exactly, so traces and tables are
+byte-identical.
 
-Every builder returns a :class:`Deployment` holding the simulator and
+Every build returns a :class:`Deployment` holding the simulator and
 every component, so experiments and tests can drive and inspect the
 system uniformly.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import SystemConfig
 from repro.core.pmnet_device import PMNetDevice
@@ -38,6 +46,116 @@ from repro.protocol.session import SessionAllocator
 from repro.sim.kernel import Simulator
 from repro.sim.trace import Tracer
 
+#: Valid values of :attr:`DeploymentSpec.placement`.
+PLACEMENTS = ("none", "switch", "nic")
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """A declarative description of one simulated system.
+
+    Single-rack shapes (``racks == 1``) reproduce the legacy builders;
+    ``racks > 1`` stands up the spine/leaf fabric with consistent-hash
+    sharding and cross-rack chain replication.
+    """
+
+    #: Number of racks.  1 = the classic one-ToR star shapes.
+    racks: int = 1
+    #: Number of spine switches interconnecting the racks (fabric only).
+    spines: int = 1
+    #: Where the PMNet device sits: ``"none"`` (baseline client-server),
+    #: ``"switch"`` (ToR position), or ``"nic"`` (bump-in-the-wire at
+    #: the server; single-rack only).
+    placement: str = "switch"
+    #: Replication strength.  Single-rack: devices in series under one
+    #: ToR (Fig 9a), clients wait for all their ACKs.  Fabric: the
+    #: cross-rack chain length; the tail's single ACK completes.
+    chain_length: int = 1
+    #: PMNet devices per rack (fabric only): the primary sits between
+    #: leaf and servers; extras hang off the leaf as chain members.
+    devices_per_rack: int = 1
+    #: Shard servers per rack.  Single-rack with > 1 builds the sharded
+    #: single-ToR store.
+    servers_per_rack: int = 1
+    #: Client hosts per rack; ``None`` = ``config.num_clients``.
+    clients_per_rack: Optional[int] = None
+    #: Enable the in-network read cache on the devices.
+    enable_cache: bool = False
+    #: Transport for every host stack.
+    transport: str = UDP
+    #: Propagation delay of the NIC-to-host board trace (placement
+    #: ``"nic"``).
+    nic_wire_ns: int = 20
+    #: Propagation delay override for leaf-spine links (fabric); ``None``
+    #: = the topology-wide profile (cross-rack hop cost knob).
+    spine_propagation_ns: Optional[int] = None
+    #: Virtual points per member on the consistent-hash ring (fabric).
+    ring_replicas: int = 32
+
+    def __post_init__(self) -> None:
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, "
+                f"got {self.placement!r}")
+        if self.racks < 1 or self.spines < 1:
+            raise ValueError("racks and spines must be >= 1")
+        if (self.chain_length < 1 or self.devices_per_rack < 1
+                or self.servers_per_rack < 1):
+            raise ValueError("chain_length, devices_per_rack and "
+                             "servers_per_rack must be >= 1")
+        if self.clients_per_rack is not None and self.clients_per_rack < 1:
+            raise ValueError("clients_per_rack must be >= 1")
+        if self.ring_replicas < 1:
+            raise ValueError("ring_replicas must be >= 1")
+        if self.racks > 1:
+            if self.placement != "switch":
+                raise ValueError(
+                    "the fabric places devices at the leaf (switch) "
+                    f"position, not {self.placement!r}")
+            total_devices = self.racks * self.devices_per_rack
+            if self.chain_length > total_devices:
+                raise ValueError(
+                    f"chain length {self.chain_length} exceeds the "
+                    f"{total_devices} devices in the fabric")
+        else:
+            if self.placement == "none" and (self.chain_length > 1
+                                             or self.enable_cache):
+                raise ValueError(
+                    "the baseline has no PMNet device to replicate or "
+                    "cache on")
+            if self.placement == "nic" and self.chain_length > 1:
+                raise ValueError("NIC placement holds a single device")
+            if self.servers_per_rack > 1 and self.placement != "switch":
+                raise ValueError(
+                    "the single-rack sharded store needs the ToR (switch) "
+                    "placement")
+            if self.servers_per_rack > 1 and self.chain_length > 1:
+                raise ValueError(
+                    "single-rack sharding and device chaining are "
+                    "separate shapes; use racks > 1 for chained shards")
+
+    # ------------------------------------------------------------------
+    def to_params(self) -> Dict[str, object]:
+        """A JSON-safe dict round-trippable via :meth:`from_params`."""
+        return {
+            "racks": self.racks,
+            "spines": self.spines,
+            "placement": self.placement,
+            "chain_length": self.chain_length,
+            "devices_per_rack": self.devices_per_rack,
+            "servers_per_rack": self.servers_per_rack,
+            "clients_per_rack": self.clients_per_rack,
+            "enable_cache": self.enable_cache,
+            "transport": self.transport,
+            "nic_wire_ns": self.nic_wire_ns,
+            "spine_propagation_ns": self.spine_propagation_ns,
+            "ring_replicas": self.ring_replicas,
+        }
+
+    @classmethod
+    def from_params(cls, params: Dict[str, object]) -> "DeploymentSpec":
+        return cls(**params)  # type: ignore[arg-type]
+
 
 @dataclass
 class Deployment:
@@ -57,6 +175,15 @@ class Deployment:
     #: Additional shard servers in multi-server deployments (the
     #: ``server`` field holds shard 0).
     extra_servers: List[PMNetServer] = field(default_factory=list)
+    #: The spec this deployment was built from (``None`` for hand-wired
+    #: systems).
+    spec: Optional[DeploymentSpec] = None
+    #: Fabric deployments: server name -> replication chain of device
+    #: names, head first, tail last.
+    chains: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Fabric deployments: the placement ring and rack layout
+    #: (:class:`repro.net.fabric.FabricInfo`).
+    fabric: Optional[object] = None
 
     @property
     def servers(self) -> List[PMNetServer]:
@@ -66,11 +193,27 @@ class Deployment:
     def pmnet_names(self) -> List[str]:
         return [device.name for device in self.devices]
 
+    def recovery_devices(self, server_name: str) -> List[str]:
+        """Which devices a recovering server should poll.
+
+        In the fabric the server polls its chain — the tail holds every
+        acknowledged entry, and the chain-walked invalidations settle
+        the upstream members' resend engines; single-rack shapes poll
+        every device, as before.
+        """
+        chain = self.chains.get(server_name)
+        if chain:
+            return list(chain)
+        return self.pmnet_names
+
     def open_all_sessions(self) -> None:
         for client in self.clients:
             client.start_session()
 
 
+# ----------------------------------------------------------------------
+# Shared wiring pieces
+# ----------------------------------------------------------------------
 def _make_server(sim: Simulator, topology: Topology, config: SystemConfig,
                  handler: Optional[RequestHandler], transport: str,
                  tracer: Optional[Tracer]) -> PMNetServer:
@@ -99,98 +242,124 @@ def _make_clients(sim: Simulator, topology: Topology, config: SystemConfig,
     return clients
 
 
-def build_client_server(config: SystemConfig,
-                        handler: Optional[RequestHandler] = None,
-                        transport: str = UDP,
-                        tracer: Optional[Tracer] = None,
-                        obs: Optional[Observability] = None) -> Deployment:
+# ----------------------------------------------------------------------
+# The one entry point
+# ----------------------------------------------------------------------
+def build(spec: DeploymentSpec, config: SystemConfig,
+          handler: Optional[RequestHandler] = None,
+          handler_factory=None,
+          transport: Optional[str] = None,
+          tracer: Optional[Tracer] = None,
+          obs: Optional[Observability] = None) -> Deployment:
+    """Wire the system a :class:`DeploymentSpec` describes.
+
+    ``handler`` serves single-server shapes; multi-server shapes take a
+    ``handler_factory`` (each shard gets its own instance).  ``transport``
+    overrides ``spec.transport`` when given (convenience for callers
+    holding only a transport constant).
+    """
+    if handler is not None and handler_factory is not None:
+        raise ValueError("pass handler or handler_factory, not both")
+    if transport is not None and transport != spec.transport:
+        spec = replace(spec, transport=transport)
+    if spec.racks > 1:
+        from repro.net.fabric import build_fabric
+
+        return build_fabric(spec, config, handler_factory=handler_factory,
+                            handler=handler, tracer=tracer, obs=obs)
+    if spec.servers_per_rack > 1:
+        return _build_single_rack_sharded(spec, config, handler_factory,
+                                          handler, tracer, obs)
+    if handler is None and handler_factory is not None:
+        handler = handler_factory()
+    if spec.placement == "none":
+        return _build_baseline(spec, config, handler, tracer, obs)
+    if spec.placement == "nic":
+        return _build_nic(spec, config, handler, tracer, obs)
+    return _build_tor_chain(spec, config, handler, tracer, obs)
+
+
+def _build_baseline(spec: DeploymentSpec, config: SystemConfig,
+                    handler: Optional[RequestHandler],
+                    tracer: Optional[Tracer],
+                    obs: Optional[Observability]) -> Deployment:
     """The baseline Client-Server system: clients - switch - server."""
     sim = Simulator(seed=config.seed, obs=obs)
     topology = Topology(sim, config.network)
     switch = Switch(sim, "tor", config.network)
     topology.add(switch)
-    server = _make_server(sim, topology, config, handler, transport, tracer)
+    server = _make_server(sim, topology, config, handler, spec.transport,
+                          tracer)
     topology.connect(switch, server.host)
     clients = _make_clients(sim, topology, config, switch, NO_PMNET,
-                            transport, tracer)
+                            spec.transport, tracer)
     topology.compute_routes()
     return Deployment(sim=sim, config=config, topology=topology,
                       clients=clients, server=server, switches=[switch],
-                      tracer=tracer, obs=obs)
+                      tracer=tracer, obs=obs, spec=spec)
 
 
-def build_pmnet_switch(config: SystemConfig,
-                       handler: Optional[RequestHandler] = None,
-                       replication: int = 1,
-                       enable_cache: bool = False,
-                       transport: str = UDP,
-                       tracer: Optional[Tracer] = None,
-                       obs: Optional[Observability] = None) -> Deployment:
-    """PMNet in the ToR switch position (Sec VI-A1).
-
-    ``replication > 1`` places that many PMNet switches in series
-    (Fig 9a) and makes every client wait for all of their ACKs.
-    """
+def _build_tor_chain(spec: DeploymentSpec, config: SystemConfig,
+                     handler: Optional[RequestHandler],
+                     tracer: Optional[Tracer],
+                     obs: Optional[Observability]) -> Deployment:
+    """PMNet in the ToR switch position (Sec VI-A1); ``chain_length > 1``
+    places that many PMNet switches in series (Fig 9a) and makes every
+    client wait for all of their ACKs."""
     sim = Simulator(seed=config.seed, obs=obs)
     topology = Topology(sim, config.network)
     merge = Switch(sim, "merge", config.network)
     topology.add(merge)
-    chain = build_pmnet_chain(sim, topology, config, replication,
-                              mode="switch", enable_cache=enable_cache,
+    chain = build_pmnet_chain(sim, topology, config, spec.chain_length,
+                              mode="switch", enable_cache=spec.enable_cache,
                               tracer=tracer)
     topology.connect(merge, chain[0])
-    server = _make_server(sim, topology, config, handler, transport, tracer)
+    server = _make_server(sim, topology, config, handler, spec.transport,
+                          tracer)
     topology.connect(chain[-1], server.host)
-    policy = ReplicationPolicy(acks_required=replication)
+    policy = ReplicationPolicy(acks_required=spec.chain_length)
     clients = _make_clients(sim, topology, config, merge, policy,
-                            transport, tracer)
+                            spec.transport, tracer)
     topology.compute_routes()
     return Deployment(sim=sim, config=config, topology=topology,
                       clients=clients, server=server, devices=chain,
-                      switches=[merge], tracer=tracer, obs=obs)
+                      switches=[merge], tracer=tracer, obs=obs, spec=spec)
 
 
-def build_pmnet_nic(config: SystemConfig,
-                    handler: Optional[RequestHandler] = None,
-                    enable_cache: bool = False,
-                    transport: str = UDP,
-                    tracer: Optional[Tracer] = None,
-                    obs: Optional[Observability] = None) -> Deployment:
-    """PMNet as the server's bump-in-the-wire NIC (Sec VI-A1).
-
-    The device sits right next to the host, so its link to the server
-    has near-zero propagation delay.
-    """
+def _build_nic(spec: DeploymentSpec, config: SystemConfig,
+               handler: Optional[RequestHandler],
+               tracer: Optional[Tracer],
+               obs: Optional[Observability]) -> Deployment:
+    """PMNet as the server's bump-in-the-wire NIC (Sec VI-A1): the
+    device sits right next to the host, so its link to the server has
+    near-zero propagation delay."""
     sim = Simulator(seed=config.seed, obs=obs)
-    # The NIC-to-host hop is a short board-level wire.
-    short_wire = replace(config.network, propagation_ns=20)
     topology = Topology(sim, config.network)
     tor = Switch(sim, "tor", config.network)
     topology.add(tor)
     nic = PMNetDevice(sim, "pmnet-nic", config, mode="nic",
-                      enable_cache=enable_cache, tracer=tracer)
+                      enable_cache=spec.enable_cache, tracer=tracer)
     topology.add(nic)
     topology.connect(tor, nic)
-    server = _make_server(sim, topology, config, handler, transport, tracer)
-    # Swap in the short-wire profile for the NIC-host link only.
-    saved = topology.profile
-    topology.profile = short_wire
-    topology.connect(nic, server.host)
-    topology.profile = saved
+    server = _make_server(sim, topology, config, handler, spec.transport,
+                          tracer)
+    # The NIC-to-host hop is a short board-level wire.
+    short_wire = replace(config.network, propagation_ns=spec.nic_wire_ns)
+    topology.connect(nic, server.host, profile=short_wire)
     clients = _make_clients(sim, topology, config, tor,
                             ReplicationPolicy(acks_required=1),
-                            transport, tracer)
+                            spec.transport, tracer)
     topology.compute_routes()
     return Deployment(sim=sim, config=config, topology=topology,
                       clients=clients, server=server, devices=[nic],
-                      switches=[tor], tracer=tracer, obs=obs)
+                      switches=[tor], tracer=tracer, obs=obs, spec=spec)
 
 
-def build_sharded(config: SystemConfig, num_servers: int,
-                  handler_factory=None,
-                  transport: str = UDP,
-                  tracer: Optional[Tracer] = None,
-                  obs: Optional[Observability] = None) -> Deployment:
+def _build_single_rack_sharded(spec: DeploymentSpec, config: SystemConfig,
+                               handler_factory,
+                               handler: Optional[RequestHandler],
+                               tracer: Optional[Tracer],
+                               obs: Optional[Observability]) -> Deployment:
     """A sharded store: N servers behind one PMNet ToR switch.
 
     Each client is a :class:`~repro.host.sharded.ShardedClient` with one
@@ -200,8 +369,9 @@ def build_sharded(config: SystemConfig, num_servers: int,
     """
     from repro.host.sharded import ShardedClient
 
-    if num_servers <= 0:
-        raise ValueError("need at least one shard server")
+    if handler is not None:
+        raise ValueError("sharded shapes need a handler_factory, each "
+                         "server gets its own handler instance")
     sim = Simulator(seed=config.seed, obs=obs)
     topology = Topology(sim, config.network)
     merge = Switch(sim, "merge", config.network)
@@ -211,22 +381,22 @@ def build_sharded(config: SystemConfig, num_servers: int,
     topology.add(device)
     topology.connect(merge, device)
     servers: List[PMNetServer] = []
-    for index in range(num_servers):
+    for index in range(spec.servers_per_rack):
         name = f"server{index}" if index else "server"
-        stack = HostStack(sim, name, config.server_stack, transport)
+        stack = HostStack(sim, name, config.server_stack, spec.transport)
         host = HostNode(sim, name, stack)
         topology.add(host)
         topology.connect(device, host)
-        handler = (handler_factory() if handler_factory is not None
-                   else IdealHandler(config.server.ideal_handler_ns))
-        servers.append(PMNetServer(sim, host, handler, config,
+        shard_handler = (handler_factory() if handler_factory is not None
+                         else IdealHandler(config.server.ideal_handler_ns))
+        servers.append(PMNetServer(sim, host, shard_handler, config,
                                    tracer=tracer))
     allocator = SessionAllocator()
     clients = []
     server_names = [server.host.name for server in servers]
     for index in range(config.num_clients):
         name = f"client{index}"
-        stack = HostStack(sim, name, config.client_stack, transport)
+        stack = HostStack(sim, name, config.client_stack, spec.transport)
         host = HostNode(sim, name, stack)
         topology.add(host)
         topology.connect(host, merge)
@@ -236,4 +406,65 @@ def build_sharded(config: SystemConfig, num_servers: int,
     return Deployment(sim=sim, config=config, topology=topology,
                       clients=clients, server=servers[0],
                       devices=[device], switches=[merge], tracer=tracer,
-                      obs=obs, extra_servers=servers[1:])
+                      obs=obs, extra_servers=servers[1:], spec=spec)
+
+
+# ----------------------------------------------------------------------
+# Deprecated builder shims (byte-identical to their spec equivalents)
+# ----------------------------------------------------------------------
+def _warn_legacy(name: str, spec: DeploymentSpec) -> None:
+    warnings.warn(
+        f"{name}() is deprecated: call build(DeploymentSpec("
+        f"placement={spec.placement!r}, ...), config) instead",
+        DeprecationWarning, stacklevel=3)
+
+
+def build_client_server(config: SystemConfig,
+                        handler: Optional[RequestHandler] = None,
+                        transport: str = UDP,
+                        tracer: Optional[Tracer] = None,
+                        obs: Optional[Observability] = None) -> Deployment:
+    """Deprecated shim for the baseline spec (placement ``"none"``)."""
+    spec = DeploymentSpec(placement="none", transport=transport)
+    _warn_legacy("build_client_server", spec)
+    return build(spec, config, handler=handler, tracer=tracer, obs=obs)
+
+
+def build_pmnet_switch(config: SystemConfig,
+                       handler: Optional[RequestHandler] = None,
+                       replication: int = 1,
+                       enable_cache: bool = False,
+                       transport: str = UDP,
+                       tracer: Optional[Tracer] = None,
+                       obs: Optional[Observability] = None) -> Deployment:
+    """Deprecated shim for the ToR spec (placement ``"switch"``)."""
+    spec = DeploymentSpec(placement="switch", chain_length=replication,
+                          enable_cache=enable_cache, transport=transport)
+    _warn_legacy("build_pmnet_switch", spec)
+    return build(spec, config, handler=handler, tracer=tracer, obs=obs)
+
+
+def build_pmnet_nic(config: SystemConfig,
+                    handler: Optional[RequestHandler] = None,
+                    enable_cache: bool = False,
+                    transport: str = UDP,
+                    tracer: Optional[Tracer] = None,
+                    obs: Optional[Observability] = None) -> Deployment:
+    """Deprecated shim for the NIC spec (placement ``"nic"``)."""
+    spec = DeploymentSpec(placement="nic", enable_cache=enable_cache,
+                          transport=transport)
+    _warn_legacy("build_pmnet_nic", spec)
+    return build(spec, config, handler=handler, tracer=tracer, obs=obs)
+
+
+def build_sharded(config: SystemConfig, num_servers: int,
+                  handler_factory=None,
+                  transport: str = UDP,
+                  tracer: Optional[Tracer] = None,
+                  obs: Optional[Observability] = None) -> Deployment:
+    """Deprecated shim for the single-ToR sharded spec."""
+    spec = DeploymentSpec(placement="switch", servers_per_rack=num_servers,
+                          transport=transport)
+    _warn_legacy("build_sharded", spec)
+    return build(spec, config, handler_factory=handler_factory,
+                 tracer=tracer, obs=obs)

@@ -44,7 +44,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.config import SystemConfig
 from repro.experiments.common import Scale
-from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.failure.chaos import generate_plan, run_plan
 from repro.net.packet import reset_frame_ids
 from repro.protocol.packet import reset_request_ids
@@ -110,7 +110,7 @@ def _loadgen_leg(backend: str, seed: int) -> Dict[str, object]:
         scale = Scale.exact(True)
         config = SystemConfig(seed=seed).with_clients(
             scale.clients).with_payload(LOADGEN_POINT.payload_bytes)
-        deployment = build_pmnet_switch(config)
+        deployment = build(DeploymentSpec(placement="switch"), config)
     sim = deployment.sim
     if sim.kernel != backend:
         raise BackendDivergence(

@@ -24,7 +24,7 @@ from repro.analysis.persistcheck import PersistenceChecker
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
 from repro.experiments.common import Scale
-from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.failure.injector import FailureInjector
 from repro.net.link import Impairments
@@ -80,7 +80,8 @@ def _run_scenario(name: str, quick: bool,
     requests = 40 if quick else 150
     tracer = Tracer(enabled=True)
     handler = StructureHandler(PMHashmap())
-    deployment = build_pmnet_switch(config, handler=handler, tracer=tracer)
+    deployment = build(DeploymentSpec(placement="switch"), config,
+                       handler=handler, tracer=tracer)
     for link in deployment.topology.links:
         if impair_client_side and link.forward.name == "merge->pmnet1":
             link.forward.impairments = impair_client_side

@@ -16,11 +16,7 @@ from typing import Dict, List, Sequence
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
 from repro.experiments.common import Scale
-from repro.experiments.deploy import (
-    build_client_server,
-    build_pmnet_nic,
-    build_pmnet_switch,
-)
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.driver import run_closed_loop
 from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.workloads.kv import OpKind, Operation
@@ -28,9 +24,9 @@ from repro.workloads.kv import OpKind, Operation
 PAYLOAD_SIZES = (50, 100, 250, 500, 1000)
 
 DESIGNS = {
-    "client-server": build_client_server,
-    "pmnet-switch": build_pmnet_switch,
-    "pmnet-nic": build_pmnet_nic,
+    "client-server": DeploymentSpec(placement="none"),
+    "pmnet-switch": DeploymentSpec(placement="switch"),
+    "pmnet-nic": DeploymentSpec(placement="nic"),
 }
 
 
@@ -89,7 +85,7 @@ def run_point(spec: JobSpec) -> float:
     def op_maker(ci: int, ri: int, rng, _size=payload):
         return (Operation(OpKind.SET, key=ri, value=b"x"), _size)
 
-    deployment = DESIGNS[spec.params["design"]](payload_cfg)
+    deployment = build(DESIGNS[spec.params["design"]], payload_cfg)
     stats = run_closed_loop(deployment, op_maker,
                             requests_per_client=requests,
                             warmup_requests=scale.warmup)

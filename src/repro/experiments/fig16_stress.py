@@ -14,7 +14,7 @@ from typing import Dict, List, Sequence, Tuple
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
 from repro.experiments.common import Scale
-from repro.experiments.deploy import build_client_server, build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.driver import run_closed_loop
 from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.workloads.kv import OpKind, Operation
@@ -23,8 +23,8 @@ PAYLOAD = 1000
 CLIENT_COUNTS = (1, 2, 4, 8, 16, 32, 48, 64)
 
 DESIGNS = {
-    "client-server": build_client_server,
-    "pmnet-switch": build_pmnet_switch,
+    "client-server": DeploymentSpec(placement="none"),
+    "pmnet-switch": DeploymentSpec(placement="switch"),
 }
 
 
@@ -76,8 +76,8 @@ def run_point(spec: JobSpec) -> Tuple[float, float]:
 
     wire_bits = 8 * (PAYLOAD + cfg.network.header_overhead_bytes
                      + 11)  # PMNet header rides in the payload
-    builder = DESIGNS[spec.params["design"]]
-    deployment = builder(cfg.with_clients(spec.params["clients"]))
+    deployment = build(DESIGNS[spec.params["design"]],
+                       cfg.with_clients(spec.params["clients"]))
     stats = run_closed_loop(deployment, op_maker,
                             requests_per_client=requests,
                             warmup_requests=5)

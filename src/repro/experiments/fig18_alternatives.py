@@ -24,7 +24,7 @@ from repro.analysis.report import format_table
 from repro.baselines.deploy import build_client_logging, build_server_logging
 from repro.config import SystemConfig
 from repro.experiments.common import Scale
-from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.driver import run_closed_loop
 from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.workloads.kv import OpKind, Operation
@@ -57,9 +57,14 @@ class Fig18Result:
 POINTS = (("client-log", 1), ("client-log", 3), ("pmnet", 1), ("pmnet", 3),
           ("server-log", 1), ("server-log", 3))
 
+def _build_pmnet(config, replication=1):
+    return build(DeploymentSpec(placement="switch",
+                                chain_length=replication), config)
+
+
 _BUILDERS = {
     "client-log": build_client_logging,
-    "pmnet": build_pmnet_switch,
+    "pmnet": _build_pmnet,
     "server-log": build_server_logging,
 }
 

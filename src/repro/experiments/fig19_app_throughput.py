@@ -17,7 +17,7 @@ from repro.analysis.report import format_table
 from repro.analysis.stats import geometric_mean
 from repro.config import SystemConfig
 from repro.experiments.common import Scale
-from repro.experiments.deploy import build_client_server, build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.driver import run_closed_loop, run_sessions
 from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.host.stackmodel import TCP, UDP
@@ -138,12 +138,12 @@ def run_point(spec: JobSpec) -> float:
     workload = WORKLOADS[spec.params["workload"]]
     ratio = spec.params["ratio"]
     if spec.params["design"] == "client-server":
-        deployment = build_client_server(
-            cfg.with_clients(scale.clients), handler=workload["handler"](),
-            transport=workload["baseline_transport"])
+        spec_deploy = DeploymentSpec(
+            placement="none", transport=workload["baseline_transport"])
     else:
-        deployment = build_pmnet_switch(
-            cfg.with_clients(scale.clients), handler=workload["handler"]())
+        spec_deploy = DeploymentSpec(placement="switch")
+    deployment = build(spec_deploy, cfg.with_clients(scale.clients),
+                       handler=workload["handler"]())
     stats = _drive(deployment, workload, scale, ratio, cfg.payload_bytes)
     return stats.ops_per_second()
 

@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.report import format_cdf
 from repro.config import SystemConfig
 from repro.experiments.common import Scale
-from repro.experiments.deploy import build_client_server, build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.driver import RunStats, run_closed_loop
 from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.workloads.handlers import StructureHandler
@@ -109,14 +109,12 @@ def run_point(spec: JobSpec) -> Tuple[RunStats, Optional[float]]:
         update_ratio=spec.params["ratio"], population=POPULATION,
         zipf_theta=ZIPF_THETA, payload_bytes=cfg.payload_bytes))
     if system == "client-server":
-        deployment = build_client_server(
-            cfg.with_clients(scale.clients),
-            handler=StructureHandler(PMHashmap()))
+        spec_deploy = DeploymentSpec(placement="none")
     else:
-        deployment = build_pmnet_switch(
-            cfg.with_clients(scale.clients),
-            handler=StructureHandler(PMHashmap()),
-            enable_cache=(system == "pmnet+cache"))
+        spec_deploy = DeploymentSpec(placement="switch",
+                                     enable_cache=(system == "pmnet+cache"))
+    deployment = build(spec_deploy, cfg.with_clients(scale.clients),
+                       handler=StructureHandler(PMHashmap()))
     stats = run_closed_loop(deployment, op_maker,
                             scale.requests_per_client, scale.warmup)
     hit_rate = (deployment.devices[0].cache.hit_rate()

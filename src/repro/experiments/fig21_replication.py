@@ -19,7 +19,7 @@ from repro.analysis.stats import geometric_mean
 from repro.baselines.deploy import build_server_replication
 from repro.config import SystemConfig
 from repro.experiments.common import Scale
-from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.driver import run_closed_loop
 from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.host.handler import IdealHandler
@@ -97,10 +97,11 @@ def run_point(spec: JobSpec) -> float:
     sized = cfg.with_clients(scale.clients)
     design = spec.params["design"]
     if design == "pmnet-1x":
-        deployment = build_pmnet_switch(sized, handler=make_handler(cfg))
+        deployment = build(DeploymentSpec(placement="switch"), sized,
+                           handler=make_handler(cfg))
     elif design == "pmnet-3x":
-        deployment = build_pmnet_switch(sized, handler=make_handler(cfg),
-                                        replication=3)
+        deployment = build(DeploymentSpec(placement="switch", chain_length=3),
+                           sized, handler=make_handler(cfg))
     else:
         deployment = build_server_replication(
             sized, handler=make_handler(cfg), replicas=3)

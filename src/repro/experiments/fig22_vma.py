@@ -15,7 +15,7 @@ from typing import Dict, List, Sequence
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
 from repro.experiments.common import Scale
-from repro.experiments.deploy import build_client_server, build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.driver import run_closed_loop
 from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.workloads.kv import OpKind, Operation
@@ -64,9 +64,9 @@ def run_point(spec: JobSpec) -> float:
     design = spec.params["design"]
     if design.endswith("+vma"):
         cfg = cfg.with_vma()
-    builder = (build_pmnet_switch if design.startswith("pmnet")
-               else build_client_server)
-    deployment = builder(cfg.with_clients(scale.clients))
+    placement = "switch" if design.startswith("pmnet") else "none"
+    deployment = build(DeploymentSpec(placement=placement),
+                       cfg.with_clients(scale.clients))
 
     def op_maker(ci: int, ri: int, rng):
         return (Operation(OpKind.SET, key=(ci, ri), value=b"x"),

@@ -21,8 +21,8 @@ from repro.config import SystemConfig
 from repro.errors import ExperimentError
 from repro.experiments.deploy import (
     Deployment,
-    build_client_server,
-    build_pmnet_switch,
+    DeploymentSpec,
+    build,
 )
 from repro.experiments.driver import RunStats, run_closed_loop
 from repro.obs import spans as span_stages
@@ -87,10 +87,8 @@ def run_instrumented(scenario_id: str, trace: bool = False,
     if seed is not None:
         config = replace(config, seed=seed)
     obs = Observability(spans=True, trace=trace)
-    if scenario.system == "baseline":
-        deployment = build_client_server(config, obs=obs)
-    else:
-        deployment = build_pmnet_switch(config, obs=obs)
+    placement = "none" if scenario.system == "baseline" else "switch"
+    deployment = build(DeploymentSpec(placement=placement), config, obs=obs)
 
     def op_maker(client_index: int, request_index: int, _rng):
         return (Operation(OpKind.SET, key=f"k{client_index}-{request_index}",

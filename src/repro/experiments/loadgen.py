@@ -16,7 +16,7 @@ from typing import Dict, List, Sequence
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
 from repro.experiments.common import Scale
-from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.workloads.loadgen import LoadGenConfig, run_loadgen
 
@@ -79,7 +79,8 @@ def run_point(spec: JobSpec) -> Dict[str, object]:
     cfg = spec.resolved_config()
     scale = Scale.exact(spec.quick)
     loadgen = LoadGenConfig.from_params(spec.params["loadgen"])
-    deployment = build_pmnet_switch(
+    deployment = build(
+        DeploymentSpec(placement="switch"),
         cfg.with_clients(scale.clients).with_payload(loadgen.payload_bytes))
     result = run_loadgen(deployment, loadgen)
     return {

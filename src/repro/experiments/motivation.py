@@ -24,7 +24,7 @@ from repro.analysis.report import format_table
 from repro.config import SystemConfig
 from repro.core.replication import NO_PMNET
 from repro.experiments.common import Scale
-from repro.experiments.deploy import build_client_server, build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.driver import run_closed_loop
 from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.host.async_client import AsyncPMNetClient
@@ -73,8 +73,8 @@ def _op_maker(payload: int):
 
 def _run_async_baseline(config: SystemConfig, requests: int,
                         window: int) -> tuple:
-    deployment = build_client_server(
-        config, handler=StructureHandler(PMHashmap()))
+    deployment = build(DeploymentSpec(placement="none"), config,
+                       handler=StructureHandler(PMHashmap()))
     sim = deployment.sim
     # Swap each client for the windowed variant (same host/session
     # machinery; the endpoint rebinds).
@@ -131,10 +131,10 @@ def run_point(spec: JobSpec) -> tuple:
     design = spec.params["design"]
     if design == "async/baseline":
         return _run_async_baseline(cfg, requests, spec.params["window"])
-    builder = (build_pmnet_switch if design == "sync/pmnet"
-               else build_client_server)
+    placement = "switch" if design == "sync/pmnet" else "none"
     stats = run_closed_loop(
-        builder(cfg, handler=StructureHandler(PMHashmap())),
+        build(DeploymentSpec(placement=placement), cfg,
+              handler=StructureHandler(PMHashmap())),
         _op_maker(cfg.payload_bytes), requests, 10)
     return (stats.ops_per_second(),
             stats.update_latencies.mean() / 1000.0)

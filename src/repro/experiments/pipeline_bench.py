@@ -25,7 +25,7 @@ import time
 from typing import Dict, Optional
 
 from repro.config import SystemConfig
-from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.driver import run_closed_loop
 from repro.sim.profiler import EventProfiler
 from repro.workloads.kv import OpKind, Operation
@@ -64,7 +64,8 @@ def _run_mode(fold: str, clients: int, requests_per_client: int,
         config = SystemConfig(seed=seed).with_clients(clients).with_payload(
             PAYLOAD)
         obs = Observability(spans=True) if spans else None
-        deployment = build_pmnet_switch(config, obs=obs)
+        deployment = build(DeploymentSpec(placement="switch"), config,
+                           obs=obs)
     finally:
         if previous is None:
             os.environ.pop("PMNET_FOLD", None)
@@ -126,7 +127,7 @@ def _run_loadgen_floor(seed: int) -> Dict[str, object]:
         os.environ.pop("PMNET_NO_FOLD", None)
         os.environ["PMNET_FOLD"] = "whole"
         config = SystemConfig(seed=seed).with_payload(PAYLOAD)
-        deployment = build_pmnet_switch(config)
+        deployment = build(DeploymentSpec(placement="switch"), config)
     finally:
         if previous is None:
             os.environ.pop("PMNET_FOLD", None)

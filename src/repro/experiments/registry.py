@@ -40,6 +40,7 @@ from repro.experiments import (
     loadgen,
     motivation,
     multirack,
+    scaleout,
     sec6b6_recovery,
     sec7_scaling,
 )
@@ -154,6 +155,10 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "multirack": _entry("multirack",
                         "Two-rack placement / cross-rack replication",
                         multirack),
+    "scaleout": _entry("scaleout",
+                       "Fabric tail latency vs shards/chain/hop cost "
+                       "(10^4+ loadgen users)",
+                       scaleout),
     "bdp": Experiment("bdp", "BDP sizing equations", _bdp, _bdp_jobs,
                       _bdp_run_point, _bdp_assemble),
     "ablations": Experiment("ablations", "Design-choice ablations",

@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
 from repro.experiments.common import Scale
-from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.failure.injector import FailureInjector
 from repro.sim.clock import microseconds, milliseconds, to_seconds
@@ -86,7 +86,8 @@ def run_point(spec: JobSpec) -> RecoveryResult:
     if spec.quick:
         requests_per_client = min(requests_per_client, 80)
     handler = StructureHandler(PMHashmap())
-    deployment = build_pmnet_switch(cfg, handler=handler)
+    deployment = build(DeploymentSpec(placement="switch"), cfg,
+                       handler=handler)
     sim = deployment.sim
     injector = FailureInjector(sim)
     acknowledged = {}

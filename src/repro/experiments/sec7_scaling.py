@@ -19,7 +19,7 @@ from repro.analysis.bdp import pm_queue_bdp
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
 from repro.experiments.common import Scale
-from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.driver import run_closed_loop
 from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.workloads.kv import OpKind, Operation
@@ -99,7 +99,7 @@ def run_point(spec: JobSpec) -> Tuple[int, float, float, int]:
             * pm_scale),
         log=replace(cfg.log, write_queue_bytes=queue_bytes,
                     read_queue_bytes=queue_bytes))
-    deployment = build_pmnet_switch(sized)
+    deployment = build(DeploymentSpec(placement="switch"), sized)
     stats = run_closed_loop(deployment, op_maker, requests, 6)
     achieved = stats.ops_per_second() * wire_bits / 1e9
     device = deployment.devices[0]

@@ -15,6 +15,14 @@ the space around them: from one integer seed it derives
   :class:`~repro.net.link.Impairments` windows (loss / duplication /
   reordering on one directed channel).
 
+:func:`generate_fabric_plan` explores the multi-rack spine/leaf fabric
+the same way: every plan is a :class:`DeploymentSpec` (see
+:meth:`ChaosPlan.deployment_spec`), and fabric schedules add
+chain-member device loss mid-write, leaf-spine uplink impairment
+windows, and whole-rack outages.  ``pmnet-repro chaos --fabric`` sweeps
+them; failing fabric seeds land in
+``tests/failure/chaos_fabric_corpus.txt``.
+
 The run is driven to quiescence and validated twice over: the
 PMTest-style :class:`~repro.analysis.persistcheck.PersistenceChecker`
 rules R1-R6 on the trace, and a durability oracle comparing every
@@ -45,7 +53,7 @@ from repro.analysis.persistcheck import PersistenceChecker
 from repro.analysis.report import format_table
 from repro.config import SystemConfig
 from repro.errors import SimulationError
-from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.experiments.jobs import JobResult, JobSpec, execute_serial
 from repro.failure.injector import FailureInjector
 from repro.net.link import Impairments
@@ -60,6 +68,9 @@ SERVER_OUTAGE = "server-outage"
 DEVICE_OUTAGE = "device-outage"
 DEVICE_REPLACE = "device-replace"
 IMPAIRMENT = "impairment"
+#: Fabric-only fault kinds (multi-rack plans).
+RACK_OUTAGE = "rack-outage"
+SPINE_IMPAIRMENT = "spine-impairment"
 
 #: Default sweep sizes for the registry entry / ``pmnet-repro run chaos``.
 QUICK_SWEEP_SEEDS = 12
@@ -93,8 +104,14 @@ class Fault:
             return (f"{self.kind} {window} channel#{self.target} "
                     f"loss={self.loss} dup={self.duplicate} "
                     f"reorder={self.reorder}")
+        if self.kind == SPINE_IMPAIRMENT:
+            return (f"{self.kind} {window} uplink#{self.target} "
+                    f"loss={self.loss} dup={self.duplicate} "
+                    f"reorder={self.reorder}")
         if self.kind == SERVER_OUTAGE:
-            return f"{self.kind} {window}"
+            return f"{self.kind} {window} server#{self.target}"
+        if self.kind == RACK_OUTAGE:
+            return f"{self.kind} {window} rack#{self.target}"
         return f"{self.kind} {window} device#{self.target}"
 
 
@@ -113,16 +130,42 @@ class ChaosPlan:
     payload_bytes: int
     population: int
     faults: Tuple[Fault, ...]
+    #: Fabric shape (defaults describe the legacy one-ToR deployments).
+    racks: int = 1
+    spines: int = 1
+    devices_per_rack: int = 1
+    servers_per_rack: int = 1
+    spine_propagation_ns: Optional[int] = None
+
+    def deployment_spec(self) -> DeploymentSpec:
+        """The declarative deployment this plan stands up."""
+        return DeploymentSpec(
+            racks=self.racks, spines=self.spines, placement="switch",
+            chain_length=self.replication,
+            devices_per_rack=self.devices_per_rack,
+            servers_per_rack=self.servers_per_rack,
+            enable_cache=self.enable_cache,
+            spine_propagation_ns=self.spine_propagation_ns)
+
+    @property
+    def is_fabric(self) -> bool:
+        return self.racks > 1
 
     def describe(self) -> str:
+        shape = (f"{self.racks}x{self.devices_per_rack} PMNet(s) over "
+                 f"{self.spines} spine(s), "
+                 f"{self.servers_per_rack} shard(s)/rack"
+                 if self.is_fabric else f"{self.replication} PMNet(s)")
         lines = [
             f"chaos seed {self.seed}: {self.clients} client(s), "
-            f"{self.replication} PMNet(s), "
+            f"{shape}, "
             f"cache {'on' if self.enable_cache else 'off'}, "
             f"{self.structure}, "
             f"{self.requests_per_client} req/client, "
             f"update={self.update_ratio} zipf={self.zipf_theta} "
             f"payload={self.payload_bytes}B keys={self.population}"]
+        if self.is_fabric:
+            lines[0] += f" chain={self.replication}"
         if not self.faults:
             lines.append("  (no faults)")
         for index, fault in enumerate(self.faults):
@@ -191,6 +234,84 @@ def generate_plan(seed: int) -> ChaosPlan:
                      population=population, faults=tuple(faults))
 
 
+def generate_fabric_plan(seed: int) -> ChaosPlan:
+    """Derive a multi-rack fabric deployment + fault schedule from a seed.
+
+    A separate generator (its own RNG namespace) so every legacy
+    ``generate_plan`` seed — including the shipped corpus — stays
+    byte-identical.  Fabric plans add the cross-rack failure modes: a
+    chain-member device lost mid-write (the in-flight update must still
+    complete and stay durable), an impairment window on one leaf-spine
+    uplink (chain hops cross it), and a whole-rack outage (every device
+    and shard server in the rack, recovered together).  The same
+    invariants hold: windows never overlap, the blank-replacement
+    budget leaves one durable chain copy (Sec IV-E2).
+    """
+    rng = random.Random(f"chaos-fabric/{seed}")
+    racks = rng.randint(2, 3)
+    spines = rng.randint(1, 2)
+    devices_per_rack = rng.randint(1, 2)
+    servers_per_rack = rng.randint(1, 2)
+    total_devices = racks * devices_per_rack
+    chain_length = rng.randint(2, min(3, total_devices))
+    enable_cache = rng.random() < 0.5
+    clients = rng.randint(1, 2)  # per rack
+    requests_per_client = rng.randint(6, 14)
+    structure = rng.choice(sorted(PMDK_STRUCTURES))
+    update_ratio = rng.choice([0.5, 0.9, 1.0])
+    zipf_theta = rng.choice([0.0, 0.9])
+    payload_bytes = rng.choice([64, 100, 256])
+    population = rng.choice([16, 256])
+    spine_propagation_ns = rng.choice([None, 2_000, 10_000])
+
+    faults: List[Fault] = []
+    cursor = 60_000
+    server_outages = 0
+    rack_outages = 0
+    replacements = 0
+    for _ in range(rng.randint(1, 4)):
+        kind = rng.choice([SERVER_OUTAGE, DEVICE_OUTAGE, DEVICE_REPLACE,
+                           IMPAIRMENT, RACK_OUTAGE, SPINE_IMPAIRMENT])
+        if kind == SERVER_OUTAGE and server_outages:
+            kind = DEVICE_OUTAGE
+        if kind == RACK_OUTAGE and (rack_outages or server_outages):
+            kind = SPINE_IMPAIRMENT
+        if kind == DEVICE_REPLACE and replacements >= chain_length - 1:
+            kind = DEVICE_OUTAGE
+        start = cursor + rng.randrange(20_000, 150_000)
+        if kind in (IMPAIRMENT, SPINE_IMPAIRMENT):
+            fault = Fault(kind, start, rng.randrange(50_000, 250_000),
+                          target=rng.randrange(1024),
+                          loss=round(rng.uniform(0.05, 0.3), 3),
+                          duplicate=round(rng.uniform(0.0, 0.3), 3),
+                          reorder=round(rng.uniform(0.0, 0.3), 3))
+        elif kind == SERVER_OUTAGE:
+            server_outages += 1
+            fault = Fault(kind, start, rng.randrange(100_000, 400_000),
+                          target=rng.randrange(racks * servers_per_rack))
+        elif kind == RACK_OUTAGE:
+            rack_outages += 1
+            fault = Fault(kind, start, rng.randrange(150_000, 400_000),
+                          target=rng.randrange(racks))
+        else:
+            if kind == DEVICE_REPLACE:
+                replacements += 1
+            fault = Fault(kind, start, rng.randrange(50_000, 250_000),
+                          target=rng.randrange(total_devices))
+        faults.append(fault)
+        cursor = fault.end_ns
+    return ChaosPlan(seed=seed, replication=chain_length,
+                     enable_cache=enable_cache, clients=clients,
+                     requests_per_client=requests_per_client,
+                     structure=structure, update_ratio=update_ratio,
+                     zipf_theta=zipf_theta, payload_bytes=payload_bytes,
+                     population=population, faults=tuple(faults),
+                     racks=racks, spines=spines,
+                     devices_per_rack=devices_per_rack,
+                     servers_per_rack=servers_per_rack,
+                     spine_propagation_ns=spine_propagation_ns)
+
+
 @dataclass(frozen=True)
 class ChaosRunResult:
     """One executed (sub)schedule and its verdict."""
@@ -255,9 +376,49 @@ def _set_impairments(channel, impairments: Impairments) -> None:
 def _schedule_fault(sim, injector: FailureInjector, deployment,
                     channels, fault: Fault) -> None:
     if fault.kind == SERVER_OUTAGE:
-        record = injector.crash_server_at(deployment.server, fault.at_ns)
-        injector.recover_server_at(deployment.server, fault.end_ns,
-                                   deployment.pmnet_names, record)
+        servers = deployment.servers
+        server = servers[fault.target % len(servers)]
+        record = injector.crash_server_at(server, fault.at_ns)
+        injector.recover_server_at(
+            server, fault.end_ns,
+            deployment.recovery_devices(server.host.name), record)
+    elif fault.kind == RACK_OUTAGE:
+        fabric = deployment.fabric
+        if fabric is None:
+            raise SimulationError("rack-outage needs a fabric deployment")
+        rack = fabric.racks[fault.target % len(fabric.racks)]
+        devices_by_name = {device.name: device
+                           for device in deployment.devices}
+        for name in rack.devices:
+            record = injector.crash_device_at(devices_by_name[name],
+                                              fault.at_ns)
+            injector.recover_device_at(devices_by_name[name], fault.end_ns,
+                                       record)
+        servers_by_name = {server.host.name: server
+                           for server in deployment.servers}
+        for name in rack.servers:
+            server = servers_by_name[name]
+            record = injector.crash_server_at(server, fault.at_ns)
+            # The rack's devices come back at end_ns; stagger the shard
+            # recoveries past that so they never poll a dead tail.
+            injector.recover_server_at(
+                server, fault.end_ns + 20_000,
+                deployment.recovery_devices(name), record)
+    elif fault.kind == SPINE_IMPAIRMENT:
+        fabric = deployment.fabric
+        if fabric is None:
+            raise SimulationError("spine-impairment needs a fabric "
+                                  "deployment")
+        uplinks = fabric.spine_links
+        _rack, _spine, link = uplinks[fault.target % len(uplinks)]
+        impaired = Impairments(loss_probability=fault.loss,
+                               duplicate_probability=fault.duplicate,
+                               reorder_probability=fault.reorder)
+        for channel in (link.forward, link.backward):
+            sim.schedule_at(fault.at_ns, _set_impairments, channel,
+                            impaired)
+            sim.schedule_at(fault.end_ns, _set_impairments, channel,
+                            Impairments())
     elif fault.kind == DEVICE_OUTAGE:
         device = deployment.devices[fault.target % len(deployment.devices)]
         record = injector.crash_device_at(device, fault.at_ns)
@@ -330,11 +491,20 @@ def run_plan(plan: ChaosPlan,
 
     obs = Observability(spans=True, trace=True)
     config = SystemConfig(seed=plan.seed).with_clients(plan.clients)
-    handler = StructureHandler(PMDK_STRUCTURES[plan.structure]())
-    deployment = build_pmnet_switch(config, handler=handler,
-                                    replication=plan.replication,
-                                    enable_cache=plan.enable_cache,
-                                    obs=obs)
+    spec = plan.deployment_spec()
+    handlers: List[StructureHandler] = []
+
+    def handler_factory() -> StructureHandler:
+        handler = StructureHandler(PMDK_STRUCTURES[plan.structure]())
+        handlers.append(handler)
+        return handler
+
+    if spec.racks > 1 or spec.servers_per_rack > 1:
+        deployment = build(spec, config, handler_factory=handler_factory,
+                           obs=obs)
+    else:
+        deployment = build(spec, config, handler=handler_factory(),
+                           obs=obs)
     sim = deployment.sim
     injector = FailureInjector(sim)
     generator = YCSBGenerator(YCSBConfig(update_ratio=plan.update_ratio,
@@ -377,7 +547,11 @@ def run_plan(plan: ChaosPlan,
         for i in stalled]
     checker = PersistenceChecker(obs.tracer, expect_quiesced=not stalled)
     violations.extend(str(violation) for violation in checker.check())
-    server_state = dict(handler.structure.items())
+    # Shards own disjoint key ranges, so the recovered state is the
+    # union of every shard store.
+    server_state = {}
+    for handler in handlers:
+        server_state.update(handler.structure.items())
     violations.extend(_durability_oracle(acked, attempted, server_state))
 
     digest = hashlib.sha256(
@@ -447,7 +621,8 @@ def repro_line(result: ChaosRunResult) -> str:
         selector = "none"
     else:
         selector = ",".join(str(i) for i in result.fault_indices)
-    return (f"pmnet-repro chaos --seed {result.plan.seed} "
+    fabric = " --fabric" if result.plan.is_fabric else ""
+    return (f"pmnet-repro chaos --seed {result.plan.seed}{fabric} "
             f"--faults {selector}")
 
 
@@ -503,18 +678,24 @@ def append_to_corpus(path: str, seed: int, note: str = "") -> bool:
 # Job protocol (registry entry "chaos"): sweep seeds like sweep points
 # ----------------------------------------------------------------------
 def jobs(config: Optional[SystemConfig] = None, quick: bool = True,
-         start_seed: int = 0, runs: Optional[int] = None) -> List[JobSpec]:
+         start_seed: int = 0, runs: Optional[int] = None,
+         fabric: bool = False) -> List[JobSpec]:
     count = runs if runs is not None else (
         QUICK_SWEEP_SEEDS if quick else FULL_SWEEP_SEEDS)
-    return [JobSpec(experiment="chaos", point=f"seed={seed}",
-                    params={"seed": seed}, seed=seed, quick=quick,
+    prefix = "fabric-seed" if fabric else "seed"
+    params = {"fabric": True} if fabric else {}
+    return [JobSpec(experiment="chaos", point=f"{prefix}={seed}",
+                    params={"seed": seed, **params}, seed=seed, quick=quick,
                     config=config)
             for seed in range(start_seed, start_seed + count)]
 
 
 def run_point(spec: JobSpec) -> dict:
     """Execute one seed in any process; returns the JSON-safe summary."""
-    return run_plan(generate_plan(int(spec.params["seed"]))).to_dict()
+    seed = int(spec.params["seed"])
+    plan = (generate_fabric_plan(seed) if spec.params.get("fabric")
+            else generate_plan(seed))
+    return run_plan(plan).to_dict()
 
 
 def assemble(results: Sequence[JobResult]) -> str:

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.config import SystemConfig
-from repro.experiments.deploy import build_pmnet_switch
+from repro.experiments.deploy import DeploymentSpec, build
 from repro.failure.injector import FailureInjector
 from repro.sim.clock import microseconds, milliseconds
 from repro.workloads.handlers import StructureHandler
@@ -59,7 +59,8 @@ def intermittent_server_failure(config: Optional[SystemConfig] = None,
     """
     cfg = _small_config(config, clients)
     handler = StructureHandler(PMHashmap())
-    deployment = build_pmnet_switch(cfg, handler=handler)
+    deployment = build(DeploymentSpec(placement="switch"), cfg,
+                       handler=handler)
     sim = deployment.sim
     injector = FailureInjector(sim)
     outcome = ScenarioOutcome("intermittent-server-failure")
@@ -104,7 +105,8 @@ def device_failure_before_ack(config: Optional[SystemConfig] = None
     """
     cfg = _small_config(config, 1)
     handler = StructureHandler(PMHashmap())
-    deployment = build_pmnet_switch(cfg, handler=handler)
+    deployment = build(DeploymentSpec(placement="switch"), cfg,
+                       handler=handler)
     sim = deployment.sim
     injector = FailureInjector(sim)
     outcome = ScenarioOutcome("device-failure-before-ack")
@@ -143,7 +145,8 @@ def device_failure_before_receive(config: Optional[SystemConfig] = None
     """
     cfg = _small_config(config, 1)
     handler = StructureHandler(PMHashmap())
-    deployment = build_pmnet_switch(cfg, handler=handler)
+    deployment = build(DeploymentSpec(placement="switch"), cfg,
+                       handler=handler)
     sim = deployment.sim
     injector = FailureInjector(sim)
     outcome = ScenarioOutcome("device-failure-before-receive")
@@ -181,7 +184,8 @@ def client_failure_mid_run(config: Optional[SystemConfig] = None,
     """
     cfg = _small_config(config, 3)
     handler = StructureHandler(PMHashmap())
-    deployment = build_pmnet_switch(cfg, handler=handler)
+    deployment = build(DeploymentSpec(placement="switch"), cfg,
+                       handler=handler)
     sim = deployment.sim
     outcome = ScenarioOutcome("client-failure")
     doomed = deployment.clients[0]
@@ -227,7 +231,8 @@ def permanent_device_failure_with_replication(
     """
     cfg = _small_config(config, 2)
     handler = StructureHandler(PMHashmap())
-    deployment = build_pmnet_switch(cfg, handler=handler, replication=2)
+    deployment = build(DeploymentSpec(placement="switch", chain_length=2),
+                       cfg, handler=handler)
     sim = deployment.sim
     injector = FailureInjector(sim)
     outcome = ScenarioOutcome("permanent-device-failure")

@@ -28,7 +28,7 @@ from repro.obs.registry import register_with_sim
 from repro.protocol.fragment import fragment_request, max_fragment_payload
 from repro.protocol.packet import PMNetPacket, RetransRequest
 from repro.protocol.session import Session, SessionAllocator
-from repro.protocol.types import PacketType
+from repro.protocol.types import PacketType, UPDATE_TYPES
 from repro.sim.event import SimEvent
 from repro.sim.monitor import Counter
 from repro.sim.trace import Tracer
@@ -81,7 +81,9 @@ class PMNetClient:
                  policy: ReplicationPolicy = SINGLE_LOG,
                  max_retries: Optional[int] = None,
                  tracer: Optional[Tracer] = None,
-                 bind: bool = True) -> None:
+                 bind: bool = True,
+                 chain: Tuple[str, ...] = (),
+                 instrument_scope: Optional[str] = None) -> None:
         self.sim = sim
         self.host = host
         self.config = config
@@ -89,6 +91,10 @@ class PMNetClient:
         self.allocator = allocator
         self.policy = policy
         self.max_retries = max_retries
+        #: Replication chain for updates (device names, head first, tail
+        #: last).  When set, updates go out as CHAIN_UPDATEs addressed to
+        #: the head; the tail's PMNET_ACK completes them.
+        self.chain: Tuple[str, ...] = tuple(chain)
         self.tracer = tracer if tracer is not None else sim.tracer
         self._spans = spans.spans_for(sim)
         if bind:
@@ -103,10 +109,13 @@ class PMNetClient:
         self._stale_timer = None
         self._mtu_payload = max_fragment_payload(
             config.network.mtu_bytes, config.network.header_overhead_bytes)
-        self.completed_pmnet = Counter(f"{host.name}.completed_pmnet")
-        self.completed_server = Counter(f"{host.name}.completed_server")
-        self.completed_cache = Counter(f"{host.name}.completed_cache")
-        self.retransmissions = Counter(f"{host.name}.retransmissions")
+        # Sub-clients of a sharded wrapper share one host; the wrapper
+        # scopes their instrument names per shard to keep them unique.
+        scope = instrument_scope if instrument_scope else host.name
+        self.completed_pmnet = Counter(f"{scope}.completed_pmnet")
+        self.completed_server = Counter(f"{scope}.completed_server")
+        self.completed_cache = Counter(f"{scope}.completed_cache")
+        self.retransmissions = Counter(f"{scope}.retransmissions")
         # Client hosts may crash (client_failure_mid_run) but are never
         # *recovered* mid-run, which is all HostNode.fold_outbound's
         # contract requires: Node.fail revokes unstarted reservations,
@@ -147,7 +156,9 @@ class PMNetClient:
     def send_update(self, op: Operation,
                     payload_bytes: Optional[int] = None) -> SimEvent:
         """``PMNet_send_update()``: an update-req that PMNet may log."""
-        return self._send(PacketType.UPDATE_REQ, op, payload_bytes)
+        packet_type = (PacketType.CHAIN_UPDATE if self.chain
+                       else PacketType.UPDATE_REQ)
+        return self._send(packet_type, op, payload_bytes)
 
     def bypass(self, op: Operation,
                payload_bytes: Optional[int] = None) -> SimEvent:
@@ -167,7 +178,10 @@ class PMNetClient:
             else self.config.payload_bytes
         packets = fragment_request(self.session, packet_type, op, size,
                                    self._mtu_payload)
-        is_update = packet_type is PacketType.UPDATE_REQ
+        if packet_type is PacketType.CHAIN_UPDATE:
+            for packet in packets:
+                packet.chain = self.chain
+        is_update = packet_type in UPDATE_TYPES
         state = _PendingRequest(
             packets=packets,
             completion=self.sim.event(f"req{packets[0].request_id}"),
@@ -191,7 +205,14 @@ class PMNetClient:
         return state.completion
 
     def _transmit(self, packet: PMNetPacket) -> None:
-        self.host.send_frame(self.server, packet, packet.wire_bytes,
+        # Chain updates enter at the head device; everything else —
+        # including timeout retransmissions of chain packets, which
+        # re-walk the chain so missing members regain their copies —
+        # goes straight at the server.
+        destination = (packet.chain[0]
+                       if packet.packet_type is PacketType.CHAIN_UPDATE
+                       and packet.chain else self.server)
+        self.host.send_frame(destination, packet, packet.wire_bytes,
                              51000 + packet.session_id % 1000)
 
     # ------------------------------------------------------------------

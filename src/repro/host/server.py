@@ -32,7 +32,7 @@ from repro.protocol.packet import (
     RetransRequest,
     next_request_id,
 )
-from repro.protocol.types import PacketType
+from repro.protocol.types import PacketType, is_update
 from repro.obs import spans
 from repro.obs.registry import register_with_sim
 from repro.sim.clock import microseconds
@@ -131,7 +131,8 @@ class PMNetServer:
             return  # machine is up but the application is still recovering
         packet = payload
         if packet.packet_type in (PacketType.UPDATE_REQ,
-                                  PacketType.BYPASS_REQ):
+                                  PacketType.BYPASS_REQ,
+                                  PacketType.CHAIN_UPDATE):
             self._handle_request(packet)
         # Other types (stray ACKs etc.) are ignored by the server.
 
@@ -268,7 +269,7 @@ class PMNetServer:
         first = fragments[0]
         sid = first.session_id
         outcome = self._execute(first.payload, sid)
-        if first.packet_type is PacketType.UPDATE_REQ:
+        if is_update(first.packet_type):
             # Only updates advance the horizon (reads have their own
             # seq stream).
             self.persistent_applied[sid] = max(
@@ -281,7 +282,7 @@ class PMNetServer:
         self.tracer.emit(self.sim.now, self.host.name, "processed",
                          req=first.request_id, session=sid,
                          seq=first.seq_num,
-                         update=first.packet_type is PacketType.UPDATE_REQ)
+                         update=is_update(first.packet_type))
         return outcome
 
     def _execute(self, op: object, session_id: int) -> HandlerOutcome:
@@ -303,7 +304,7 @@ class PMNetServer:
         """Acknowledge the (already committed) operation."""
         first = fragments[0]
         sid = first.session_id
-        if first.packet_type is PacketType.UPDATE_REQ:
+        if is_update(first.packet_type):
             for fragment in fragments:
                 self._send_ack(fragment)
         else:

@@ -14,8 +14,9 @@ application-level locks of Sec III-C, same as cross-client ones).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
+from repro.core.hashring import HashRing
 from repro.core.replication import ReplicationPolicy, SINGLE_LOG
 from repro.protocol.crc import crc32
 from repro.errors import SessionError
@@ -49,7 +50,8 @@ class ShardedClient:
         host.bind(self)
         self._subclients: List[PMNetClient] = [
             PMNetClient(sim, host, config, server, allocator,
-                        policy=policy, tracer=tracer, bind=False)
+                        policy=policy, tracer=tracer, bind=False,
+                        instrument_scope=f"{host.name}:{server}")
             for server in self.servers]
         self._by_session: Dict[int, PMNetClient] = {}
 
@@ -109,4 +111,49 @@ class ShardedClient:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<ShardedClient {self.host.name} "
+                f"shards={len(self.servers)}>")
+
+
+class RingClient(ShardedClient):
+    """A sharded client whose placement comes from a consistent-hash
+    ring, with per-shard replication chains.
+
+    The fabric hands every client the same :class:`HashRing` over the
+    shard-server names plus a ``chains`` map (server -> device chain,
+    head first, tail last), so all clients agree on placement and each
+    sub-client sends its updates down the owning shard's chain.
+    """
+
+    def __init__(self, sim: "Simulator", host: HostNode,
+                 config: "SystemConfig", ring: HashRing,
+                 chains: Mapping[str, Tuple[str, ...]],
+                 allocator: SessionAllocator,
+                 policy: ReplicationPolicy = SINGLE_LOG,
+                 tracer: Optional[Tracer] = None) -> None:
+        if not isinstance(ring, HashRing):
+            raise SessionError("RingClient needs a HashRing")
+        self.sim = sim
+        self.host = host
+        self.ring = ring
+        self.servers = list(ring.members)
+        self.chains = {server: tuple(chain)
+                       for server, chain in chains.items()}
+        host.bind(self)
+        self._subclients = [
+            PMNetClient(sim, host, config, server, allocator,
+                        policy=policy, tracer=tracer, bind=False,
+                        chain=self.chains.get(server, ()),
+                        instrument_scope=f"{host.name}:{server}")
+            for server in self.servers]
+        self._by_server = dict(zip(self.servers, self._subclients))
+        self._by_session: Dict[int, PMNetClient] = {}
+
+    def shard_index(self, key: object) -> int:
+        return self.servers.index(self.ring.lookup(key))
+
+    def shard_for(self, key: object) -> PMNetClient:
+        return self._by_server[self.ring.lookup(key)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<RingClient {self.host.name} "
                 f"shards={len(self.servers)}>")

@@ -41,13 +41,20 @@ class Topology:
 
     def connect(self, a: Node, b: Node,
                 impairments_ab: Optional[Impairments] = None,
-                impairments_ba: Optional[Impairments] = None) -> Link:
-        """Create a full-duplex link between fresh ports on ``a`` and ``b``."""
+                impairments_ba: Optional[Impairments] = None,
+                profile: Optional[NetworkProfile] = None) -> Link:
+        """Create a full-duplex link between fresh ports on ``a`` and ``b``.
+
+        ``profile`` overrides the topology-wide network profile for this
+        one link — a NIC-attached device sits on a short board trace,
+        and spine uplinks cross longer fiber than rack-local links.
+        """
         for node in (a, b):
             if node.name not in self.nodes:
                 raise NetworkError(
                     f"node {node.name!r} must be added before connecting")
-        link = Link(self.sim, self.profile, a.add_port(), b.add_port(),
+        link = Link(self.sim, profile if profile is not None else self.profile,
+                    a.add_port(), b.add_port(),
                     impairments_ab, impairments_ba)
         self.links.append(link)
         return link

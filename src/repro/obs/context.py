@@ -6,7 +6,8 @@ tracer — so a deployment builder attaches all of them with one
 argument::
 
     obs = Observability(spans=True)
-    deployment = build_pmnet_switch(config, obs=obs)
+    deployment = build(DeploymentSpec(placement="switch"), config,
+                       obs=obs)
     ...
     obs.registry.summaries()     # every component's instruments
     obs.spans.spans()            # request lifecycle spans

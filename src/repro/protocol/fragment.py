@@ -15,7 +15,7 @@ from repro.errors import FragmentationError
 from repro.protocol.header import HEADER_BYTES, make_request_header
 from repro.protocol.packet import PMNetPacket, next_request_id
 from repro.protocol.session import Session
-from repro.protocol.types import PacketType
+from repro.protocol.types import PacketType, is_update
 
 
 def max_fragment_payload(mtu_bytes: int, framing_overhead_bytes: int) -> int:
@@ -47,10 +47,10 @@ def fragment_request(session: Session, packet_type: PacketType,
         sizes.append(chunk)
         remaining -= chunk
     request_id = next_request_id()
-    is_update = packet_type is PacketType.UPDATE_REQ
+    update = is_update(packet_type)
     packets = []
     for index, size in enumerate(sizes):
-        seq = (session.next_seq_num() if is_update
+        seq = (session.next_seq_num() if update
                else session.next_read_seq())
         header = make_request_header(packet_type, session.session_id, seq)
         packets.append(PMNetPacket(

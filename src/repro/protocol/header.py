@@ -96,5 +96,16 @@ class PMNetHeader:
 
 def make_request_header(packet_type: PacketType, session_id: int,
                         seq_num: int) -> PMNetHeader:
-    """Build and seal a request header the way the client stack does."""
+    """Build and seal a request header the way the client stack does.
+
+    A CHAIN_UPDATE is sealed with the *UPDATE_REQ* HashVal: the hash is
+    the one identity every party derives for (session, seq) — devices
+    index their logs by it, ACKs echo it, and the server's gap
+    retransmission recomputes it assuming UPDATE_REQ — so the chain
+    label must not perturb it.
+    """
+    if packet_type is PacketType.CHAIN_UPDATE:
+        plain = PMNetHeader(PacketType.UPDATE_REQ, session_id, seq_num)
+        return PMNetHeader(packet_type, session_id, seq_num,
+                           hash_val=plain.compute_hash())
     return PMNetHeader(packet_type, session_id, seq_num).sealed()

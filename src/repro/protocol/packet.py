@@ -56,6 +56,15 @@ class PMNetPacket:
     #: clients count distinct origins to enforce replication strength
     #: (Sec IV-C: wait for PMNet-ACK #1 *and* #2).
     origin_device: str = ""
+    #: For CHAIN_UPDATE: the full replication chain, head first, tail
+    #: last.  Each member finds its own position by name and forwards to
+    #: the successor; SERVER_ACKs echo the chain so invalidation can walk
+    #: it tail-to-head.
+    chain: tuple = ()
+    #: Set when a chain member could not log this fragment (log full /
+    #: write queue saturated).  The tail then withholds its PMNET_ACK so
+    #: a tail ACK always means *every* member holds a durable copy.
+    chain_broken: bool = False
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:
@@ -107,6 +116,7 @@ class PMNetPacket:
             frag_index=self.frag_index,
             frag_count=self.frag_count,
             origin_device=origin_device,
+            chain=self.chain,
         )
 
     def make_response(self, payload: Any, payload_bytes: int,
@@ -126,7 +136,23 @@ class PMNetPacket:
         )
 
     def as_resent(self) -> "PMNetPacket":
-        """A copy marked as a recovery retransmission."""
+        """A copy marked as a recovery retransmission.
+
+        Chain-routed updates are re-labelled as plain UPDATE_REQs: a
+        recovery resend goes straight from the holding device to the
+        server — re-walking the chain would re-log entries that are
+        already replicated.  ``with_type`` keeps the HashVal, which is
+        the UPDATE_REQ hash already (see ``make_request_header``).  The
+        chain member list is *kept*: the server ACK derived from the
+        resent copy must still carry it, so the tail can walk the
+        invalidation back to members that are not on the server-to-
+        client path (their scrubbers would otherwise redo the entry
+        forever).
+        """
+        if self.packet_type is PacketType.CHAIN_UPDATE:
+            return replace(self, resent=True,
+                           header=self.header.with_type(PacketType.UPDATE_REQ),
+                           chain_broken=False)
         return replace(self, resent=True)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

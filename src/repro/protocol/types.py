@@ -29,16 +29,32 @@ class PacketType(IntEnum):
     CACHE_RESP = 7
     #: The recovering server's poll for logged requests (Sec IV-E1).
     RECOVERY_POLL = 8
+    #: An update request travelling a NetChain-style replication chain of
+    #: PMNet devices: each member logs it, then forwards it to the next
+    #: member; only the *tail* emits the PMNET_ACK ("ACK from another
+    #: PMNet", Sec IV-B1, generalized across switches).
+    CHAIN_UPDATE = 9
 
 
 #: Types that flow from client toward server.
 CLIENT_TO_SERVER = frozenset({PacketType.UPDATE_REQ, PacketType.BYPASS_REQ,
-                              PacketType.RECOVERY_POLL})
+                              PacketType.RECOVERY_POLL,
+                              PacketType.CHAIN_UPDATE})
 #: Types that flow from server/device back toward the client.
 TO_CLIENT = frozenset({PacketType.PMNET_ACK, PacketType.SERVER_RESP,
                        PacketType.CACHE_RESP})
+#: Types that carry an update and consume the session's update SeqNum
+#: stream.  A CHAIN_UPDATE is an UPDATE_REQ with explicit chain routing;
+#: it shares the stream so server-side ordering/dedup is unchanged.
+UPDATE_TYPES = frozenset({PacketType.UPDATE_REQ, PacketType.CHAIN_UPDATE})
 
 
 def is_request(packet_type: PacketType) -> bool:
     """Whether the type is a client request PMNet may see on ingress."""
-    return packet_type in (PacketType.UPDATE_REQ, PacketType.BYPASS_REQ)
+    return packet_type in (PacketType.UPDATE_REQ, PacketType.BYPASS_REQ,
+                           PacketType.CHAIN_UPDATE)
+
+
+def is_update(packet_type: PacketType) -> bool:
+    """Whether the type is an update request (plain or chain-routed)."""
+    return packet_type in UPDATE_TYPES

@@ -1,0 +1,79 @@
+"""Unit tests for the consistent-hash ring (fabric key placement)."""
+
+import pytest
+
+from repro.core.hashring import HashRing
+
+
+class TestConstruction:
+    def test_empty_members_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+    def test_duplicate_members_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(["a", "b", "a"])
+
+    def test_members_preserved_in_given_order(self):
+        ring = HashRing(["s2", "s0", "s1"])
+        assert ring.members == ("s2", "s0", "s1")
+
+
+class TestLookup:
+    def test_deterministic_across_instances(self):
+        keys = [(c, i) for c in range(4) for i in range(50)]
+        first = HashRing(["a", "b", "c"])
+        second = HashRing(["a", "b", "c"])
+        assert [first.lookup(k) for k in keys] == \
+            [second.lookup(k) for k in keys]
+
+    def test_lookup_returns_a_member(self):
+        ring = HashRing(["a", "b", "c"])
+        for key in range(200):
+            assert ring.lookup(key) in ring.members
+
+    def test_member_order_does_not_move_keys(self):
+        """Placement hashes member *names*, not list positions."""
+        keys = list(range(300))
+        forward = HashRing(["a", "b", "c"])
+        shuffled = HashRing(["c", "a", "b"])
+        assert [forward.lookup(k) for k in keys] == \
+            [shuffled.lookup(k) for k in keys]
+
+    def test_adding_a_member_only_steals_keys(self):
+        """Consistent hashing: growing the ring never moves a key
+        between two *surviving* members."""
+        keys = list(range(500))
+        small = HashRing(["a", "b", "c"])
+        grown = HashRing(["a", "b", "c", "d"])
+        moved = 0
+        for key in keys:
+            before, after = small.lookup(key), grown.lookup(key)
+            if before != after:
+                assert after == "d", (key, before, after)
+                moved += 1
+        assert 0 < moved < len(keys)
+
+    def test_spread_covers_every_member(self):
+        ring = HashRing(["a", "b", "c", "d"], replicas=64)
+        spread = ring.spread(range(2000))
+        assert set(spread) == set(ring.members)
+        assert all(count > 0 for count in spread.values())
+
+
+class TestSuccessors:
+    def test_distinct_members_clockwise(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        succ = ring.successors("some-key", 3)
+        assert len(succ) == 3
+        assert len(set(succ)) == 3
+        assert succ[0] == ring.lookup("some-key")
+
+    def test_count_beyond_membership_rejected(self):
+        ring = HashRing(["a", "b"])
+        with pytest.raises(ValueError):
+            ring.successors("k", 5)
+
+    def test_full_membership_is_a_permutation(self):
+        ring = HashRing(["a", "b", "c"])
+        assert sorted(ring.successors("k", 3)) == ["a", "b", "c"]

@@ -25,6 +25,7 @@ EXPECTED_ACTIONS = {
     PacketType.SERVER_RESP: MATAction.CAPTURE_RESPONSE,
     PacketType.CACHE_RESP: MATAction.FORWARD_ACK,
     PacketType.RECOVERY_POLL: MATAction.RECOVERY,
+    PacketType.CHAIN_UPDATE: MATAction.CHAIN_LOG_AND_FORWARD,
 }
 
 
