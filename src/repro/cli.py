@@ -335,10 +335,40 @@ def _cmd_profile(clients: int, requests: int, fold: str, top: int,
     return 0
 
 
+def _cmd_rebalance(quick: bool, json_path: Optional[str]) -> int:
+    """Run the rebalance experiment and check its acceptance envelope."""
+    from repro.experiments import rebalance
+
+    result = rebalance.run(quick=quick)
+    print(result.format())
+    status = 0
+    steady_p99 = result.steady_p99_us()
+    drain = result.points.get("drain-rack")
+    if drain is not None and steady_p99 > 0:
+        drained = drain.get("drained") or {}
+        untouched = float(drain["untouched_p99_us"])
+        within = untouched <= 1.10 * steady_p99
+        print(f"drain-rack: untouched p99 {untouched:.2f}us vs steady "
+              f"{steady_p99:.2f}us — {'within' if within else 'OUTSIDE'} "
+              "the 10% envelope; drained rack "
+              f"{'reached zero' if drained.get('drained_ok') else 'STILL HOLDS'}"
+              " in-flight work and ring members")
+        if not within or not drained.get("drained_ok"):
+            status = 1
+    if json_path:
+        from repro.obs.export import write_bench_report
+        payload = {"benchmark": "rebalance", "points": result.points,
+                   "steady_p99_us": steady_p99}
+        written = write_bench_report("rebalance", payload, json_path,
+                                     quick=quick)
+        print(f"wrote {written}", file=sys.stderr)
+    return status
+
+
 def _cmd_chaos(start_seed: int, runs: int, jobs: Optional[int],
                json_path: Optional[str], faults_arg: Optional[str],
                shrink_on_failure: bool, corpus_path: Optional[str],
-               fabric: bool = False) -> int:
+               fabric: bool = False, control: bool = False) -> int:
     from repro.experiments.parallel import default_jobs, run_jobs
     from repro.failure import chaos
 
@@ -346,8 +376,13 @@ def _cmd_chaos(start_seed: int, runs: int, jobs: Optional[int],
         print("--faults replays one schedule; use it with --runs 1",
               file=sys.stderr)
         return 2
+    if fabric and control:
+        print("--fabric and --control are separate plan families; "
+              "pick one", file=sys.stderr)
+        return 2
 
-    generate = (chaos.generate_fabric_plan if fabric
+    generate = (chaos.generate_control_plan if control
+                else chaos.generate_fabric_plan if fabric
                 else chaos.generate_plan)
     values: List[dict]
     if runs == 1 and faults_arg is not None:
@@ -361,7 +396,7 @@ def _cmd_chaos(start_seed: int, runs: int, jobs: Optional[int],
         values = [chaos.run_plan(plan, indices).to_dict()]
     else:
         specs = chaos.jobs(quick=True, start_seed=start_seed, runs=runs,
-                           fabric=fabric)
+                           fabric=fabric, control=control)
         workers = jobs if jobs is not None else default_jobs()
 
         def progress(result) -> None:
@@ -417,6 +452,7 @@ def _cmd_chaos(start_seed: int, runs: int, jobs: Optional[int],
             "start_seed": start_seed,
             "runs": runs,
             "fabric": fabric,
+            "control": control,
             "clean": sum(1 for v in values if v["ok"]),
             "failing_seeds": [v["seed"] for v in values if not v["ok"]],
             "repros": {str(seed): line for seed, line in repros.items()},
@@ -563,6 +599,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="only records with this event name")
     trace_parser.add_argument("--seed", type=int, default=None,
                               help="override the scenario seed")
+    rebalance_parser = sub.add_parser(
+        "rebalance",
+        help="tail latency under live session migration: steady baseline "
+             "vs drain-rack / failover / hot-shard, with the 10% "
+             "untouched-shard envelope check")
+    rebalance_parser.add_argument("--full", action="store_true",
+                                  help="full-scale run (10^5 users)")
+    rebalance_parser.add_argument("--json", default=None, metavar="PATH",
+                                  dest="json_path",
+                                  help="write the pmnet-repro-bench/1 "
+                                       "report to PATH")
     chaos_parser = sub.add_parser(
         "chaos",
         help="seeded chaos sweep: random deployments + fault schedules "
@@ -586,6 +633,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                               help="sweep multi-rack fabric plans "
                               "(rack outages, spine-uplink impairments, "
                               "cross-rack chain-member loss)")
+    chaos_parser.add_argument("--control", action="store_true",
+                              help="sweep control-plane plans (live "
+                              "session migration overlapping outages, "
+                              "replay, and flapping membership)")
     chaos_parser.add_argument("--no-shrink", action="store_true",
                               help="report failures without bisecting the "
                                    "fault schedule to a minimal repro")
@@ -621,9 +672,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         corpus = args.corpus
         if args.fabric and corpus == "tests/failure/chaos_corpus.txt":
             corpus = "tests/failure/chaos_fabric_corpus.txt"
+        if args.control and corpus == "tests/failure/chaos_corpus.txt":
+            corpus = "tests/failure/chaos_control_corpus.txt"
         return _cmd_chaos(args.seed, args.runs, args.jobs, args.json_path,
                           args.faults, not args.no_shrink,
-                          corpus or None, fabric=args.fabric)
+                          corpus or None, fabric=args.fabric,
+                          control=args.control)
+    if args.command == "rebalance":
+        return _cmd_rebalance(quick=not args.full, json_path=args.json_path)
     return _cmd_run(args.experiments, quick=not args.full, jobs=args.jobs,
                     json_path=args.json_path, use_cache=not args.no_cache,
                     cache_dir=args.cache_dir)

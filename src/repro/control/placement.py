@@ -1,0 +1,113 @@
+"""Shared shard placement: the hash ring plus live overrides.
+
+The consistent-hash ring fixes the *static* shard map at build time.
+Live migration needs to re-point shards without rebuilding every
+client, so routing goes through a :class:`PlacementView` shared by all
+clients of a deployment: ``lookup(key)`` resolves the ring owner, then
+applies at most one level of override (ring owner -> current owner).
+A single :meth:`assign` call therefore re-rings every client
+atomically, and an empty override table is byte-identical to routing
+straight off the ring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.hashring import HashRing
+
+
+class PlacementView:
+    """A mutable view of shard ownership over an immutable ring.
+
+    Invariant: overrides are single-level.  ``_overrides[member]`` maps
+    a *ring* member directly to the server currently owning its shards;
+    chains (a -> b -> c) never form because :meth:`assign` re-points
+    every member *resolving* to the source, not just the source itself.
+    """
+
+    def __init__(self, ring: HashRing) -> None:
+        self.ring = ring
+        self._overrides: Dict[str, str] = {}
+        #: Bumped on every effective placement change; clients may use
+        #: it to invalidate caches.
+        self.version = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: object) -> str:
+        """Current owner of ``key`` (ring owner, then override)."""
+        owner = self.ring.lookup(key)
+        return self._overrides.get(owner, owner)
+
+    def ring_owner(self, key: object) -> str:
+        """The static ring owner of ``key``, ignoring overrides."""
+        return self.ring.lookup(key)
+
+    def resolve(self, member: str) -> str:
+        """Current owner of ring member ``member``'s shards."""
+        return self._overrides.get(member, member)
+
+    def owners_resolving_to(self, server: str) -> List[str]:
+        """Ring members whose shards currently live on ``server``."""
+        return [member for member in self.ring.members
+                if self.resolve(member) == server]
+
+    @property
+    def overrides(self) -> Dict[str, str]:
+        """A copy of the live override table (ring member -> owner)."""
+        return dict(self._overrides)
+
+    # ------------------------------------------------------------------
+    def assign(self, source: str, target: str) -> Tuple[str, ...]:
+        """Move every shard currently owned by ``source`` to ``target``.
+
+        Returns the ring members whose shards moved (empty when
+        ``source`` owned nothing).  Overrides stay single-level: a
+        member moving back to its own ring position drops its entry
+        instead of recording an identity mapping.
+        """
+        if target not in self.ring.members:
+            raise ValueError(f"unknown placement target {target!r}")
+        if source == target:
+            return ()
+        moved = []
+        for member in self.ring.members:
+            if self.resolve(member) != source:
+                continue
+            if member == target:
+                self._overrides.pop(member, None)
+            else:
+                self._overrides[member] = target
+            moved.append(member)
+        if moved:
+            self.version += 1
+        return tuple(moved)
+
+    def assign_members(self, members: Tuple[str, ...],
+                       target: str) -> Tuple[str, ...]:
+        """Move the listed ring members' shards to ``target`` (the
+        member-granular form :meth:`assign` reduces to).  Returns the
+        members whose owner actually changed."""
+        if target not in self.ring.members:
+            raise ValueError(f"unknown placement target {target!r}")
+        moved = []
+        for member in members:
+            if member not in self.ring.members:
+                raise ValueError(f"unknown ring member {member!r}")
+            if self.resolve(member) == target:
+                continue
+            if member == target:
+                self._overrides.pop(member, None)
+            else:
+                self._overrides[member] = target
+            moved.append(member)
+        if moved:
+            self.version += 1
+        return tuple(moved)
+
+    def describe(self) -> str:
+        if not self._overrides:
+            return "placement: ring (no overrides)"
+        parts = ", ".join(f"{member}->{owner}"
+                          for member, owner in sorted(self._overrides.items()))
+        return f"placement v{self.version}: {parts}"

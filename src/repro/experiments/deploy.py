@@ -91,6 +91,11 @@ class DeploymentSpec:
     spine_propagation_ns: Optional[int] = None
     #: Virtual points per member on the consistent-hash ring (fabric).
     ring_replicas: int = 32
+    #: Control-plane polling period (fabric only); ``None`` = no control
+    #: plane.  When set, :func:`build` attaches an *unstarted*
+    #: :class:`~repro.control.balancer.ControlPlane` as
+    #: ``deployment.control`` — callers add policies and start it.
+    control_period_ns: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.placement not in PLACEMENTS:
@@ -107,6 +112,12 @@ class DeploymentSpec:
             raise ValueError("clients_per_rack must be >= 1")
         if self.ring_replicas < 1:
             raise ValueError("ring_replicas must be >= 1")
+        if self.control_period_ns is not None:
+            if self.control_period_ns <= 0:
+                raise ValueError("control_period_ns must be positive")
+            if self.racks == 1:
+                raise ValueError("the control plane runs over the "
+                                 "multi-rack fabric (racks > 1)")
         if self.racks > 1:
             if self.placement != "switch":
                 raise ValueError(
@@ -150,6 +161,7 @@ class DeploymentSpec:
             "nic_wire_ns": self.nic_wire_ns,
             "spine_propagation_ns": self.spine_propagation_ns,
             "ring_replicas": self.ring_replicas,
+            "control_period_ns": self.control_period_ns,
         }
 
     @classmethod
@@ -184,6 +196,9 @@ class Deployment:
     #: Fabric deployments: the placement ring and rack layout
     #: (:class:`repro.net.fabric.FabricInfo`).
     fabric: Optional[object] = None
+    #: The attached control plane
+    #: (:class:`~repro.control.balancer.ControlPlane`), if any.
+    control: Optional[object] = None
 
     @property
     def servers(self) -> List[PMNetServer]:
@@ -265,8 +280,15 @@ def build(spec: DeploymentSpec, config: SystemConfig,
     if spec.racks > 1:
         from repro.net.fabric import build_fabric
 
-        return build_fabric(spec, config, handler_factory=handler_factory,
-                            handler=handler, tracer=tracer, obs=obs)
+        deployment = build_fabric(spec, config,
+                                  handler_factory=handler_factory,
+                                  handler=handler, tracer=tracer, obs=obs)
+        if spec.control_period_ns is not None:
+            from repro.control.balancer import attach_control_plane
+
+            attach_control_plane(deployment,
+                                 period_ns=spec.control_period_ns)
+        return deployment
     if spec.servers_per_rack > 1:
         return _build_single_rack_sharded(spec, config, handler_factory,
                                           handler, tracer, obs)

@@ -1,0 +1,293 @@
+"""Rebalance: tail latency while the control plane migrates live sessions.
+
+The load-balancing control plane (``repro.control``) can drain a rack
+for an upgrade, fail a dead server's shards over to live peers, or
+spill a hot shard onto a cold one — all while 10^4+ closed-loop users
+keep issuing requests.  This experiment prices those maneuvers: each
+scenario runs the flow-level load generator against the same 3-rack
+fabric and reports the latency tail *overall* and for the **untouched
+shards** — keys whose original ring owner was neither source nor
+target of any migration.  The acceptance bar is that a drained rack
+reaches zero in-flight work and zero owned ring members while the
+untouched-shard p99 stays within 10% of the steady-state baseline.
+
+Scenarios:
+
+* ``steady`` — no control plane; the baseline tail.
+* ``drain-rack`` — :class:`~repro.control.balancer.DrainRackPolicy`
+  evicts rack 0's servers mid-run (planned upgrade).
+* ``failover`` — a server is power-cut mid-run; heartbeat monitors
+  detect the outage and
+  :class:`~repro.control.balancer.FailoverPolicy` re-homes its shards.
+* ``hot-shard`` — a high-skew Zipf keyspace concentrates load on one
+  server; :class:`~repro.control.balancer.HotShardPolicy` relocates it.
+
+Every sample is tagged at issue time with the key's *original* ring
+owner, so post-migration completions still attribute to the shard the
+user targeted — that is what isolates "shards the control plane never
+touched" from collateral damage.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.config import SystemConfig
+from repro.errors import ExperimentError
+from repro.experiments.common import Scale
+from repro.experiments.deploy import DeploymentSpec, build
+from repro.experiments.jobs import JobResult, JobSpec, execute_serial
+from repro.sim.clock import microseconds
+from repro.workloads.loadgen import (FlowLoadGenerator, LoadGenConfig,
+                                     LoadGenResult)
+
+#: Modeled closed-loop users per point (the acceptance floor is 10^4).
+QUICK_USERS = 12_000
+FULL_USERS = 100_000
+
+#: Scenario order — also the report row order.
+SCENARIOS: Tuple[str, ...] = ("steady", "drain-rack", "failover",
+                              "hot-shard")
+
+#: One fabric shape for every scenario so the tails are comparable:
+#: 3 racks x 2 servers = 6 shards, chain length 2 (updates early-ACK at
+#: the tail, so a drained or dead server never wedges the closed loop).
+FABRIC: Dict[str, object] = dict(racks=3, spines=1, devices_per_rack=1,
+                                 servers_per_rack=2, chain_length=2,
+                                 clients_per_rack=2, placement="switch")
+
+
+def _spec() -> DeploymentSpec:
+    return DeploymentSpec(**FABRIC)  # type: ignore[arg-type]
+
+
+def _loadgen_for(quick: bool, scenario: str) -> LoadGenConfig:
+    # hot-shard narrows the keyspace and steepens the Zipf curve so one
+    # server soaks up most of the load; the other scenarios keep the
+    # defaults so steady / drain-rack / failover share a baseline.
+    skew = dict(zipf_theta=0.99, population=64) if scenario == "hot-shard" \
+        else {}
+    if quick:
+        return LoadGenConfig(mode="closed", users=QUICK_USERS,
+                             total_requests=2_400, window=32,
+                             warmup_requests=8, update_ratio=1.0, **skew)
+    return LoadGenConfig(mode="closed", users=FULL_USERS,
+                         total_requests=40_000, window=128,
+                         warmup_requests=32, update_ratio=1.0, **skew)
+
+
+def _timing_for(quick: bool) -> Dict[str, int]:
+    """Scenario timings, scaled to the run's expected sim duration.
+
+    A quick run finishes in ~400us of simulated time, a full run in a
+    few milliseconds; faults and drains land about a third of the way
+    in so both the disturbed window and the recovered tail are sampled.
+    """
+    if quick:
+        return {"period_ns": microseconds(25),
+                "drain_at_ns": microseconds(120),
+                "crash_at_ns": microseconds(100),
+                "recover_at_ns": microseconds(300),
+                "heartbeat_period_ns": microseconds(20)}
+    return {"period_ns": microseconds(50),
+            "drain_at_ns": microseconds(500),
+            "crash_at_ns": microseconds(400),
+            "recover_at_ns": microseconds(1_200),
+            "heartbeat_period_ns": microseconds(40)}
+
+
+def percentile_ns(rows: Sequence[int], quantile: float) -> int:
+    """Nearest-rank percentile over a latency list."""
+    ordered = sorted(rows)
+    if not ordered:
+        return 0
+    rank = max(1, math.ceil(quantile * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _all_latencies(result: LoadGenResult) -> List[int]:
+    return [lat for lats in result.samples.values() for lat in lats]
+
+
+def _policies_for(scenario: str, deployment, timing: Dict[str, int]):
+    """(policies, heartbeats, crash_target) for one scenario."""
+    from repro.control.balancer import (DrainRackPolicy, FailoverPolicy,
+                                        HotShardPolicy)
+    if scenario == "drain-rack":
+        drained = list(deployment.fabric.racks[0].servers)
+        return [DrainRackPolicy(drained, after_ns=timing["drain_at_ns"])], \
+            False, None
+    if scenario == "failover":
+        victim = deployment.servers[-1]
+        return [FailoverPolicy()], True, victim
+    if scenario == "hot-shard":
+        return [HotShardPolicy(skew_ratio=1.5, min_requests=24,
+                               cooldown_ns=microseconds(100))], False, None
+    raise ExperimentError(f"unknown rebalance scenario: {scenario}")
+
+
+def run_point(spec: JobSpec) -> Dict[str, object]:
+    """Drive one scenario with flow-level users; JSON-safe summary."""
+    from repro.control.balancer import attach_control_plane
+    from repro.failure.injector import FailureInjector
+
+    cfg = spec.resolved_config()
+    deploy_spec = DeploymentSpec.from_params(spec.params["spec"])
+    loadgen = LoadGenConfig.from_params(spec.params["loadgen"])
+    scenario = str(spec.params["scenario"])
+    timing = {key: int(value)
+              for key, value in spec.params["timing"].items()}
+
+    deployment = build(deploy_spec,
+                       cfg.with_payload(loadgen.payload_bytes))
+    # Tag every sample with the key's *original* ring owner, evaluated
+    # at issue time, so migrations never re-attribute a shard's tail.
+    engine = FlowLoadGenerator(
+        deployment, loadgen,
+        tagger=lambda client, op: client.ring.lookup(op.key))
+
+    plane = None
+    if scenario != "steady":
+        policies, heartbeats, crash_target = _policies_for(
+            scenario, deployment, timing)
+        plane = attach_control_plane(
+            deployment, period_ns=timing["period_ns"], policies=policies,
+            heartbeats=heartbeats,
+            heartbeat_period_ns=timing["heartbeat_period_ns"],
+            miss_threshold=3,
+            stop_when=lambda: engine.completed >= loadgen.total_requests)
+        plane.start()
+        if crash_target is not None:
+            injector = FailureInjector(deployment.sim)
+            record = injector.crash_server_at(crash_target,
+                                              timing["crash_at_ns"])
+            # The node reboots after the failover has re-homed its
+            # sessions (no auto-failback) — without the reboot the
+            # device redo logs hold its unACKed entries forever and the
+            # scrubber never lets the simulation drain.
+            injector.recover_server_at(
+                crash_target, timing["recover_at_ns"],
+                deployment.recovery_devices(crash_target.host.name),
+                record)
+
+    deployment.open_all_sessions()
+    engine.start()
+    deployment.sim.run()
+    if engine.completed != engine.issued:
+        raise ExperimentError(
+            f"rebalance[{scenario}] lost requests: issued {engine.issued},"
+            f" completed {engine.completed}")
+    result = engine.result()
+
+    moves: List[Tuple[str, str]] = []
+    drained_summary: Optional[Dict[str, object]] = None
+    if plane is not None:
+        moves = [(stats.source, stats.target)
+                 for stats in plane.migrator.completed]
+        if plane.migrator.busy:
+            raise ExperimentError(
+                f"rebalance[{scenario}] ended with a migration in flight")
+    touched = {name for move in moves for name in move}
+    all_servers = [server.host.name for server in deployment.servers]
+    untouched = [name for name in all_servers if name not in touched]
+    untouched_rows = [lat for name in untouched
+                      for lat in engine.tagged.get(name, [])]
+
+    if scenario == "drain-rack":
+        drained = list(deployment.fabric.racks[0].servers)
+        placement = deployment.fabric.placement
+        leftover_owners = {name: placement.owners_resolving_to(name)
+                           for name in drained}
+        in_flight = {name: sum(client.outstanding_for(name)
+                               for client in deployment.clients)
+                     for name in drained}
+        parked = {name: sum(client.frozen_count(name)
+                            for client in deployment.clients)
+                  for name in drained}
+        drained_summary = {
+            "servers": drained,
+            "leftover_owners": sum(len(v) for v in leftover_owners.values()),
+            "in_flight": sum(in_flight.values()),
+            "parked": sum(parked.values()),
+            "drained_ok": (not any(leftover_owners.values())
+                           and not any(in_flight.values())
+                           and not any(parked.values())),
+        }
+
+    rows = _all_latencies(result)
+    return {
+        "scenario": scenario,
+        "modeled_users": result.modeled_users,
+        "completed": result.completed,
+        "errors": result.errors,
+        "migrations": len(moves),
+        "moves": [list(move) for move in moves],
+        "untouched_shards": len(untouched),
+        "p50_us": percentile_ns(rows, 0.50) / 1000.0,
+        "p99_us": percentile_ns(rows, 0.99) / 1000.0,
+        "untouched_p99_us": percentile_ns(untouched_rows, 0.99) / 1000.0,
+        "ops_per_second": result.ops_per_second(),
+        "drained": drained_summary,
+        "digest": result.digest(),
+    }
+
+
+@dataclass
+class RebalanceResult:
+    """Per-scenario tail summaries keyed by scenario name."""
+
+    points: Dict[str, Dict[str, object]]
+
+    def steady_p99_us(self) -> float:
+        steady = self.points.get("steady")
+        return float(steady["p99_us"]) if steady else 0.0
+
+    def format(self) -> str:
+        headers = ["scenario", "users", "completed", "migr", "p50 us",
+                   "p99 us", "untouched p99", "drained", "digest"]
+        rows: List[List[object]] = []
+        for name in SCENARIOS:
+            summary = self.points.get(name)
+            if summary is None:
+                continue
+            drained = summary.get("drained")
+            rows.append([
+                name, summary["modeled_users"], summary["completed"],
+                summary["migrations"], round(summary["p50_us"], 2),
+                round(summary["p99_us"], 2),
+                round(summary["untouched_p99_us"], 2),
+                ("yes" if drained["drained_ok"] else "NO") if drained
+                else "-",
+                summary["digest"]])
+        return format_table(
+            headers, rows,
+            title="Rebalance — tail latency under live session migration")
+
+
+def jobs(config: SystemConfig = None,  # type: ignore[assignment]
+         quick: bool = True) -> List[JobSpec]:
+    """One job per scenario."""
+    cfg = config if config is not None else SystemConfig()
+    quick = Scale.resolve_quick(quick)
+    timing = _timing_for(quick)
+    return [JobSpec(experiment="rebalance", point=scenario,
+                    params={"scenario": scenario,
+                            "spec": _spec().to_params(),
+                            "loadgen": _loadgen_for(quick,
+                                                    scenario).to_params(),
+                            "timing": dict(timing)},
+                    seed=cfg.seed, quick=quick, config=config)
+            for scenario in SCENARIOS]
+
+
+def assemble(results: Sequence[JobResult]) -> RebalanceResult:
+    return RebalanceResult({result.spec.params["scenario"]: result.value
+                            for result in results})
+
+
+def run(config: SystemConfig = None,  # type: ignore[assignment]
+        quick: bool = True) -> RebalanceResult:
+    return assemble(execute_serial(jobs(config, quick), run_point))

@@ -40,6 +40,7 @@ from repro.experiments import (
     loadgen,
     motivation,
     multirack,
+    rebalance,
     scaleout,
     sec6b6_recovery,
     sec7_scaling,
@@ -155,6 +156,10 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "multirack": _entry("multirack",
                         "Two-rack placement / cross-rack replication",
                         multirack),
+    "rebalance": _entry("rebalance",
+                        "Tail latency under live session migration "
+                        "(drain / failover / hot-shard)",
+                        rebalance),
     "scaleout": _entry("scaleout",
                        "Fabric tail latency vs shards/chain/hop cost "
                        "(10^4+ loadgen users)",

@@ -53,10 +53,16 @@ class RecoveryManager:
             on_recovery=self._on_host_back))
         self.detections = 0
         self.recoveries_started = 0
+        #: Recovery triggers suppressed because one was already running
+        #: for the same outage (pong bursts on a flapping link).
+        self.recoveries_skipped = 0
         self.detected_at_ns: List[int] = []
         #: Succeeds (with the recovery duration) when the next automatic
         #: recovery completes; re-armed for each outage.
         self.recovery_done: Optional[SimEvent] = None
+        #: Host epoch at which the in-flight recovery started; a crash
+        #: bumps the epoch, which is what legitimizes a new recovery.
+        self._recovery_epoch: Optional[int] = None
 
     def start(self) -> None:
         self.monitor.start()
@@ -71,8 +77,27 @@ class RecoveryManager:
 
     def _on_host_back(self) -> None:
         """Pongs are flowing again: the machine rebooted; start the
-        application + log-replay recovery."""
+        application + log-replay recovery.
+
+        A flapping network can deliver pong bursts *during* an in-flight
+        recovery (dead -> alive -> dead -> alive within one app-recovery
+        window); calling ``server.recover()`` again then would clobber
+        the recovery state and spawn a duplicate worker pool.  While a
+        recovery is in flight, a repeat trigger is only honored after a
+        genuine new *application* crash: the host epoch must have moved
+        (the host really failed again, not just a lossy window faking a
+        detection) and the application must be down again (a bare host
+        flap leaves it running and the in-flight recovery valid).
+        """
+        in_flight = (self.recovery_done is not None
+                     and not self.recovery_done.triggered)
+        crashed_again = (self._recovery_epoch != self.server.host.epoch
+                         and not self.server.app_ready)
+        if in_flight and not crashed_again:
+            self.recoveries_skipped += 1
+            return
         self.recoveries_started += 1
+        self._recovery_epoch = self.server.host.epoch
         inner = self.server.recover(self.pmnet_devices)
         proxy = self.sim.event("auto-recovery-done")
         inner.add_callback(

@@ -71,6 +71,14 @@ IMPAIRMENT = "impairment"
 #: Fabric-only fault kinds (multi-rack plans).
 RACK_OUTAGE = "rack-outage"
 SPINE_IMPAIRMENT = "spine-impairment"
+#: Control-plane fault kind (control plans): a scripted live migration
+#: ``target`` server -> ``dest`` server through the deployment's
+#: :class:`~repro.control.migrator.SessionMigrator`.
+REBALANCE = "rebalance"
+
+#: The adversarial control-plane schedule shapes
+#: :func:`generate_control_plan` draws from.
+CONTROL_SHAPES = ("rebalance-outage", "migration-replay", "flapping")
 
 #: Default sweep sizes for the registry entry / ``pmnet-repro run chaos``.
 QUICK_SWEEP_SEEDS = 12
@@ -93,6 +101,9 @@ class Fault:
     loss: float = 0.0
     duplicate: float = 0.0
     reorder: float = 0.0
+    #: Migration destination (REBALANCE only): server index, reduced
+    #: modulo the population and bumped off the source on collision.
+    dest: int = 0
 
     @property
     def end_ns(self) -> int:
@@ -112,6 +123,9 @@ class Fault:
             return f"{self.kind} {window} server#{self.target}"
         if self.kind == RACK_OUTAGE:
             return f"{self.kind} {window} rack#{self.target}"
+        if self.kind == REBALANCE:
+            return (f"{self.kind} @{self.at_ns}ns "
+                    f"server#{self.target}->server#{self.dest}")
         return f"{self.kind} {window} device#{self.target}"
 
 
@@ -136,6 +150,10 @@ class ChaosPlan:
     devices_per_rack: int = 1
     servers_per_rack: int = 1
     spine_propagation_ns: Optional[int] = None
+    #: Control plans: attach a (scripted, balancer-idle) control plane
+    #: so REBALANCE faults can drive its migrator.
+    control: bool = False
+    control_shape: str = ""
 
     def deployment_spec(self) -> DeploymentSpec:
         """The declarative deployment this plan stands up."""
@@ -145,7 +163,8 @@ class ChaosPlan:
             devices_per_rack=self.devices_per_rack,
             servers_per_rack=self.servers_per_rack,
             enable_cache=self.enable_cache,
-            spine_propagation_ns=self.spine_propagation_ns)
+            spine_propagation_ns=self.spine_propagation_ns,
+            control_period_ns=100_000 if self.control else None)
 
     @property
     def is_fabric(self) -> bool:
@@ -166,6 +185,8 @@ class ChaosPlan:
             f"payload={self.payload_bytes}B keys={self.population}"]
         if self.is_fabric:
             lines[0] += f" chain={self.replication}"
+        if self.control:
+            lines[0] += f" control[{self.control_shape}]"
         if not self.faults:
             lines.append("  (no faults)")
         for index, fault in enumerate(self.faults):
@@ -312,6 +333,114 @@ def generate_fabric_plan(seed: int) -> ChaosPlan:
                      spine_propagation_ns=spine_propagation_ns)
 
 
+def generate_control_plan(seed: int) -> ChaosPlan:
+    """Derive a fabric deployment + control-plane fault schedule.
+
+    A third generator namespace (``chaos-control/{seed}``), so legacy
+    and fabric corpora stay byte-identical.  Every plan is a fabric
+    shape with a scripted control plane, drawn from one of three
+    adversarial schedule shapes:
+
+    * ``rebalance-outage`` — a live migration is requested *while* its
+      source server is power-cut: the drain must ride out the outage
+      (updates early-ACK at the chain tail; reads block until the
+      scripted recovery) and commit afterwards without losing an
+      acknowledged write.
+    * ``migration-replay`` — the migration lands just after an outage
+      ends, inside the ~150 ms application-recovery/log-replay window,
+      racing the replayed updates (which still target the original
+      server, whose store stays in the durable union).
+    * ``flapping`` — ownership bounces back and forth between two
+      servers several times, stacking overrides and stale store copies.
+
+    Unlike destructive faults, REBALANCE windows may deliberately
+    overlap outage windows — that interleaving is the point.
+    """
+    rng = random.Random(f"chaos-control/{seed}")
+    racks = rng.randint(2, 3)
+    spines = rng.randint(1, 2)
+    devices_per_rack = rng.randint(1, 2)
+    servers_per_rack = rng.randint(1, 2)
+    total_devices = racks * devices_per_rack
+    total_servers = racks * servers_per_rack
+    chain_length = rng.randint(2, min(3, total_devices))
+    enable_cache = rng.random() < 0.5
+    clients = rng.randint(1, 2)  # per rack
+    requests_per_client = rng.randint(6, 14)
+    structure = rng.choice(sorted(PMDK_STRUCTURES))
+    update_ratio = rng.choice([0.9, 1.0])
+    zipf_theta = rng.choice([0.0, 0.9])
+    payload_bytes = rng.choice([64, 100])
+    population = rng.choice([16, 256])
+    spine_propagation_ns = rng.choice([None, 2_000])
+    shape = rng.choice(CONTROL_SHAPES)
+
+    def other(server: int) -> int:
+        return (server + 1 + rng.randrange(total_servers - 1)) \
+            % total_servers
+
+    faults: List[Fault] = []
+    if shape == "rebalance-outage":
+        victim = rng.randrange(total_servers)
+        outage = Fault(SERVER_OUTAGE, 60_000 + rng.randrange(20_000, 120_000),
+                       rng.randrange(150_000, 400_000), target=victim)
+        rebalance_at = outage.at_ns + rng.randrange(
+            10_000, max(20_000, outage.duration_ns // 2))
+        faults = [outage,
+                  Fault(REBALANCE, rebalance_at, 0, target=victim,
+                        dest=other(victim))]
+        if rng.random() < 0.5:
+            start = outage.end_ns + rng.randrange(20_000, 100_000)
+            faults.append(Fault(SPINE_IMPAIRMENT, start,
+                                rng.randrange(50_000, 200_000),
+                                target=rng.randrange(1024),
+                                loss=round(rng.uniform(0.05, 0.2), 3),
+                                duplicate=round(rng.uniform(0.0, 0.2), 3),
+                                reorder=round(rng.uniform(0.0, 0.2), 3)))
+    elif shape == "migration-replay":
+        victim = rng.randrange(total_servers)
+        outage = Fault(SERVER_OUTAGE, 60_000 + rng.randrange(20_000, 120_000),
+                       rng.randrange(150_000, 400_000), target=victim)
+        # The scripted recovery starts at end_ns and replays for
+        # ~150 ms; landing the migration shortly after end_ns races it
+        # against the replay traffic.
+        rebalance_at = outage.end_ns + rng.randrange(5_000, 100_000)
+        source = victim if rng.random() < 0.7 \
+            else rng.randrange(total_servers)
+        faults = [outage,
+                  Fault(REBALANCE, rebalance_at, 0, target=source,
+                        dest=other(source))]
+    else:  # flapping
+        first = rng.randrange(total_servers)
+        second = other(first)
+        cursor = 60_000
+        for index in range(rng.randint(2, 4)):
+            at = cursor + rng.randrange(20_000, 120_000)
+            source, dest = ((first, second) if index % 2 == 0
+                            else (second, first))
+            faults.append(Fault(REBALANCE, at, 0, target=source, dest=dest))
+            cursor = at
+        if rng.random() < 0.5:
+            start = cursor + rng.randrange(20_000, 100_000)
+            faults.append(Fault(IMPAIRMENT, start,
+                                rng.randrange(50_000, 200_000),
+                                target=rng.randrange(1024),
+                                loss=round(rng.uniform(0.05, 0.2), 3),
+                                duplicate=round(rng.uniform(0.0, 0.2), 3),
+                                reorder=round(rng.uniform(0.0, 0.2), 3)))
+    return ChaosPlan(seed=seed, replication=chain_length,
+                     enable_cache=enable_cache, clients=clients,
+                     requests_per_client=requests_per_client,
+                     structure=structure, update_ratio=update_ratio,
+                     zipf_theta=zipf_theta, payload_bytes=payload_bytes,
+                     population=population, faults=tuple(faults),
+                     racks=racks, spines=spines,
+                     devices_per_rack=devices_per_rack,
+                     servers_per_rack=servers_per_rack,
+                     spine_propagation_ns=spine_propagation_ns,
+                     control=True, control_shape=shape)
+
+
 @dataclass(frozen=True)
 class ChaosRunResult:
     """One executed (sub)schedule and its verdict."""
@@ -435,6 +564,17 @@ def _schedule_fault(sim, injector: FailureInjector, deployment,
         sim.schedule_at(fault.at_ns, _set_impairments, channel, impaired)
         sim.schedule_at(fault.end_ns, _set_impairments, channel,
                         Impairments())
+    elif fault.kind == REBALANCE:
+        control = deployment.control
+        if control is None:
+            raise SimulationError("rebalance needs a deployment with a "
+                                  "control plane (control plan)")
+        servers = deployment.servers
+        source = servers[fault.target % len(servers)].host.name
+        dest = servers[fault.dest % len(servers)].host.name
+        if dest == source:
+            dest = servers[(fault.dest + 1) % len(servers)].host.name
+        sim.schedule_at(fault.at_ns, control.migrator.migrate, source, dest)
     else:
         raise SimulationError(f"unknown fault kind {fault.kind!r}")
 
@@ -621,8 +761,13 @@ def repro_line(result: ChaosRunResult) -> str:
         selector = "none"
     else:
         selector = ",".join(str(i) for i in result.fault_indices)
-    fabric = " --fabric" if result.plan.is_fabric else ""
-    return (f"pmnet-repro chaos --seed {result.plan.seed}{fabric} "
+    if result.plan.control:
+        flavor = " --control"
+    elif result.plan.is_fabric:
+        flavor = " --fabric"
+    else:
+        flavor = ""
+    return (f"pmnet-repro chaos --seed {result.plan.seed}{flavor} "
             f"--faults {selector}")
 
 
@@ -679,11 +824,15 @@ def append_to_corpus(path: str, seed: int, note: str = "") -> bool:
 # ----------------------------------------------------------------------
 def jobs(config: Optional[SystemConfig] = None, quick: bool = True,
          start_seed: int = 0, runs: Optional[int] = None,
-         fabric: bool = False) -> List[JobSpec]:
+         fabric: bool = False, control: bool = False) -> List[JobSpec]:
     count = runs if runs is not None else (
         QUICK_SWEEP_SEEDS if quick else FULL_SWEEP_SEEDS)
-    prefix = "fabric-seed" if fabric else "seed"
-    params = {"fabric": True} if fabric else {}
+    if control:
+        prefix, params = "control-seed", {"control": True}
+    elif fabric:
+        prefix, params = "fabric-seed", {"fabric": True}
+    else:
+        prefix, params = "seed", {}
     return [JobSpec(experiment="chaos", point=f"{prefix}={seed}",
                     params={"seed": seed, **params}, seed=seed, quick=quick,
                     config=config)
@@ -693,8 +842,12 @@ def jobs(config: Optional[SystemConfig] = None, quick: bool = True,
 def run_point(spec: JobSpec) -> dict:
     """Execute one seed in any process; returns the JSON-safe summary."""
     seed = int(spec.params["seed"])
-    plan = (generate_fabric_plan(seed) if spec.params.get("fabric")
-            else generate_plan(seed))
+    if spec.params.get("control"):
+        plan = generate_control_plan(seed)
+    elif spec.params.get("fabric"):
+        plan = generate_fabric_plan(seed)
+    else:
+        plan = generate_plan(seed)
     return run_plan(plan).to_dict()
 
 

@@ -40,7 +40,11 @@ class HeartbeatMonitor:
         self.target_alive = True
         self.failures_detected = 0
         self._seq = 0
-        self._last_answered = -1
+        #: Highest ping seq answered so far.  Seqs start at 1, so 0 means
+        #: "no pong yet": a target dead from the start accumulates
+        #: exactly ``seq`` misses.  (Starting from -1 inflated the count
+        #: by one and fired the failure callback a full period early.)
+        self._last_answered = 0
         self._running = False
 
     # ------------------------------------------------------------------

@@ -331,6 +331,13 @@ class PMNetServer:
         self.host.send_frame(packet.client, ack, ack.wire_bytes,
                              51000 + packet.session_id % 1000)
 
+    @property
+    def app_ready(self) -> bool:
+        """Whether the application is serving (False between a crash and
+        the end of application recovery — the window where the machine
+        answers pings but drops PMNet traffic)."""
+        return self._app_ready
+
     # ------------------------------------------------------------------
     # Failure and recovery (Sec IV-E)
     # ------------------------------------------------------------------

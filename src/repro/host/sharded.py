@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
+from repro.control.placement import PlacementView
 from repro.core.hashring import HashRing
 from repro.core.replication import ReplicationPolicy, SINGLE_LOG
 from repro.protocol.crc import crc32
@@ -122,6 +123,14 @@ class RingClient(ShardedClient):
     shard-server names plus a ``chains`` map (server -> device chain,
     head first, tail last), so all clients agree on placement and each
     sub-client sends its updates down the owning shard's chain.
+
+    Routing goes through a shared
+    :class:`~repro.control.placement.PlacementView` (the ring plus live
+    migration overrides); with no overrides it resolves exactly like
+    the bare ring.  The control plane can :meth:`freeze` traffic to one
+    server during a migration — frozen operations park behind proxy
+    events in FIFO order and are re-routed on :meth:`thaw`, so callers
+    never observe a dropped or reordered operation.
     """
 
     def __init__(self, sim: "Simulator", host: HostNode,
@@ -129,12 +138,17 @@ class RingClient(ShardedClient):
                  chains: Mapping[str, Tuple[str, ...]],
                  allocator: SessionAllocator,
                  policy: ReplicationPolicy = SINGLE_LOG,
-                 tracer: Optional[Tracer] = None) -> None:
+                 tracer: Optional[Tracer] = None,
+                 placement: Optional[PlacementView] = None) -> None:
         if not isinstance(ring, HashRing):
             raise SessionError("RingClient needs a HashRing")
+        if placement is not None and placement.ring is not ring:
+            raise SessionError("placement view built over a different ring")
         self.sim = sim
         self.host = host
         self.ring = ring
+        self.placement = placement if placement is not None \
+            else PlacementView(ring)
         self.servers = list(ring.members)
         self.chains = {server: tuple(chain)
                        for server, chain in chains.items()}
@@ -146,13 +160,92 @@ class RingClient(ShardedClient):
                         instrument_scope=f"{host.name}:{server}")
             for server in self.servers]
         self._by_server = dict(zip(self.servers, self._subclients))
+        # The member list is immutable, so the index of each server is
+        # too — even across migrations, which only change which *keys*
+        # resolve to a server, never the member list itself.  (The old
+        # ``servers.index(...)`` linear scan made every routed request
+        # O(members).)
+        self._index_by_server = {server: index
+                                 for index, server in enumerate(self.servers)}
         self._by_session: Dict[int, PMNetClient] = {}
+        #: Per-frozen-server FIFO of parked operations:
+        #: (op, payload_bytes, is_update, proxy event).
+        self._frozen: Dict[str, List[Tuple[Operation, Optional[int],
+                                           bool, SimEvent]]] = {}
+        #: Instant from which each freeze takes effect.  Park decisions
+        #: compare sim.now against this timestamp instead of depending
+        #: on whether the freeze callback ran before or after the op
+        #: within the same instant (same-instant callback order varies
+        #: with the fold level, so it must never influence routing).
+        self._freeze_at: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def send_update(self, op: Operation,
+                    payload_bytes: Optional[int] = None) -> SimEvent:
+        return self._route(op, payload_bytes, True)
+
+    def bypass(self, op: Operation,
+               payload_bytes: Optional[int] = None) -> SimEvent:
+        return self._route(op, payload_bytes, False)
+
+    def _route(self, op: Operation, payload_bytes: Optional[int],
+               is_update: bool) -> SimEvent:
+        server = self.placement.lookup(op.key)
+        parked = self._frozen.get(server)
+        if parked is not None and \
+                self.sim.now >= self._freeze_at.get(server, 0):
+            proxy = self.sim.event(f"{self.host.name}.frozen-op")
+            parked.append((op, payload_bytes, is_update, proxy))
+            return proxy
+        subclient = self._by_server[server]
+        if is_update:
+            return subclient.send_update(op, payload_bytes)
+        return subclient.bypass(op, payload_bytes)
 
     def shard_index(self, key: object) -> int:
-        return self.servers.index(self.ring.lookup(key))
+        return self._index_by_server[self.placement.lookup(key)]
 
     def shard_for(self, key: object) -> PMNetClient:
-        return self._by_server[self.ring.lookup(key)]
+        return self._by_server[self.placement.lookup(key)]
+
+    # ------------------------------------------------------------------
+    # Control-plane surface (used by SessionMigrator)
+    # ------------------------------------------------------------------
+    def freeze(self, server: str, at_ns: Optional[int] = None) -> None:
+        """Park new operations destined for ``server`` until thawed.
+
+        ``at_ns`` defers activation: operations issued at instants
+        strictly before it keep routing directly.  Controllers freeze
+        at ``sim.now + 1`` so ops sharing the freeze instant behave
+        identically whether they execute before or after this call.
+        """
+        self._frozen.setdefault(server, [])
+        self._freeze_at[server] = self.sim.now if at_ns is None else at_ns
+
+    def thaw(self, server: str) -> None:
+        """Release parked operations, re-routing through the (possibly
+        updated) placement in their original FIFO order."""
+        self._freeze_at.pop(server, None)
+        for op, payload_bytes, is_update, proxy in \
+                self._frozen.pop(server, []):
+            real = self._route(op, payload_bytes, is_update)
+            real.add_callback(self._complete_thawed, proxy)
+
+    @staticmethod
+    def _complete_thawed(event: SimEvent, proxy: SimEvent) -> None:
+        if event.exception is not None:
+            proxy.fail(event.exception)
+        else:
+            proxy.succeed(event.value)
+
+    def outstanding_for(self, server: str) -> int:
+        """In-flight requests on the wire toward ``server`` (parked
+        frozen operations are not on the wire and do not count)."""
+        return self._by_server[server].outstanding
+
+    def frozen_count(self, server: str) -> int:
+        parked = self._frozen.get(server)
+        return len(parked) if parked is not None else 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<RingClient {self.host.name} "

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.control.placement import PlacementView
 from repro.core.hashring import HashRing
 from repro.core.pmnet_device import PMNetDevice
 from repro.core.replication import SINGLE_LOG
@@ -75,6 +76,9 @@ class FabricInfo:
     #: (rack index, spine index, link) for every leaf-spine uplink, in
     #: wiring order — the chaos engine impairs these.
     spine_links: List[tuple] = field(default_factory=list)
+    #: The shared routing view (ring + live migration overrides) every
+    #: client of this fabric resolves through.
+    placement: Optional[PlacementView] = None
 
     def rack_of_device(self, device: str) -> Optional[int]:
         for rack in self.racks:
@@ -184,6 +188,7 @@ def build_fabric(spec: "DeploymentSpec", config: "SystemConfig",
     ring = HashRing([server.host.name for server in servers],
                     replicas=spec.ring_replicas)
 
+    placement = PlacementView(ring)
     allocator = SessionAllocator()
     clients: List[RingClient] = []
     leaves = {rack.index: rack for rack in racks}
@@ -198,13 +203,13 @@ def build_fabric(spec: "DeploymentSpec", config: "SystemConfig",
             topology.connect(host, leaf_switch)
             clients.append(RingClient(sim, host, config, ring, chains,
                                       allocator, policy=SINGLE_LOG,
-                                      tracer=tracer))
+                                      tracer=tracer, placement=placement))
             racks[rack_index].clients.append(name)
     topology.compute_routes()
 
     fabric = FabricInfo(spines=[spine.name for spine in spines],
                         racks=racks, ring=ring, chains=chains,
-                        spine_links=spine_links)
+                        spine_links=spine_links, placement=placement)
     return Deployment(sim=sim, config=config, topology=topology,
                       clients=clients, server=servers[0], devices=devices,
                       switches=[*spines] + [topology.nodes[rack.leaf]

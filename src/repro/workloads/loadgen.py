@@ -66,6 +66,11 @@ class LoadGenConfig:
     payload_bytes: int = 100
     #: Earliest completions per shard excluded from the sample table.
     warmup_requests: int = 0
+    #: Zipfian skew of the key popularity (0.0 = uniform).  Defaults
+    #: mirror :class:`~repro.workloads.ycsb.YCSBConfig`.
+    zipf_theta: float = 0.9
+    #: Keyspace size handed to the generator.
+    population: int = 10_000
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -82,6 +87,8 @@ class LoadGenConfig:
                 "open-loop needs a positive mean inter-arrival time")
         if self.think_time_ns < 0:
             raise ConfigurationError("think time must be non-negative")
+        if self.population <= 0:
+            raise ConfigurationError("population must be positive")
 
     def to_params(self) -> Dict[str, object]:
         """A JSON-safe dict for :class:`~repro.experiments.jobs.JobSpec`."""
@@ -91,7 +98,9 @@ class LoadGenConfig:
                 "mean_interarrival_ns": self.mean_interarrival_ns,
                 "window": self.window, "update_ratio": self.update_ratio,
                 "payload_bytes": self.payload_bytes,
-                "warmup_requests": self.warmup_requests}
+                "warmup_requests": self.warmup_requests,
+                "zipf_theta": self.zipf_theta,
+                "population": self.population}
 
     @staticmethod
     def from_params(params: Dict[str, object]) -> "LoadGenConfig":
@@ -169,15 +178,24 @@ class FlowLoadGenerator:
     models 10^5-10^6 users without building them.
     """
 
-    def __init__(self, deployment, config: LoadGenConfig) -> None:
+    def __init__(self, deployment, config: LoadGenConfig,
+                 tagger=None) -> None:
         if not deployment.clients:
             raise ExperimentError("deployment has no clients to shard over")
         self.deployment = deployment
         self.config = config
         self.sim = deployment.sim
+        #: Optional ``tagger(client, op) -> tag`` evaluated at issue
+        #: time; completions land in ``tagged[tag]`` alongside the
+        #: per-shard samples (rebalance experiments tag by the key's
+        #: *original* ring owner to isolate untouched-shard latency).
+        self._tagger = tagger
+        self.tagged: Dict[object, List[int]] = {}
         self._generator = YCSBGenerator(YCSBConfig(
             update_ratio=config.update_ratio,
-            payload_bytes=config.payload_bytes))
+            payload_bytes=config.payload_bytes,
+            zipf_theta=config.zipf_theta,
+            population=config.population))
         self._budget = config.total_requests
         self._started_at = 0
         self._finished_at = 0
@@ -274,13 +292,16 @@ class FlowLoadGenerator:
                                            shard.rng)
         shard.issued += 1
         shard.in_flight += 1
+        tag = (self._tagger(shard.client, op)
+               if self._tagger is not None else None)
         if op.is_update:
             completion = shard.client.send_update(op, size)
         else:
             completion = shard.client.bypass(op, size)
-        completion.add_callback(self._on_done, shard, submitted_at)
+        completion.add_callback(self._on_done, shard, submitted_at, tag)
 
-    def _on_done(self, event, shard: _Shard, submitted_at: int) -> None:
+    def _on_done(self, event, shard: _Shard, submitted_at: int,
+                 tag=None) -> None:
         shard.in_flight -= 1
         shard.completed += 1
         now = self.sim.now
@@ -289,6 +310,8 @@ class FlowLoadGenerator:
             shard.samples.append(latency)
             self.latencies.record(latency)
             self.throughput.record(now)
+            if tag is not None:
+                self.tagged.setdefault(tag, []).append(latency)
         completion = event.value
         result = completion.result
         if not result.ok and not result.is_miss:

@@ -1,0 +1,223 @@
+"""The load balancer: snapshots, policies, and the attach helper."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.control.balancer import (ControlView, DrainRackPolicy,
+                                    FailoverPolicy, HotShardPolicy,
+                                    attach_control_plane)
+from repro.experiments.deploy import DeploymentSpec, build
+from repro.failure.injector import FailureInjector
+from repro.sim.clock import microseconds
+from repro.workloads.kv import OpKind, Operation
+
+SPEC = DeploymentSpec(racks=2, devices_per_rack=2, servers_per_rack=2,
+                      chain_length=2, clients_per_rack=1,
+                      placement="switch")
+
+
+def _view(**overrides):
+    servers = ["s0", "s1", "s2", "s3"]
+    base = dict(
+        now_ns=1_000_000, tick=10,
+        throughput={name: 10 for name in servers},
+        processed_total={name: 100 for name in servers},
+        outstanding={name: 0 for name in servers},
+        queue_high_water={}, cache_hit_rate={},
+        alive={name: True for name in servers},
+        owners={name: [name] for name in servers})
+    base.update(overrides)
+    return ControlView(**base)
+
+
+class TestPolicies:
+    def test_live_targets_sorted_by_load_then_name(self):
+        view = _view(processed_total={"s0": 5, "s1": 9, "s2": 5, "s3": 1},
+                     alive={"s0": True, "s1": True, "s2": True,
+                            "s3": False})
+        assert view.live_targets() == ["s0", "s2", "s1"]
+        assert view.live_targets(exclude=("s0",)) == ["s2", "s1"]
+
+    def test_drain_rack_fires_once_after_deadline(self):
+        policy = DrainRackPolicy(["s0", "s1"], after_ns=2_000_000)
+        assert policy.decide(_view(now_ns=1_500_000)) == []
+        actions = policy.decide(_view(now_ns=2_000_000))
+        assert {a.source for a in actions} == {"s0", "s1"}
+        assert all(a.target in ("s2", "s3") for a in actions)
+        # Round-robin spreads the drained servers over the targets.
+        assert len({a.target for a in actions}) == 2
+        assert policy.decide(_view(now_ns=3_000_000)) == []
+
+    def test_drain_rack_skips_empty_servers(self):
+        policy = DrainRackPolicy(["s0", "s1"], after_ns=0)
+        view = _view(owners={"s0": [], "s1": ["s1"], "s2": ["s2"],
+                             "s3": ["s3"]})
+        actions = policy.decide(view)
+        assert [a.source for a in actions] == ["s1"]
+
+    def test_hot_shard_relocates_a_single_member_server(self):
+        policy = HotShardPolicy(skew_ratio=2.0, min_requests=50,
+                                cooldown_ns=microseconds(100))
+        view = _view(throughput={"s0": 200, "s1": 10, "s2": 10, "s3": 10},
+                     processed_total={"s0": 900, "s1": 50, "s2": 40,
+                                      "s3": 60})
+        actions = policy.decide(view)
+        assert len(actions) == 1
+        assert actions[0].source == "s0"
+        assert actions[0].target == "s2"  # coldest by total
+        assert actions[0].members is None  # whole-server relocation
+
+    def test_hot_shard_spills_half_when_splittable(self):
+        policy = HotShardPolicy(skew_ratio=2.0, min_requests=50,
+                                cooldown_ns=microseconds(100))
+        view = _view(throughput={"s0": 200, "s1": 10, "s2": 10, "s3": 10},
+                     owners={"s0": ["s0", "s1"], "s1": [], "s2": ["s2"],
+                             "s3": ["s3"]})
+        actions = policy.decide(view)
+        assert actions[0].members == ("s0",)
+
+    def test_hot_shard_respects_floor_and_cooldown(self):
+        policy = HotShardPolicy(skew_ratio=2.0, min_requests=500,
+                                cooldown_ns=microseconds(100))
+        hot = _view(throughput={"s0": 200, "s1": 10, "s2": 10, "s3": 10})
+        assert policy.decide(hot) == []  # below the noise floor
+        policy.min_requests = 50
+        assert len(policy.decide(hot)) == 1
+        assert policy.decide(hot) == []  # cooling down
+
+    def test_hot_shard_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            HotShardPolicy(skew_ratio=1.0)
+
+    def test_failover_once_per_outage_no_failback(self):
+        policy = FailoverPolicy()
+        dead = _view(alive={"s0": False, "s1": True, "s2": True,
+                            "s3": True})
+        actions = policy.decide(dead)
+        assert [a.source for a in actions] == ["s0"]
+        assert policy.decide(dead) == []  # same outage, no repeat
+        alive_again = _view()
+        assert policy.decide(alive_again) == []  # no automatic failback
+        assert policy.decide(dead) != []  # a new outage fires again
+
+    def test_failover_ignores_already_empty_servers(self):
+        policy = FailoverPolicy()
+        view = _view(alive={"s0": False, "s1": True, "s2": True,
+                            "s3": True},
+                     owners={"s0": [], "s1": ["s0", "s1"], "s2": ["s2"],
+                             "s3": ["s3"]})
+        assert policy.decide(view) == []
+
+
+class TestAttachAndRun:
+    def _writers(self, deployment, count=40):
+        def writer(index, client):
+            for i in range(count):
+                yield client.send_update(
+                    Operation(OpKind.SET, key=f"k-{index}-{i}", value=i))
+
+        deployment.open_all_sessions()
+        for index, client in enumerate(deployment.clients):
+            deployment.sim.spawn(writer(index, client), f"w{index}")
+
+    def test_attach_requires_a_fabric(self):
+        deployment = build(DeploymentSpec(placement="switch"),
+                           SystemConfig().with_clients(1))
+        with pytest.raises(ValueError):
+            attach_control_plane(deployment)
+
+    def test_drain_policy_empties_the_rack_live(self):
+        deployment = build(SPEC, SystemConfig(seed=3))
+        drained = list(deployment.fabric.racks[0].servers)
+        plane = attach_control_plane(
+            deployment, period_ns=microseconds(20),
+            policies=[DrainRackPolicy(drained,
+                                      after_ns=microseconds(100))],
+            max_ticks=400)
+        self._writers(deployment)
+        plane.start()
+        deployment.sim.run()
+        placement = deployment.fabric.placement
+        for name in drained:
+            assert placement.owners_resolving_to(name) == []
+            for client in deployment.clients:
+                assert client.outstanding_for(name) == 0
+                assert client.frozen_count(name) == 0
+        assert len(plane.migrator.completed) == len(drained)
+        assert plane.balancer.migrations_requested.value == len(drained)
+
+    def test_heartbeat_failover_rehomes_a_dead_server(self):
+        deployment = build(SPEC, SystemConfig(seed=5))
+        victim = deployment.servers[-1]
+        engine_done = {"writes": 0}
+
+        plane = attach_control_plane(
+            deployment, period_ns=microseconds(20),
+            policies=[FailoverPolicy()], heartbeats=True,
+            heartbeat_period_ns=microseconds(20), miss_threshold=3,
+            max_ticks=500)
+        assert victim.host.name in plane.monitors
+        self._writers(deployment)
+        plane.start()
+        injector = FailureInjector(deployment.sim)
+        record = injector.crash_server_at(victim, microseconds(150))
+        injector.recover_server_at(
+            victim, microseconds(700),
+            deployment.recovery_devices(victim.host.name), record)
+        deployment.sim.run()
+        moves = [(s.source, s.target) for s in plane.migrator.completed]
+        assert len(moves) == 1
+        assert moves[0][0] == victim.host.name
+        placement = deployment.fabric.placement
+        assert placement.resolve(victim.host.name) != victim.host.name
+
+    def test_stop_when_stops_ticks_and_monitors(self):
+        deployment = build(SPEC, SystemConfig(seed=7))
+        flag = {"done": False}
+        plane = attach_control_plane(
+            deployment, period_ns=microseconds(10), heartbeats=True,
+            stop_when=lambda: flag["done"])
+        deployment.open_all_sessions()
+        plane.start()
+        deployment.sim.schedule_at(microseconds(200),
+                                   lambda: flag.__setitem__("done", True))
+        deployment.sim.run()  # terminates only if monitors stop too
+        assert not plane.balancer._running
+        assert all(not monitor._running
+                   for monitor in plane.monitors.values())
+
+    def test_idle_balancer_counts_ticks_without_actions(self):
+        deployment = build(SPEC, SystemConfig(seed=2))
+        plane = attach_control_plane(deployment,
+                                     period_ns=microseconds(10),
+                                     max_ticks=25)
+        deployment.open_all_sessions()
+        plane.start()
+        deployment.sim.run()
+        assert plane.balancer.ticks.value == 25
+        assert plane.balancer.actions == []
+        assert plane.balancer.migrations_requested.value == 0
+
+    def test_rejects_nonpositive_period(self):
+        deployment = build(SPEC, SystemConfig(seed=2))
+        with pytest.raises(ValueError):
+            attach_control_plane(deployment, period_ns=0)
+
+    def test_snapshot_reads_live_instruments(self):
+        deployment = build(SPEC, SystemConfig(seed=11))
+        plane = attach_control_plane(deployment,
+                                     period_ns=microseconds(20),
+                                     max_ticks=200)
+        plane.balancer.keep_views = True
+        self._writers(deployment, count=20)
+        plane.start()
+        deployment.sim.run()
+        views = plane.balancer.views
+        assert views, "at least one tick must have run"
+        names = {server.host.name for server in deployment.servers}
+        final = views[-1]
+        assert set(final.processed_total) == names
+        assert sum(final.processed_total.values()) > 0
+        assert set(final.alive) == names and all(final.alive.values())
+        assert set(final.queue_high_water) == \
+            {device.name for device in deployment.devices}

@@ -1,0 +1,233 @@
+"""Live session migration: freeze -> drain -> transfer -> re-ring -> thaw.
+
+Driven against a real 2-rack fabric deployment so the protocol is
+exercised end to end: per-session SeqNum continuity, FIFO release of
+parked operations, serialized back-to-back migrations, and the
+stale-copy rule (entries left on the source keep satisfying the
+durability oracle but are never re-copied by later migrations)."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.errors import SimulationError
+from repro.experiments.deploy import DeploymentSpec, build
+from repro.sim.clock import microseconds
+from repro.workloads.handlers import StructureHandler
+from repro.workloads.kv import OpKind, Operation
+from repro.workloads.pmdk.hashmap import PMHashmap
+
+SPEC = DeploymentSpec(racks=2, devices_per_rack=2, servers_per_rack=2,
+                      chain_length=2, clients_per_rack=1,
+                      placement="switch", control_period_ns=100_000)
+
+
+def _deployment(seed=9):
+    deployment = build(SPEC, SystemConfig(seed=seed),
+                       handler_factory=lambda: StructureHandler(PMHashmap()))
+    assert deployment.control is not None
+    return deployment
+
+
+def _store(deployment, server_name):
+    servers = {s.host.name: s for s in deployment.servers}
+    return servers[server_name].handler.structure
+
+
+def _write_keys(deployment, count=40, prefix="mig"):
+    """Spawn writer procs; returns the dict acks land in."""
+    acked = {}
+
+    def writer(index, client):
+        for i in range(count):
+            key = f"{prefix}-{index}-{i}"
+            completion = yield client.send_update(
+                Operation(OpKind.SET, key=key, value=(index, i)))
+            if completion.result.ok:
+                acked[key] = (index, i)
+
+    deployment.open_all_sessions()
+    for index, client in enumerate(deployment.clients):
+        deployment.sim.spawn(writer(index, client), f"w{index}")
+    return acked
+
+
+class TestMigration:
+    def test_full_move_rerings_and_copies(self):
+        deployment = _deployment()
+        migrator = deployment.control.migrator
+        placement = deployment.fabric.placement
+        source = deployment.servers[0].host.name
+        target = deployment.servers[-1].host.name
+
+        acked = _write_keys(deployment)
+        done = []
+        deployment.sim.schedule_at(
+            microseconds(150),
+            lambda: migrator.migrate(source, target).add_callback(
+                lambda event: done.append(event.value)))
+        deployment.sim.run()
+
+        assert len(done) == 1
+        stats = done[0]
+        assert stats.source == source and stats.target == target
+        assert stats.moved_members == (source,)
+        assert stats.drained_at_ns is not None
+        assert stats.completed_at_ns >= stats.drained_at_ns
+        # The placement re-ringed every client at once.
+        assert placement.resolve(source) == target
+        for client in deployment.clients:
+            assert client.placement is placement
+        # Every acknowledged key of the moved shard survives in the
+        # durable union.  Entries applied by the source *after* the
+        # transfer snapshot (chain-tail early ACKs race the server-side
+        # apply) legitimately stay on the source — the oracle unions
+        # both stores — so the target alone is not required to hold
+        # everything, but it must hold the copied prefix.
+        target_store = dict(_store(deployment, target).items())
+        source_store = dict(_store(deployment, source).items())
+        moved = [key for key in acked
+                 if placement.ring_owner(key) == source]
+        assert moved, "seeded keys must cover the moved shard"
+        for key in moved:
+            assert (target_store.get(key) == acked[key]
+                    or source_store.get(key) == acked[key])
+        assert stats.items_copied > 0
+        assert any(key in target_store for key in moved)
+
+    def test_no_acknowledged_write_lost_and_none_in_flight(self):
+        deployment = _deployment()
+        migrator = deployment.control.migrator
+        source = deployment.servers[0].host.name
+        target = deployment.servers[-1].host.name
+        acked = _write_keys(deployment, count=60)
+        # Migrate mid-stream so some writes freeze and thaw.
+        deployment.sim.schedule_at(microseconds(120),
+                                   migrator.migrate, source, target)
+        deployment.sim.run()
+        assert len(acked) == 60 * len(deployment.clients)
+        for client in deployment.clients:
+            assert client.outstanding_for(source) == 0
+            assert client.frozen_count(source) == 0
+
+    def test_parked_ops_drain_in_fifo_order(self):
+        deployment = _deployment()
+        migrator = deployment.control.migrator
+        source = deployment.servers[0].host.name
+        target = deployment.servers[-1].host.name
+        client = deployment.clients[0]
+        # A key owned by the source shard.
+        key = next(f"probe-{i}" for i in range(10_000)
+                   if deployment.fabric.placement.ring_owner(f"probe-{i}")
+                   == source)
+        order = []
+
+        def writer():
+            for i in range(30):
+                completion = yield client.send_update(
+                    Operation(OpKind.SET, key=key, value=i))
+                assert completion.result.ok
+                order.append(i)
+
+        deployment.open_all_sessions()
+        deployment.sim.spawn(writer(), "fifo-writer")
+        done = []
+        deployment.sim.schedule_at(
+            microseconds(100),
+            lambda: migrator.migrate(source, target).add_callback(
+                lambda event: done.append(event.value)))
+        deployment.sim.run()
+        assert order == sorted(order)
+        assert len(order) == 30
+        # The last acknowledged value survives on the target.
+        assert dict(_store(deployment, target).items())[key] == 29
+
+    def test_migrations_serialize_in_request_order(self):
+        deployment = _deployment()
+        migrator = deployment.control.migrator
+        names = [server.host.name for server in deployment.servers]
+        _write_keys(deployment, count=20)
+        finished = []
+
+        def request_both():
+            migrator.migrate(names[0], names[1]).add_callback(
+                lambda event: finished.append("first"))
+            migrator.migrate(names[2], names[3]).add_callback(
+                lambda event: finished.append("second"))
+            assert migrator.busy
+
+        deployment.sim.schedule_at(microseconds(150), request_both)
+        deployment.sim.run()
+        assert finished == ["first", "second"]
+        assert not migrator.busy
+        first, second = migrator.completed
+        assert first.completed_at_ns <= second.started_at_ns
+
+    def test_member_subset_move(self):
+        deployment = _deployment()
+        migrator = deployment.control.migrator
+        placement = deployment.fabric.placement
+        names = [server.host.name for server in deployment.servers]
+        # Pile two members onto one server, then spill only one back.
+        _write_keys(deployment, count=10)
+        deployment.sim.schedule_at(microseconds(100),
+                                   migrator.migrate, names[0], names[1])
+        deployment.sim.schedule_at(
+            microseconds(400), migrator.migrate, names[1], names[2],
+            (names[0],))
+        deployment.sim.run()
+        assert placement.resolve(names[0]) == names[2]
+        assert placement.resolve(names[1]) == names[1]
+
+    def test_requested_member_no_longer_owned_is_dropped(self):
+        deployment = _deployment()
+        migrator = deployment.control.migrator
+        placement = deployment.fabric.placement
+        names = [server.host.name for server in deployment.servers]
+        deployment.open_all_sessions()
+        # names[0]'s member already lives on names[1]; asking names[2]
+        # to move it must not re-steal it.
+        placement.assign(names[0], names[1])
+        deployment.sim.schedule_at(
+            microseconds(50), migrator.migrate, names[2], names[3],
+            (names[0], names[2]))
+        deployment.sim.run()
+        stats = migrator.completed[-1]
+        assert stats.moved_members == (names[2],)
+        assert placement.resolve(names[0]) == names[1]
+
+    def test_unknown_server_rejected(self):
+        deployment = _deployment()
+        with pytest.raises(SimulationError):
+            deployment.control.migrator.migrate("nope",
+                                                deployment.servers[0]
+                                                .host.name)
+
+    def test_stats_describe_is_human_readable(self):
+        deployment = _deployment()
+        migrator = deployment.control.migrator
+        source = deployment.servers[0].host.name
+        target = deployment.servers[1].host.name
+        _write_keys(deployment, count=10)
+        deployment.sim.schedule_at(microseconds(120),
+                                   migrator.migrate, source, target)
+        deployment.sim.run()
+        text = migrator.completed[0].describe()
+        assert source in text and target in text and "items" in text
+
+    def test_migration_emits_protocol_trace(self):
+        from repro.sim.trace import Tracer
+        tracer = Tracer(enabled=True)
+        deployment = build(
+            SPEC, SystemConfig(seed=9), tracer=tracer,
+            handler_factory=lambda: StructureHandler(PMHashmap()))
+        migrator = deployment.control.migrator
+        source = deployment.servers[0].host.name
+        target = deployment.servers[1].host.name
+        _write_keys(deployment, count=10)
+        deployment.sim.schedule_at(microseconds(120),
+                                   migrator.migrate, source, target)
+        deployment.sim.run()
+        events = [record.event for record in tracer.records
+                  if record.component == "control"]
+        assert events == ["migration_freeze", "migration_drained",
+                          "migration_commit"]

@@ -1,0 +1,111 @@
+"""Unit tests for the shared placement view (ring + live overrides)."""
+
+import pytest
+
+from repro.control.placement import PlacementView
+from repro.core.hashring import HashRing
+
+MEMBERS = ["srv-a", "srv-b", "srv-c", "srv-d"]
+
+
+def _view():
+    return PlacementView(HashRing(MEMBERS))
+
+
+class TestBareView:
+    def test_empty_overrides_match_the_ring(self):
+        view = _view()
+        for i in range(500):
+            key = f"key-{i}"
+            assert view.lookup(key) == view.ring.lookup(key)
+            assert view.lookup(key) == view.ring_owner(key)
+        assert view.overrides == {}
+        assert view.version == 0
+
+    def test_every_member_resolves_to_itself(self):
+        view = _view()
+        for member in MEMBERS:
+            assert view.resolve(member) == member
+            assert view.owners_resolving_to(member) == [member]
+
+    def test_describe_names_the_bare_ring(self):
+        assert "no overrides" in _view().describe()
+
+
+class TestAssign:
+    def test_assign_moves_every_resolving_member(self):
+        view = _view()
+        moved = view.assign("srv-a", "srv-b")
+        assert moved == ("srv-a",)
+        assert view.resolve("srv-a") == "srv-b"
+        assert view.owners_resolving_to("srv-a") == []
+        assert sorted(view.owners_resolving_to("srv-b")) == \
+            ["srv-a", "srv-b"]
+        for i in range(300):
+            key = f"key-{i}"
+            owner = view.ring_owner(key)
+            expected = "srv-b" if owner == "srv-a" else owner
+            assert view.lookup(key) == expected
+
+    def test_overrides_stay_single_level(self):
+        """a->b then b-owner->c must leave a pointing straight at c."""
+        view = _view()
+        view.assign("srv-a", "srv-b")
+        view.assign("srv-b", "srv-c")
+        assert view.resolve("srv-a") == "srv-c"
+        assert view.resolve("srv-b") == "srv-c"
+        for owner in view.overrides.values():
+            # No override target is itself overridden.
+            assert view.resolve(owner) == owner
+
+    def test_moving_home_drops_the_override(self):
+        view = _view()
+        view.assign("srv-a", "srv-b")
+        view.assign("srv-b", "srv-a")  # everything on b (incl. a) back
+        assert view.resolve("srv-a") == "srv-a"
+        assert "srv-a" not in view.overrides
+
+    def test_version_bumps_only_on_effective_change(self):
+        view = _view()
+        view.assign("srv-a", "srv-b")
+        assert view.version == 1
+        assert view.assign("srv-a", "srv-c") == ()  # a owns nothing now
+        assert view.version == 1
+
+    def test_self_assign_is_a_noop(self):
+        view = _view()
+        assert view.assign("srv-a", "srv-a") == ()
+        assert view.version == 0
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            _view().assign("srv-a", "srv-z")
+
+
+class TestAssignMembers:
+    def test_subset_move(self):
+        view = _view()
+        moved = view.assign_members(("srv-a", "srv-c"), "srv-d")
+        assert moved == ("srv-a", "srv-c")
+        assert view.resolve("srv-a") == "srv-d"
+        assert view.resolve("srv-c") == "srv-d"
+        assert view.resolve("srv-b") == "srv-b"
+
+    def test_already_there_is_skipped(self):
+        view = _view()
+        view.assign_members(("srv-a",), "srv-d")
+        assert view.assign_members(("srv-a", "srv-d"), "srv-d") == ()
+        assert view.version == 1
+
+    def test_unknown_member_rejected(self):
+        with pytest.raises(ValueError):
+            _view().assign_members(("srv-z",), "srv-a")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            _view().assign_members(("srv-a",), "srv-z")
+
+    def test_describe_lists_overrides(self):
+        view = _view()
+        view.assign("srv-a", "srv-b")
+        assert "srv-a->srv-b" in view.describe()

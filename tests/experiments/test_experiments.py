@@ -172,7 +172,7 @@ class TestRegistry:
         expected = {"fig02", "fig07", "fig15", "fig16", "fig18", "fig19",
                     "fig20",
                     "fig21", "fig22", "sec6b6", "sec7", "multirack",
-                    "scaleout",
+                    "scaleout", "rebalance",
                     "motivation", "bdp",
                     "ablations", "chaos", "loadgen"}
         assert expected == set(EXPERIMENTS)

@@ -1,0 +1,86 @@
+"""Tests for the rebalance experiment (tails under live migration)."""
+
+import json
+
+from repro.experiments import rebalance
+from repro.experiments.deploy import DeploymentSpec
+from repro.workloads.loadgen import LoadGenConfig
+
+
+class TestSweepDefinition:
+    def test_jobs_cover_every_scenario_and_are_json_safe(self):
+        specs = rebalance.jobs()
+        assert [spec.point for spec in specs] == list(rebalance.SCENARIOS)
+        for spec in specs:
+            assert json.loads(json.dumps(spec.params)) == spec.params
+            # Worker processes rebuild everything from params alone.
+            DeploymentSpec.from_params(spec.params["spec"])
+            LoadGenConfig.from_params(spec.params["loadgen"])
+            assert spec.quick
+
+    def test_acceptance_floors(self):
+        """>= 10^4 modeled users; a rack to drain and shards to spare."""
+        assert rebalance.QUICK_USERS >= 10_000
+        spec = rebalance._spec()
+        assert spec.racks >= 3  # drain one rack, keep untouched shards
+        assert spec.racks * spec.servers_per_rack >= 4
+        assert spec.chain_length >= 2
+
+    def test_hot_shard_gets_a_skewed_keyspace(self):
+        flat = rebalance._loadgen_for(True, "steady")
+        skewed = rebalance._loadgen_for(True, "hot-shard")
+        assert skewed.zipf_theta > flat.zipf_theta
+        assert skewed.population is not None
+
+    def test_percentile_is_nearest_rank(self):
+        rows = list(range(1, 101))
+        assert rebalance.percentile_ns(rows, 0.50) == 50
+        assert rebalance.percentile_ns(rows, 0.99) == 99
+        assert rebalance.percentile_ns([], 0.99) == 0
+
+
+class TestRunPoint:
+    def _run(self, scenario):
+        spec = next(job for job in rebalance.jobs()
+                    if job.point == scenario)
+        return rebalance.run_point(spec)
+
+    def test_drain_rack_meets_the_acceptance_bar(self):
+        steady = self._run("steady")
+        drained = self._run("drain-rack")
+        assert steady["migrations"] == 0
+        assert drained["migrations"] >= 2  # both rack-0 servers moved
+        summary = drained["drained"]
+        assert summary["drained_ok"]
+        assert summary["leftover_owners"] == 0
+        assert summary["in_flight"] == 0
+        assert summary["parked"] == 0
+        # Shards the plane never touched keep their steady-state tail.
+        assert drained["untouched_shards"] >= 1
+        assert drained["untouched_p99_us"] <= 1.10 * steady["p99_us"]
+        assert drained["errors"] == 0
+
+    def test_failover_rehomes_the_victim(self):
+        summary = self._run("failover")
+        assert summary["migrations"] >= 1
+        assert summary["errors"] == 0
+        assert summary["completed"] > 0
+
+
+class TestAssembly:
+    def test_format_renders_every_scenario_in_order(self):
+        canned = {name: {
+            "scenario": name, "modeled_users": 12_000, "completed": 2_400,
+            "errors": 0, "migrations": 2, "moves": [],
+            "untouched_shards": 4, "p50_us": 25.0, "p99_us": 40.0,
+            "untouched_p99_us": 41.0, "ops_per_second": 1e6,
+            "drained": ({"drained_ok": True} if name == "drain-rack"
+                        else None),
+            "digest": "cafef00dcafef00d",
+        } for name in rebalance.SCENARIOS}
+        result = rebalance.RebalanceResult(canned)
+        table = result.format()
+        for name in rebalance.SCENARIOS:
+            assert name in table
+        assert "cafef00dcafef00d" in table
+        assert result.steady_p99_us() == 40.0

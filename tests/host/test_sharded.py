@@ -93,6 +93,54 @@ class TestSharding:
             build_sharded(SystemConfig(), num_servers=0)
 
 
+class TestRingClientIndex:
+    """The shard-lookup hot path: ``shard_index`` must stay a dict hit
+    (no linear scan) while agreeing with ``shard_for`` and the shared
+    placement view — including after a live migration override."""
+
+    def _ring_deployment(self):
+        from repro.experiments.deploy import DeploymentSpec, build
+        spec = DeploymentSpec(racks=2, devices_per_rack=2,
+                              servers_per_rack=2, chain_length=2,
+                              clients_per_rack=1, placement="switch")
+        return build(spec, SystemConfig(seed=6))
+
+    def test_index_and_shard_for_agree_with_placement(self):
+        deployment = self._ring_deployment()
+        client = deployment.clients[0]
+        keys = [f"key-{i}" for i in range(400)] + [(1, 2), 99, ("x", 3)]
+        for key in keys:
+            owner = client.placement.lookup(key)
+            index = client.shard_index(key)
+            assert client.servers[index] == owner
+            assert client.shard_for(key) is client._by_server[owner]
+        # Index map covers exactly the immutable member list.
+        assert set(client._index_by_server) == set(client.servers)
+
+    def test_index_follows_migration_overrides(self):
+        deployment = self._ring_deployment()
+        client = deployment.clients[0]
+        placement = deployment.fabric.placement
+        source = deployment.servers[0].host.name
+        target = deployment.servers[-1].host.name
+        keys = [f"key-{i}" for i in range(400)]
+        before = {key: client.shard_index(key) for key in keys}
+        placement.assign(source, target)
+        target_index = client._index_by_server[target]
+        for key in keys:
+            if placement.ring_owner(key) == source:
+                assert client.shard_index(key) == target_index
+                assert client.shard_for(key) is client._by_server[target]
+            else:
+                assert client.shard_index(key) == before[key]
+
+    def test_index_map_matches_member_order(self):
+        deployment = self._ring_deployment()
+        for client in deployment.clients:
+            for index, server in enumerate(client.servers):
+                assert client._index_by_server[server] == index
+
+
 class TestShardRecovery:
     def test_crashed_shard_recovers_only_its_entries(self):
         """One shard dies; recovery replays exactly that shard's log

@@ -110,3 +110,53 @@ class TestHeartbeat:
         host = HostNode(sim, "m", stack)
         with pytest.raises(ValueError):
             HeartbeatMonitor(sim, host, "server", miss_threshold=0)
+
+
+class TestDetectionLatency:
+    """Regression for the ``_last_answered`` off-by-one: seeding the
+    high-water mark at -1 counted a phantom miss, so a dead target was
+    flagged one full period early (after ``miss_threshold - 1`` real
+    misses).  Detection must take exactly ``miss_threshold`` unanswered
+    pings — for a target dead from the very first ping and for one that
+    dies mid-run alike."""
+
+    def _monitored(self):
+        deployment = build_client_server(SystemConfig().with_clients(1))
+        sim = deployment.sim
+        stack = HostStack(sim, "monitor", KERNEL_CLIENT_STACK)
+        host = HostNode(sim, "monitor", stack)
+        deployment.topology.add(host)
+        deployment.topology.connect(host, deployment.switches[0])
+        deployment.topology.compute_routes()
+        endpoint = MonitorEndpoint(host)
+        detected = []
+        monitor = HeartbeatMonitor(
+            sim, host, "server", period_ns=microseconds(100),
+            miss_threshold=3,
+            on_failure=lambda: detected.append(sim.now))
+        endpoint.attach(monitor)
+        return deployment, monitor, detected
+
+    def test_dead_from_start_takes_threshold_full_periods(self):
+        deployment, monitor, detected = self._monitored()
+        deployment.server.host.fail()  # dead before the first ping
+        monitor.start()
+        deployment.sim.run(until=microseconds(1_000))
+        monitor.stop()
+        deployment.sim.run()
+        # Ping k is checked at k*period; misses reach 3 at the third
+        # check — 300 us, not 200 us (the off-by-one fired at seq 2).
+        assert detected == [microseconds(300)]
+
+    def test_dies_mid_run_takes_threshold_full_periods(self):
+        deployment, monitor, detected = self._monitored()
+        monitor.start()
+        # Fail between ticks: ping 5 (sent at 400 us) is the last one
+        # answered; pings 6, 7, 8 go unanswered.
+        deployment.sim.schedule_at(microseconds(450),
+                                   deployment.server.host.fail)
+        deployment.sim.run(until=microseconds(2_000))
+        monitor.stop()
+        deployment.sim.run()
+        # check(8) at 800 us is the first with seq - last_answered >= 3.
+        assert detected == [microseconds(800)]
